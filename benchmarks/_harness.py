@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure gets one ``test_bench_*.py`` file.  Each bench
+
+- builds the figure's workload (cached per session),
+- runs the experiment through the real constructors on the simulator,
+- prints the regenerated table (same rows/series the paper reports) and
+  writes it to ``benchmarks/results/<name>.txt``,
+- asserts the *shape* claims (who wins, monotonicity, crossover), not the
+  paper's absolute seconds.
+
+Scale: set ``REPRO_BENCH_SCALE=small`` for a fast smoke pass; the default
+(``paper``) uses the paper's 64^4 dataset for Figure 7 and a 96^4 stand-in
+for the larger Figure 8/9 dataset (the paper's exact extents are lost to
+the OCR; 96^4 preserves "larger than Figure 7" within this machine's RAM).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.arrays.dataset import random_sparse
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+if SCALE == "small":
+    FIG7_SHAPE = (16, 16, 16, 16)
+    FIG8_SHAPE = (24, 24, 24, 24)
+else:
+    FIG7_SHAPE = (64, 64, 64, 64)
+    FIG8_SHAPE = (96, 96, 96, 96)
+
+SPARSITIES = (0.25, 0.10, 0.05)
+
+# Paper-reported values (section 6) for EXPERIMENTS.md comparison.
+PAPER_FIG7_SLOWDOWN_2D = {0.25: 0.07, 0.10: 0.12, 0.05: 0.19}  # "7%, 12%, 19%"
+PAPER_FIG7_SLOWDOWN_1D = {0.25: 0.13, 0.10: 0.13, 0.05: 0.53}  # "13%, 13%, 53%"
+PAPER_FIG7_SPEEDUPS = {0.25: 5.3, 0.10: 4.22, 0.05: 3.39}
+PAPER_FIG8_SPEEDUPS = {0.25: 6.39, 0.10: 5.3, 0.05: 4.52}
+
+_dataset_cache: dict = {}
+
+
+def dataset(shape, sparsity, seed=7):
+    """Session-cached sparse dataset, chunked so block extraction can skip
+    chunks that do not intersect a processor's partition."""
+    key = (tuple(shape), sparsity, seed)
+    if key not in _dataset_cache:
+        chunk_shape = tuple(max(1, s // 4) for s in shape)
+        _dataset_cache[key] = random_sparse(
+            shape, sparsity, seed=seed, chunk_shape=chunk_shape
+        )
+    return _dataset_cache[key]
+
+
+def emit_table(name: str, lines: list[str]) -> str:
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+    return text
+
+
+def fmt_row(*cells, widths=None) -> str:
+    widths = widths or [14] * len(cells)
+    return " ".join(str(c).rjust(w) for c, w in zip(cells, widths))

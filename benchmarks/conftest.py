@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Ensures ``benchmarks/`` is importable as a script directory (so the bench
+files can ``import _harness``) and gives pytest-benchmark sane defaults for
+one-shot, system-scale runs.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["note"] = (
+        "times are host-side wall clock of the simulator; simulated cluster "
+        "times are in each benchmark's extra_info"
+    )

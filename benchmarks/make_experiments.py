@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md from the latest benchmark outputs.
+
+Run after ``pytest benchmarks/ --benchmark-only`` (paper scale):
+
+    python benchmarks/make_experiments.py
+
+Each section pairs the paper's reported values with the measured tables in
+``benchmarks/results/*.txt`` and states the shape claims the benchmark
+asserts.  Absolute seconds are simulator output, not testbed seconds; the
+reproduction target is the shape (rankings, crossovers, trends).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+OUT = Path(__file__).parent.parent / "EXPERIMENTS.md"
+
+
+def table(name: str) -> str:
+    path = RESULTS / f"{name}.txt"
+    if not path.exists():
+        return f"*(missing: run `pytest benchmarks/ --benchmark-only` to produce {path.name})*"
+    return "```\n" + path.read_text().rstrip() + "\n```"
+
+
+SECTIONS: list[tuple[str, str, str]] = [
+    (
+        "Figure 7 — partitioning choices, 64^4 dataset, 8 processors",
+        """Paper: three-dimensional partition fastest at every sparsity; the
+two-dimensional version slower by 7 % / 12 % / 19 % and the one-dimensional
+by 13 % / 13 % / 53 % at 25 % / 10 % / 5 % sparsity; sequential times 22.5 /
+12.x / 8.6 s; speedups of the 3-d version 5.31 / 4.22 / 3.39.
+
+Measured (simulator): same ranking at every sparsity, with the 1-d penalty
+widening as the array gets sparser — the asserted shape.  Our 1-d penalty is
+larger than the paper's because the flat reduce-to-lead serializes at the
+lead under the LogGP-style receive charge (see docs/SIMULATOR.md); the
+ordering and trend match.""",
+        "fig7",
+    ),
+    (
+        "Figure 8 — larger dataset, 8 processors",
+        """Paper: same three-way comparison on a larger dataset (2-d slower by
+8 % / 5 % / 6 %; 1-d by 30 % and more — the exact later percentages are
+garbled in the source OCR); speedups 6.39 / 5.3 / 4.52 — higher than
+Figure 7 because the communication-to-computation ratio drops.  Our
+stand-in for the (OCR-lost) larger extents is 96^4; see DESIGN.md.
+
+Measured: 3-d < 2-d < 1-d at every sparsity (asserted).""",
+        "fig8",
+    ),
+    (
+        "Figure 9 — five partitions, 16 processors",
+        """Paper: on 16 processors the five options rank 4-d, 3-d, 2-d (4x4),
+2-d (8x2), 1-d — exactly the predicted-volume order — with more than 4x
+between best and worst at 5 % sparsity.
+
+Measured: the predicted volumes rank in the paper's order and the simulated
+times follow the same ranking at every sparsity (asserted); best-to-worst
+ratio at 5 % sparsity exceeds 4x.""",
+        "fig9",
+    ),
+    (
+        "T-comm — Theorem 3 closed form vs measured volume",
+        """The central quantitative claim.  Measured network element counts
+equal `sum_j (2^{k_j}-1) c_j` **exactly** on every shape/partition swept
+(asserted equality, not approximation), including non-divisible extents.
+The binomial-tree ablation moves the same volume in less simulated time.""",
+        "t_comm",
+    ),
+    (
+        "T-mem — Theorems 1/4 memory bounds vs measured peaks",
+        """Sequential peaks equal the Theorem-1 bound exactly; per-rank
+parallel peaks equal the Theorem-4 bound exactly (divisible extents); the
+left-deep spanning tree measurably exceeds the bound, illustrating
+Theorem 2's 'no better tree' direction.""",
+        "t_mem",
+    ),
+    (
+        "T-order — Theorems 6/7 ordering ablation",
+        """The canonical (non-increasing) ordering achieves the exhaustive
+minimum of both communication volume and computation over all orderings
+(closed-form sweep), and beats the adversarial ordering end-to-end on
+measured volume and simulated time.""",
+        "t_order",
+    ),
+    (
+        "T-part — Theorem 8 partitioning",
+        """Greedy (Fig 6) equals the brute-force optimum volume on every
+(shape, processor-count) pair swept.  End-to-end, greedy beats every
+partition that splits fewer dimensions and lands within a few percent of
+the global fastest (near-tie assignments can edge it out via
+reduction-serialization effects outside the volume model).""",
+        "t_part",
+    ),
+    (
+        "T-speedup — the in-text speedup table",
+        """Paper: 5.31 / 4.22 / 3.39 at 8 processors (Fig 7 dataset);
+6.39 / 5.3 / 4.52 at 8 and 12.79 / 10.0 / 7.95 at 16 (larger dataset).
+
+Measured: same three trends asserted — speedups fall with sparsity, rise
+with dataset size, rise with processors — and the magnitudes land close to
+the paper's without fitting.""",
+        "t_speedup",
+    ),
+    (
+        "T-seq/trees — construction scheme comparison",
+        """The aggregation tree vs a non-minimal-parent tree vs the no-reuse
+strawman: volumes match each scheme's closed form exactly; the aggregation
+tree wins.  The disk discipline the paper claims over MMST/MNST (one write
+per output, zero re-reads) is asserted on the real run.""",
+        "t_trees",
+    ),
+    (
+        "T-tiling — sequential tiling under a memory cap",
+        """Peak memory stays under every cap; results stay exact; the extra
+read-modify-write I/O grows monotonically with the tile count — the paper's
+argument for why minimizing the memory bound (the aggregation tree's
+property) minimizes tiling I/O.""",
+        "t_tiling",
+    ),
+    (
+        "T-io — single-pass vs multi-pass input reading (section 2)",
+        """The paper's cache/memory-reuse claim quantified: the strawman that
+computes first-level children one at a time re-reads the input n times;
+the paper's simultaneous-update discipline reads it once (asserted:
+exactly n-fold read amplification).""",
+        "t_io",
+    ),
+    (
+        "T-freq — communication frequency vs buffer memory (section 4)",
+        """The tradeoff the paper calls 'hard to analyze theoretically',
+measured: shrinking the reduction slab size leaves the volume invariant
+(Theorem 3 holds at every point) while message count and simulated time
+grow; the lead's receive buffer shrinks to one slab.""",
+        "t_freq",
+    ),
+    (
+        "T-partial — partial materialization + view selection (section 8)",
+        """The future-work direction, built and measured: greedy (HRU) view
+selection under growing budgets monotonically lowers average query cost
+while construction communication grows toward the full cube's.""",
+        "t_partial",
+    ),
+    (
+        "T-ptile — parallel tiling (follow-up paper)",
+        """One-tile-at-a-time parallel construction under per-rank memory
+caps: peaks stay under every cap, results stay exact, and the overheads
+(accumulation I/O, per-tile latency) quantify the memory/time trade.""",
+        "t_ptile",
+    ),
+    (
+        "T-iceberg — BUC support pruning (related-work extension)",
+        """Iceberg cubes close the partial-materialization loop at cell
+granularity: BUC's monotone support pruning keeps a rapidly shrinking
+fraction of the cube as minsup grows, verified cell-for-cell against the
+filter-the-full-cube oracle built on the paper's constructor.""",
+        "t_iceberg",
+    ),
+]
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Generated by `python benchmarks/make_experiments.py` from the tables in
+`benchmarks/results/` (written by `pytest benchmarks/ --benchmark-only` at
+the default paper scale).  The simulator measures communication volume,
+memory, and disk traffic *exactly* and models time (see `docs/SIMULATOR.md`);
+the reproduction target for time-based results is the **shape** — who wins,
+in what order, and how gaps move — which every benchmark asserts
+programmatically.
+
+Substitutions (full table in `DESIGN.md`): the 16-node Sun/Myrinet cluster
+is replaced by the deterministic simulator; the Figure 8/9 dataset's exact
+extents are lost to the source OCR and stand in as 96^4 (larger than
+Figure 7's 64^4, as in the paper); datasets are synthetic sparse arrays at
+the paper's 25 % / 10 % / 5 % sparsity levels, as in the paper.
+"""
+
+
+def main() -> None:
+    parts = [HEADER]
+    for title, commentary, name in SECTIONS:
+        parts.append(f"## {title}\n")
+        parts.append(commentary.strip() + "\n")
+        parts.append(table(name) + "\n")
+    OUT.write_text("\n".join(parts))
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""T-comm: Theorem 3's closed form vs the simulator's measured bytes.
+
+The central quantitative claim: total communication is
+``sum_j (2^{k_j} - 1) * c_j``.  This bench sweeps shapes and partitions,
+measures the elements actually sent through the simulated network, and
+checks *exact* equality -- then compares the flat (paper) reduction with a
+binomial-tree ablation (same volume, lower depth / makespan).
+"""
+
+import pytest
+
+from repro.core.comm_model import total_comm_volume
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import describe_partition
+
+from _harness import SCALE, dataset, emit_table, fmt_row
+
+if SCALE == "small":
+    SWEEP = [
+        ((16, 16, 16), (1, 1, 1)),
+        ((16, 16, 16), (2, 1, 0)),
+        ((16, 12, 8, 8), (1, 1, 1, 0)),
+        ((16, 12, 8, 8), (3, 0, 0, 0)),
+    ]
+else:
+    SWEEP = [
+        ((64, 64, 64), (1, 1, 1)),
+        ((64, 64, 64), (2, 1, 0)),
+        ((64, 64, 64, 64), (1, 1, 1, 0)),
+        ((64, 64, 64, 64), (2, 1, 0, 0)),
+        ((64, 64, 64, 64), (3, 0, 0, 0)),
+        ((64, 64, 64, 64), (1, 1, 1, 1)),
+        ((128, 64, 32, 16), (2, 1, 1, 0)),
+    ]
+
+ROWS: list[tuple] = []
+
+
+@pytest.mark.parametrize("shape,bits", SWEEP, ids=lambda v: str(v))
+def test_comm_volume_exact(benchmark, shape, bits):
+    data = dataset(shape, 0.10, seed=13)
+
+    def run():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    predicted = total_comm_volume(shape, bits)
+    ROWS.append((shape, bits, predicted, res.comm_volume_elements))
+    benchmark.extra_info["predicted_elements"] = predicted
+    benchmark.extra_info["measured_elements"] = res.comm_volume_elements
+    assert res.comm_volume_elements == predicted
+
+
+def test_reduction_ablation_and_table(benchmark):
+    """Binomial reduction: identical volume, strictly smaller makespan."""
+    shape, bits = SWEEP[-1][0], SWEEP[-1][1]
+    data = dataset(shape, 0.10, seed=13)
+
+    def run_binomial():
+        return construct_cube_parallel(
+            data, bits, reduction="binomial", collect_results=False
+        )
+
+    binom = benchmark.pedantic(run_binomial, rounds=1, iterations=1)
+    flat = construct_cube_parallel(data, bits, collect_results=False)
+
+    lines = [
+        "T-comm: Theorem 3 closed form vs measured volume (elements)",
+        fmt_row("shape", "partition", "predicted", "measured",
+                widths=[20, 24, 12, 12]),
+    ]
+    for shape_, bits_, pred, meas in ROWS:
+        lines.append(
+            fmt_row(str(shape_), describe_partition(bits_), pred, meas,
+                    widths=[20, 24, 12, 12])
+        )
+    lines.append("")
+    lines.append(
+        f"reduction ablation on {shape} {describe_partition(bits)}: "
+        f"flat {flat.simulated_time_s:.4f}s vs binomial "
+        f"{binom.simulated_time_s:.4f}s (same volume: "
+        f"{flat.comm_volume_elements} == {binom.comm_volume_elements})"
+    )
+    emit_table("t_comm", lines)
+
+    assert binom.comm_volume_elements == flat.comm_volume_elements
+    assert binom.simulated_time_s <= flat.simulated_time_s
+    for _shape, _bits, pred, meas in ROWS:
+        assert pred == meas

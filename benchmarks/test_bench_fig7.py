@@ -1,0 +1,100 @@
+"""Figure 7: 64^4 dataset, 8 processors, partitioning choices vs sparsity.
+
+Paper result: the three-dimensional partition (2x2x2x1) beats the
+two-dimensional (4x2x1x1), which beats the one-dimensional (8x1x1x1), at
+every sparsity level (25 %, 10 %, 5 %); the gap widens as the array gets
+sparser because communication (dense outputs) stays constant while
+computation (proportional to non-zeros) shrinks.
+
+Regenerates: execution time per (sparsity, partition) series + slowdown
+percentages relative to the 3-d partition.
+"""
+
+import pytest
+
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import describe_partition
+
+from _harness import (
+    FIG7_SHAPE,
+    PAPER_FIG7_SLOWDOWN_1D,
+    PAPER_FIG7_SLOWDOWN_2D,
+    SCALE,
+    SPARSITIES,
+    dataset,
+    emit_table,
+    fmt_row,
+)
+
+PARTITIONS = [(1, 1, 1, 0), (2, 1, 0, 0), (3, 0, 0, 0)]
+
+RESULTS: dict[tuple[float, tuple[int, ...]], object] = {}
+
+
+@pytest.mark.parametrize("sparsity", SPARSITIES)
+@pytest.mark.parametrize("bits", PARTITIONS, ids=describe_partition)
+def test_fig7_run(benchmark, sparsity, bits):
+    data = dataset(FIG7_SHAPE, sparsity)
+
+    def run():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[(sparsity, bits)] = res
+    benchmark.extra_info["simulated_time_s"] = res.simulated_time_s
+    benchmark.extra_info["comm_volume_elements"] = res.comm_volume_elements
+    benchmark.extra_info["partition"] = describe_partition(bits)
+    benchmark.extra_info["sparsity"] = sparsity
+    assert res.comm_volume_elements == res.expected_comm_volume_elements
+
+
+def test_fig7_table_and_shape(benchmark):
+    """Emit the Figure 7 series and assert the paper's ranking claims."""
+
+    def noop():
+        return None
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        f"Figure 7: {FIG7_SHAPE} dataset, 8 processors (simulated)",
+        fmt_row("sparsity", "partition", "sim time (s)", "vs 3-d",
+                "paper slowdown", widths=[9, 24, 13, 8, 15]),
+    ]
+    for sparsity in SPARSITIES:
+        t3 = RESULTS[(sparsity, PARTITIONS[0])].simulated_time_s
+        for bits in PARTITIONS:
+            res = RESULTS[(sparsity, bits)]
+            t = res.simulated_time_s
+            slow = (t - t3) / t3
+            paper = ""
+            if bits == PARTITIONS[1]:
+                paper = f"{PAPER_FIG7_SLOWDOWN_2D[sparsity]:.0%}"
+            elif bits == PARTITIONS[2]:
+                paper = f"{PAPER_FIG7_SLOWDOWN_1D[sparsity]:.0%}"
+            lines.append(
+                fmt_row(
+                    f"{sparsity:.0%}",
+                    describe_partition(bits),
+                    f"{t:.4f}",
+                    f"+{slow:.0%}" if bits != PARTITIONS[0] else "--",
+                    paper,
+                    widths=[9, 24, 13, 8, 15],
+                )
+            )
+    emit_table("fig7", lines)
+
+    # Shape claims: 3-d < 2-d < 1-d at every sparsity.
+    for sparsity in SPARSITIES:
+        t3, t2, t1 = (RESULTS[(sparsity, b)].simulated_time_s for b in PARTITIONS)
+        assert t3 < t2 < t1, (sparsity, t3, t2, t1)
+
+    # The relative 1-d penalty grows as the array gets sparser -- a
+    # paper-scale effect (at toy scale fixed costs mask it).
+    if SCALE == "paper":
+        def penalty(s):
+            return (
+                RESULTS[(s, PARTITIONS[2])].simulated_time_s
+                / RESULTS[(s, PARTITIONS[0])].simulated_time_s
+            )
+
+        assert penalty(0.05) > penalty(0.25)

@@ -1,0 +1,64 @@
+"""Figure 8: the larger 4-d dataset, 8 processors, partitioning vs sparsity.
+
+Same experiment as Figure 7 on a larger array (the paper's exact extents are
+lost to the OCR; we use a 96^4 stand-in -- see DESIGN.md).  Paper results:
+the 3-d partition still wins everywhere (2-d slower by 8 %, 5 %, 6 %; 1-d
+by 30 %, 24 %(?), 54 %(?)), and speedups are *higher* than on the Figure 7
+dataset because the communication-to-computation ratio is lower.
+"""
+
+import pytest
+
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import describe_partition
+
+from _harness import FIG8_SHAPE, SPARSITIES, dataset, emit_table, fmt_row
+
+PARTITIONS = [(1, 1, 1, 0), (2, 1, 0, 0), (3, 0, 0, 0)]
+
+RESULTS: dict[tuple[float, tuple[int, ...]], object] = {}
+
+
+@pytest.mark.parametrize("sparsity", SPARSITIES)
+@pytest.mark.parametrize("bits", PARTITIONS, ids=describe_partition)
+def test_fig8_run(benchmark, sparsity, bits):
+    data = dataset(FIG8_SHAPE, sparsity, seed=8)
+
+    def run():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[(sparsity, bits)] = res
+    benchmark.extra_info["simulated_time_s"] = res.simulated_time_s
+    benchmark.extra_info["comm_volume_elements"] = res.comm_volume_elements
+    assert res.comm_volume_elements == res.expected_comm_volume_elements
+
+
+def test_fig8_table_and_shape(benchmark):
+    def noop():
+        return None
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        f"Figure 8: {FIG8_SHAPE} dataset, 8 processors (simulated)",
+        fmt_row("sparsity", "partition", "sim time (s)", "vs 3-d",
+                widths=[9, 24, 13, 8]),
+    ]
+    for sparsity in SPARSITIES:
+        t3 = RESULTS[(sparsity, PARTITIONS[0])].simulated_time_s
+        for bits in PARTITIONS:
+            t = RESULTS[(sparsity, bits)].simulated_time_s
+            lines.append(
+                fmt_row(
+                    f"{sparsity:.0%}",
+                    describe_partition(bits),
+                    f"{t:.4f}",
+                    f"+{(t - t3) / t3:.0%}" if bits != PARTITIONS[0] else "--",
+                    widths=[9, 24, 13, 8],
+                )
+            )
+    emit_table("fig8", lines)
+
+    for sparsity in SPARSITIES:
+        t3, t2, t1 = (RESULTS[(sparsity, b)].simulated_time_s for b in PARTITIONS)
+        assert t3 < t2 < t1, (sparsity, t3, t2, t1)

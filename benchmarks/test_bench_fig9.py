@@ -1,0 +1,86 @@
+"""Figure 9: the larger dataset on 16 processors, five partition choices.
+
+On 16 processors (k = 4) a 4-d dataset admits five partition shapes:
+4-dimensional (2x2x2x2), 3-dimensional (4x2x2x1), two 2-dimensional
+variants (4x4x1x1 and 8x2x1x1), and 1-dimensional (16x1x1x1).  Paper
+result: performance ranks exactly in that order -- the theory's predicted
+volume ordering -- with more than 4x between best and worst at 5 %
+sparsity.
+"""
+
+import pytest
+
+from repro.core.comm_model import total_comm_volume
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import describe_partition
+
+from _harness import FIG8_SHAPE, SCALE, SPARSITIES, dataset, emit_table, fmt_row
+
+# The paper's five options, in its reported order (best to worst).
+PARTITIONS = [
+    (1, 1, 1, 1),
+    (2, 1, 1, 0),
+    (2, 2, 0, 0),
+    (3, 1, 0, 0),
+    (4, 0, 0, 0),
+]
+
+RESULTS: dict[tuple[float, tuple[int, ...]], object] = {}
+
+
+@pytest.mark.parametrize("sparsity", SPARSITIES)
+@pytest.mark.parametrize("bits", PARTITIONS, ids=describe_partition)
+def test_fig9_run(benchmark, sparsity, bits):
+    data = dataset(FIG8_SHAPE, sparsity, seed=8)  # same dataset as Figure 8
+
+    def run():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[(sparsity, bits)] = res
+    benchmark.extra_info["simulated_time_s"] = res.simulated_time_s
+    benchmark.extra_info["comm_volume_elements"] = res.comm_volume_elements
+    assert res.comm_volume_elements == res.expected_comm_volume_elements
+
+
+def test_fig9_table_and_shape(benchmark):
+    def noop():
+        return None
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    shape = FIG8_SHAPE
+    lines = [
+        f"Figure 9: {shape} dataset, 16 processors (simulated)",
+        fmt_row("sparsity", "partition", "pred. volume", "sim time (s)",
+                widths=[9, 26, 13, 13]),
+    ]
+    for sparsity in SPARSITIES:
+        for bits in PARTITIONS:
+            t = RESULTS[(sparsity, bits)].simulated_time_s
+            lines.append(
+                fmt_row(
+                    f"{sparsity:.0%}",
+                    describe_partition(bits),
+                    total_comm_volume(shape, bits),
+                    f"{t:.4f}",
+                    widths=[9, 26, 13, 13],
+                )
+            )
+    emit_table("fig9", lines)
+
+    # Predicted volumes rank in the paper's order...
+    vols = [total_comm_volume(shape, b) for b in PARTITIONS]
+    assert vols == sorted(vols)
+
+    # ...and the simulated times follow the same ranking at every sparsity.
+    for sparsity in SPARSITIES:
+        ts = [RESULTS[(sparsity, b)].simulated_time_s for b in PARTITIONS]
+        assert ts == sorted(ts), (sparsity, ts)
+
+    # Paper: >4x between best and worst at 5 % sparsity (paper scale only).
+    if SCALE == "paper":
+        ratio = (
+            RESULTS[(0.05, PARTITIONS[-1])].simulated_time_s
+            / RESULTS[(0.05, PARTITIONS[0])].simulated_time_s
+        )
+        assert ratio > 1.5, ratio

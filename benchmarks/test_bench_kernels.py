@@ -1,0 +1,65 @@
+"""Kernel microbenchmarks (multi-round pytest-benchmark timings).
+
+Unlike the figure/table harnesses (single-shot system runs), these measure
+the hot inner loops with proper statistical rounds: the sparse scatter-add
+aggregation, the multi-target first-level update, dense roll-ups, and block
+extraction.  They guard against performance regressions in the substrate
+everything else is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays.aggregate import (
+    aggregate_dense,
+    aggregate_sparse_multi,
+    aggregate_sparse_to_dense,
+)
+from repro.arrays.dense import DenseArray
+from repro.core.lattice import all_nodes
+
+from _harness import SCALE, dataset
+
+SHAPE = (32, 24, 16, 8) if SCALE == "small" else (64, 48, 32, 16)
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return dataset(SHAPE, 0.10, seed=121)
+
+
+def test_kernel_sparse_single_target(benchmark, facts):
+    n = len(SHAPE)
+    out = benchmark(
+        aggregate_sparse_to_dense, facts, tuple(range(n)), (0, 1)
+    )
+    assert out.shape == SHAPE[:2]
+
+
+def test_kernel_sparse_multi_target(benchmark, facts):
+    n = len(SHAPE)
+    targets = [nd for nd in all_nodes(n) if len(nd) == n - 1]
+    outs = benchmark(
+        aggregate_sparse_multi, facts, tuple(range(n)), targets
+    )
+    assert len(outs) == n
+
+
+def test_kernel_dense_rollup(benchmark):
+    rng = np.random.default_rng(122)
+    arr = DenseArray(rng.uniform(size=SHAPE[:3]), (0, 1, 2))
+    out = benchmark(aggregate_dense, arr, (0, 2))
+    assert out.shape == (SHAPE[0], SHAPE[2])
+
+
+def test_kernel_extract_block(benchmark, facts):
+    slices = tuple(slice(0, s // 2) for s in SHAPE)
+    sub = benchmark(facts.extract_block, slices)
+    assert sub.shape == tuple(s // 2 for s in SHAPE)
+
+
+def test_kernel_greedy_partition(benchmark):
+    from repro.core.partition import greedy_partition
+
+    bits = benchmark(greedy_partition, SHAPE, 6)
+    assert sum(bits) == 6

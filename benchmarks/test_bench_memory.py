@@ -1,0 +1,102 @@
+"""T-mem: Theorems 1 and 4 memory bounds vs measured peaks.
+
+Runs the real constructors and compares measured peak held-results memory
+against the closed-form bounds -- equality for the sequential algorithm and
+the fully-loaded rank of the parallel algorithm (divisible extents), plus
+the lower-bound comparison against alternative spanning trees.
+"""
+
+import pytest
+
+from repro.core.memory_model import (
+    parallel_memory_bound_exact,
+    sequential_memory_bound,
+)
+from repro.core.parallel import construct_cube_parallel
+from repro.core.sequential import construct_cube_sequential
+from repro.core.spanning_tree import (
+    SpanningTree,
+    left_deep_tree,
+    simulate_schedule_memory,
+)
+
+from _harness import SCALE, dataset, emit_table, fmt_row
+
+if SCALE == "small":
+    SEQ_SHAPES = [(16, 8, 8), (16, 12, 8, 4)]
+    PAR_CASES = [((16, 8, 8), (1, 1, 0)), ((16, 12, 8, 4), (1, 1, 1, 0))]
+else:
+    SEQ_SHAPES = [(64, 64, 64), (64, 64, 64, 64), (64, 32, 16, 8)]
+    PAR_CASES = [
+        ((64, 64, 64), (1, 1, 1)),
+        ((64, 64, 64, 64), (1, 1, 1, 0)),
+        ((64, 64, 64, 64), (3, 0, 0, 0)),
+    ]
+
+ROWS: list[str] = []
+
+
+@pytest.mark.parametrize("shape", SEQ_SHAPES, ids=str)
+def test_sequential_memory(benchmark, shape):
+    data = dataset(shape, 0.10, seed=21)
+
+    def run():
+        return construct_cube_sequential(data)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = sequential_memory_bound(shape)
+    ROWS.append(
+        fmt_row("sequential", str(shape), res.peak_memory_elements, bound,
+                widths=[12, 22, 14, 14])
+    )
+    benchmark.extra_info["peak_elements"] = res.peak_memory_elements
+    benchmark.extra_info["theorem1_bound"] = bound
+    assert res.peak_memory_elements == bound
+
+
+@pytest.mark.parametrize("shape,bits", PAR_CASES, ids=str)
+def test_parallel_memory(benchmark, shape, bits):
+    data = dataset(shape, 0.10, seed=21)
+
+    def run():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = parallel_memory_bound_exact(shape, bits)
+    peak = max(res.metrics.rank_peak_memory_elements)
+    ROWS.append(
+        fmt_row("parallel", f"{shape}@{bits}", peak, bound,
+                widths=[12, 22, 14, 14])
+    )
+    benchmark.extra_info["max_rank_peak_elements"] = peak
+    benchmark.extra_info["theorem4_bound"] = bound
+    assert peak <= bound
+    # Divisible extents: the fully-loaded rank reaches the bound exactly.
+    assert peak == bound
+
+
+def test_tree_memory_comparison_table(benchmark):
+    """Theorem 2 flavor: the aggregation tree's peak vs a bad tree's."""
+    shape = SEQ_SHAPES[-1]
+
+    def measure():
+        agg = simulate_schedule_memory(
+            SpanningTree.from_aggregation_tree(len(shape)).schedule(), shape
+        )
+        bad = simulate_schedule_memory(left_deep_tree(len(shape)).schedule(), shape)
+        return agg, bad
+
+    agg, bad = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bound = sequential_memory_bound(shape)
+    lines = [
+        "T-mem: memory bounds vs measured peaks (elements)",
+        fmt_row("algorithm", "case", "peak", "bound", widths=[12, 22, 14, 14]),
+        *ROWS,
+        "",
+        f"spanning-tree comparison on {shape}: aggregation tree peak="
+        f"{agg.peak} (== bound {bound}), left-deep tree peak={bad.peak} "
+        f"(+{(bad.peak - bound) / bound:.0%})",
+    ]
+    emit_table("t_mem", lines)
+    assert agg.peak == bound
+    assert bad.peak > bound

@@ -1,0 +1,62 @@
+"""T-freq: the communication-frequency / buffer-memory tradeoff (section 4).
+
+The paper: "there is a tradeoff between communication frequency and memory
+requirements, which is hard to analyze theoretically.  So, to simplify our
+theoretical analysis, we focus on memory requirements for local
+aggregations only."  The simulator *can* measure it: sweep the maximum
+reduction-message size from whole-partial down to a handful of elements and
+report simulated time, message count, and the lead's receive-buffer
+footprint.  Volume is invariant (Theorem 3 holds at every point).
+"""
+
+from repro.core.comm_model import total_comm_volume
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import greedy_partition
+
+from _harness import SCALE, dataset, emit_table, fmt_row
+
+SHAPE = (16, 12, 8) if SCALE == "small" else (64, 64, 32)
+K = 3
+SLABS = [None, 4096, 512, 64, 8]
+
+
+def test_message_frequency_tradeoff(benchmark):
+    data = dataset(SHAPE, 0.10, seed=91)
+    bits = greedy_partition(SHAPE, K)
+    expected_volume = total_comm_volume(SHAPE, bits)
+
+    def run_whole():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    runs = [(None, benchmark.pedantic(run_whole, rounds=1, iterations=1))]
+    for slab in SLABS[1:]:
+        runs.append(
+            (slab,
+             construct_cube_parallel(
+                 data, bits, max_message_elements=slab, collect_results=False))
+        )
+
+    lines = [
+        f"T-freq: reduction message-size sweep on {SHAPE}, p={2 ** K}",
+        fmt_row("max msg (elems)", "messages", "volume (elems)",
+                "sim time (s)", widths=[16, 10, 15, 13]),
+    ]
+    prev_msgs = 0
+    prev_time = None
+    for slab, res in runs:
+        label = "whole partial" if slab is None else str(slab)
+        lines.append(
+            fmt_row(label, res.metrics.comm.total_messages,
+                    res.comm_volume_elements, f"{res.simulated_time_s:.4f}",
+                    widths=[16, 10, 15, 13])
+        )
+        # Volume is invariant under chunking (Theorem 3 at every point).
+        assert res.comm_volume_elements == expected_volume
+        assert res.metrics.comm.total_messages >= prev_msgs
+        prev_msgs = res.metrics.comm.total_messages
+        if prev_time is not None:
+            assert res.simulated_time_s >= prev_time * 0.999
+        prev_time = res.simulated_time_s
+    emit_table("t_freq", lines)
+    benchmark.extra_info["whole_time_s"] = runs[0][1].simulated_time_s
+    benchmark.extra_info["finest_time_s"] = runs[-1][1].simulated_time_s

@@ -1,0 +1,68 @@
+"""T-ptile: parallel tiled construction (the follow-up paper's scheme).
+
+Sweeps per-rank memory capacities on a fixed processor grid: as capacity
+shrinks, the tile count grows, per-rank memory stays under the cap, results
+stay exact, and the overheads (accumulation I/O, per-tile latencies) grow
+-- quantifying the memory/time trade the follow-up paper is about.
+"""
+
+import numpy as np
+
+from repro.core.memory_model import parallel_memory_bound_exact
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import greedy_partition
+from repro.tiling import construct_cube_tiled_parallel
+
+from _harness import SCALE, dataset, emit_table, fmt_row
+
+SHAPE = (16, 12, 8, 8) if SCALE == "small" else (64, 48, 32, 16)
+K = 3
+FRACS = (1.0, 0.5, 0.25, 0.1)
+
+
+def test_parallel_tiling_sweep(benchmark):
+    data = dataset(SHAPE, 0.10, seed=81)
+    bits = greedy_partition(SHAPE, K)
+    bound = parallel_memory_bound_exact(SHAPE, bits)
+    reference = construct_cube_parallel(data, bits)
+
+    def run_all():
+        out = []
+        for frac in FRACS:
+            cap = max(1, int(bound * frac))
+            out.append(
+                (frac, cap,
+                 construct_cube_tiled_parallel(
+                     data, bits, capacity_elements_per_rank=cap))
+            )
+        return out
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"T-ptile: parallel tiled construction on {SHAPE}, p={2 ** K}, "
+        f"untiled per-rank bound={bound}",
+        fmt_row("cap/rank", "tiles", "peak/rank", "comm (elems)",
+                "rewrites", "sim time (s)", widths=[10, 6, 10, 13, 9, 13]),
+    ]
+    prev_time = None
+    for frac, cap, res in runs:
+        lines.append(
+            fmt_row(cap, res.plan.num_tiles, res.max_rank_peak_memory_elements,
+                    res.comm_volume_elements, res.accumulation_rewrites,
+                    f"{res.simulated_time_s:.4f}",
+                    widths=[10, 6, 10, 13, 9, 13])
+        )
+        assert res.max_rank_peak_memory_elements <= cap
+        # Exactness at every capacity.
+        for node, arr in reference.results.items():
+            assert np.allclose(res.results[node].data, arr.data), (frac, node)
+    emit_table("t_ptile", lines)
+
+    # Tiling never reduces communication, and the untiled run matches the
+    # plain parallel constructor exactly.
+    assert runs[0][2].plan.num_tiles == 1
+    assert runs[0][2].comm_volume_elements == reference.comm_volume_elements
+    assert runs[-1][2].comm_volume_elements >= runs[0][2].comm_volume_elements
+    benchmark.extra_info["untiled_sim_s"] = runs[0][2].simulated_time_s
+    benchmark.extra_info["most_tiled_sim_s"] = runs[-1][2].simulated_time_s

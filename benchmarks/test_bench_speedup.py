@@ -1,0 +1,108 @@
+"""T-speedup: the in-text speedup table (section 6).
+
+Paper: on the Figure 7 dataset, the three-dimensional version achieves
+speedups of 5.31 / 4.22 / 3.39 on 8 processors at 25 % / 10 % / 5 %
+sparsity; on the larger dataset 6.39 / 5.3 / 4.52 on 8 processors, and up
+to 12.79 / 10.0 / 7.95 on 16.  Speedups fall with sparsity (communication-
+to-computation ratio rises) and rise with dataset size.
+
+We reproduce the *shape*: monotone in sparsity, monotone in dataset size,
+reasonable magnitudes on the simulated cluster.
+"""
+
+import pytest
+
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import greedy_partition
+
+from _harness import (
+    FIG7_SHAPE,
+    FIG8_SHAPE,
+    PAPER_FIG7_SPEEDUPS,
+    PAPER_FIG8_SPEEDUPS,
+    SCALE,
+    SPARSITIES,
+    dataset,
+    emit_table,
+    fmt_row,
+)
+
+CASES = [
+    (FIG7_SHAPE, 7, 3),   # dataset seed 7, 8 processors
+    (FIG8_SHAPE, 8, 3),   # larger dataset, 8 processors
+    (FIG8_SHAPE, 8, 4),   # larger dataset, 16 processors
+]
+
+SEQ_TIMES: dict[tuple, float] = {}
+PAR_TIMES: dict[tuple, float] = {}
+
+
+@pytest.mark.parametrize("shape,seed,k", CASES, ids=lambda v: str(v))
+@pytest.mark.parametrize("sparsity", SPARSITIES)
+def test_speedup_run(benchmark, shape, seed, k, sparsity):
+    data = dataset(shape, sparsity, seed=seed)
+    bits = greedy_partition(shape, k)
+
+    def run_parallel():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    par = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    seq_key = (shape, seed, sparsity)
+    if seq_key not in SEQ_TIMES:
+        seq = construct_cube_parallel(
+            data, (0,) * len(shape), collect_results=False
+        )
+        SEQ_TIMES[seq_key] = seq.simulated_time_s
+    t_seq = SEQ_TIMES[seq_key]
+    PAR_TIMES[(shape, seed, sparsity, k)] = par.simulated_time_s
+    benchmark.extra_info["simulated_parallel_s"] = par.simulated_time_s
+    benchmark.extra_info["simulated_sequential_s"] = t_seq
+    benchmark.extra_info["speedup"] = t_seq / par.simulated_time_s
+
+
+def test_speedup_table_and_shape(benchmark):
+    def noop():
+        return None
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        "T-speedup: simulated speedups with the optimal partition",
+        fmt_row("dataset", "procs", "sparsity", "t_seq(s)", "t_par(s)",
+                "speedup", "paper", widths=[16, 6, 9, 10, 10, 8, 7]),
+    ]
+    speedups: dict[tuple, float] = {}
+    for shape, seed, k in CASES:
+        for sparsity in SPARSITIES:
+            t_seq = SEQ_TIMES[(shape, seed, sparsity)]
+            t_par = PAR_TIMES[(shape, seed, sparsity, k)]
+            s = t_seq / t_par
+            speedups[(shape, k, sparsity)] = s
+            paper = ""
+            if shape == FIG7_SHAPE and k == 3:
+                paper = f"{PAPER_FIG7_SPEEDUPS[sparsity]:.2f}"
+            elif shape == FIG8_SHAPE and k == 3:
+                paper = f"{PAPER_FIG8_SPEEDUPS[sparsity]:.2f}"
+            lines.append(
+                fmt_row(str(shape), 2 ** k, f"{sparsity:.0%}",
+                        f"{t_seq:.3f}", f"{t_par:.3f}", f"{s:.2f}", paper,
+                        widths=[16, 6, 9, 10, 10, 8, 7])
+            )
+    emit_table("t_speedup", lines)
+
+    # Shape claims.
+    for shape, _seed, k in CASES:
+        # Speedup falls as sparsity falls (denser -> more compute -> better).
+        assert speedups[(shape, k, 0.25)] > speedups[(shape, k, 0.05)]
+    if SCALE == "paper":
+        # Larger dataset gives larger speedups at the same p.
+        for sparsity in SPARSITIES:
+            assert (
+                speedups[(FIG8_SHAPE, 3, sparsity)]
+                > speedups[(FIG7_SHAPE, 3, sparsity)]
+            )
+        # 16 processors beat 8 on the larger dataset.
+        for sparsity in SPARSITIES:
+            assert (
+                speedups[(FIG8_SHAPE, 4, sparsity)]
+                > speedups[(FIG8_SHAPE, 3, sparsity)]
+            )

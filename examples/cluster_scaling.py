@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Scaling study: simulated speedups across cluster sizes and sparsities.
+
+Reproduces the flavor of the paper's section 6 narrative: speedups grow with
+the dataset (lower communication-to-computation ratio) and shrink as the
+array gets sparser (less computation, same dense communication volume).
+Each point runs the full Fig 5 algorithm on the cluster simulator with the
+greedy-optimal partition.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.arrays.dataset import random_sparse
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import describe_partition, greedy_partition
+from repro.cluster.machine import MachineModel
+
+
+def main() -> None:
+    shape = (32, 32, 32, 32)
+    machine = MachineModel.paper_cluster()
+    print(f"dataset {shape}, machine: paper-cluster preset")
+    print(f"{'sparsity':>9} {'procs':>6} {'partition':>22} "
+          f"{'sim time (s)':>13} {'speedup':>8} {'efficiency':>11}")
+    for sparsity in (0.25, 0.10, 0.05):
+        data = random_sparse(shape, sparsity, seed=11)
+        t1 = None
+        for k in range(0, 5):
+            p = 2 ** k
+            bits = greedy_partition(shape, k)
+            res = construct_cube_parallel(
+                data, bits, machine=machine, collect_results=False
+            )
+            t = res.simulated_time_s
+            if t1 is None:
+                t1 = t
+            speedup = t1 / t
+            print(
+                f"{sparsity:>9.0%} {p:>6} {describe_partition(bits):>22} "
+                f"{t:>13.4f} {speedup:>8.2f} {speedup / p:>11.2f}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

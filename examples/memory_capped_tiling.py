@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Tiling under a memory cap (paper, section 3 discussion).
+
+When the Theorem-1 working set does not fit in main memory, the computation
+is tiled.  The paper's argument: the aggregation tree minimizes the bound,
+hence the number of tiles, hence the extra read-modify-write disk traffic of
+cross-tile accumulation.  This example constructs the same cube under
+shrinking memory caps and prints the tile count and measured I/O, then
+verifies every aggregate is still exact.
+
+Run:  python examples/memory_capped_tiling.py
+"""
+
+import numpy as np
+
+from repro.arrays.dataset import random_sparse
+from repro.core.memory_model import sequential_memory_bound
+from repro.core.sequential import cube_reference
+from repro.tiling import construct_cube_tiled
+from repro.util import human_bytes, human_count
+
+
+def main() -> None:
+    shape = (48, 32, 24, 12)
+    data = random_sparse(shape, sparsity=0.2, seed=3)
+    bound = sequential_memory_bound(shape)
+    print(f"dataset {shape}; untiled working set (Theorem 1): "
+          f"{human_count(bound)} elements")
+    ref = cube_reference(data)
+
+    print(f"\n{'capacity':>12} {'tiles':>6} {'tile grid':>14} "
+          f"{'rewrites':>9} {'extra I/O':>12} {'peak mem':>10}")
+    for frac in (1.0, 0.5, 0.25, 0.1, 0.05):
+        cap = max(1, int(bound * frac))
+        res = construct_cube_tiled(data, capacity_elements=cap)
+        grid = "x".join(str(t) for t in res.plan.tiles_per_dim)
+        extra = res.disk.bytes_read  # read-modify-write traffic only
+        print(
+            f"{human_count(cap):>12} {res.plan.num_tiles:>6} {grid:>14} "
+            f"{res.accumulation_rewrites:>9} {human_bytes(extra):>12} "
+            f"{human_count(res.peak_memory_elements):>10}"
+        )
+        assert res.peak_memory_elements <= cap, "memory cap violated!"
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data), node
+
+    print("\nall tiled results verified exact; peak memory stayed under every cap")
+
+
+if __name__ == "__main__":
+    main()

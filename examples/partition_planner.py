@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Partition planner: what the paper's theory buys you, as a planning tool.
+
+Given a dataset shape and a range of cluster sizes, print for each size:
+
+- the optimal dimension ordering (Theorems 6/7),
+- the greedy-optimal partition (Fig 6 / Theorem 8) and its predicted
+  communication volume (Theorem 3),
+- how much worse the naive one-dimensional partition and the *worst*
+  partition would be,
+- the per-processor memory bound (Theorem 4).
+
+This is the decision a warehouse operator would make before a run, entirely
+from closed forms -- no simulation needed.
+
+Run:  python examples/partition_planner.py [d1 d2 d3 ...]
+"""
+
+import sys
+
+from repro.core.comm_model import total_comm_volume
+from repro.core.memory_model import parallel_memory_bound_exact, sequential_memory_bound
+from repro.core.ordering import apply_order, canonical_order
+from repro.core.partition import (
+    describe_partition,
+    enumerate_partitions,
+    greedy_partition,
+)
+from repro.util import human_count
+
+
+def plan_table(shape: tuple[int, ...], max_bits: int = 6) -> None:
+    order = canonical_order(shape)
+    ordered = apply_order(shape, order)
+    print(f"dataset shape: {shape}")
+    print(f"optimal ordering (sizes non-increasing): {order} -> {ordered}")
+    print(f"sequential memory bound (Theorem 1): "
+          f"{human_count(sequential_memory_bound(ordered))} elements")
+    print()
+    header = (
+        f"{'procs':>6} {'optimal partition':>24} {'volume':>10} "
+        f"{'1-d volume':>12} {'worst volume':>13} {'mem/proc':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for k in range(max_bits + 1):
+        p = 2 ** k
+        try:
+            bits = greedy_partition(ordered, k)
+        except ValueError:
+            break
+        vol = total_comm_volume(ordered, bits)
+        # One-dimensional: all bits on the dimension that minimizes volume
+        # among single-dimension choices (what simple implementations do).
+        one_d_options = [
+            b for b in enumerate_partitions(len(ordered), k, ordered)
+            if sum(1 for x in b if x) <= 1
+        ]
+        one_d = min(
+            (total_comm_volume(ordered, b) for b in one_d_options),
+            default=float("nan"),
+        )
+        worst = max(
+            total_comm_volume(ordered, b)
+            for b in enumerate_partitions(len(ordered), k, ordered)
+        )
+        mem = parallel_memory_bound_exact(ordered, bits)
+        print(
+            f"{p:>6} {describe_partition(bits):>24} {human_count(vol):>10} "
+            f"{human_count(one_d):>12} {human_count(worst):>13} "
+            f"{human_count(mem):>10}"
+        )
+    print()
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        shape = tuple(int(a) for a in sys.argv[1:])
+        plan_table(shape)
+        return
+    # The paper's two workloads plus a skewed-extent one.
+    plan_table((64, 64, 64, 64))
+    plan_table((128, 128, 128, 128))
+    plan_table((1024, 96, 32, 8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: communication and memory optimal parallel data cube construction.
+
+A full reproduction of Jin, Yang, Vaidyanathan & Agrawal,
+*"Communication and Memory Optimal Parallel Data Cube Construction"*
+(ICPP 2003): the aggregation tree, the memory bounds (Theorems 1-5), the
+closed-form communication volume (Lemma 1 / Theorem 3), the ordering
+optimality results (Theorems 6-7), the greedy partitioning algorithm
+(Fig 6 / Theorem 8), sequential (Fig 3) and parallel (Fig 5) constructors,
+and the substrates they need: a chunk-offset sparse array format and a
+deterministic distributed-memory cluster simulator.
+
+Quickstart::
+
+    import repro
+    data = repro.random_sparse((16, 12, 8, 8), sparsity=0.25, seed=1)
+    plan = repro.plan_cube(data.shape, num_processors=8)
+    run = plan.run_parallel(data)
+    ab = run.results[(0, 1)]            # the aggregate over dims 2 and 3
+    print(run.simulated_time_s, run.comm_volume_elements)
+"""
+
+from repro.arrays import (
+    DenseArray,
+    SparseArray,
+    random_dense,
+    random_sparse,
+    zipf_sparse,
+)
+from repro.cluster import MachineModel, ProcessorGrid
+from repro.core import (
+    AggregationTree,
+    CubeLattice,
+    CubePlan,
+    PrefixTree,
+    construct_cube_parallel,
+    construct_cube_sequential,
+    greedy_partition,
+    plan_cube,
+    sequential_memory_bound,
+    total_comm_volume,
+)
+from repro.core.sequential import cube_reference, verify_cube
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DenseArray",
+    "SparseArray",
+    "random_dense",
+    "random_sparse",
+    "zipf_sparse",
+    "MachineModel",
+    "ProcessorGrid",
+    "AggregationTree",
+    "CubeLattice",
+    "CubePlan",
+    "PrefixTree",
+    "construct_cube_parallel",
+    "construct_cube_sequential",
+    "greedy_partition",
+    "plan_cube",
+    "sequential_memory_bound",
+    "total_comm_volume",
+    "cube_reference",
+    "verify_cube",
+    "__version__",
+]

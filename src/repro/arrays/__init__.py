@@ -1,0 +1,82 @@
+"""Array substrate for data cube construction.
+
+This subpackage provides the multidimensional array machinery that the
+cube-construction algorithms operate on:
+
+- :mod:`repro.arrays.chunking` -- block-partitioning geometry (how a
+  dimension of size ``s`` is split across ``2**k`` processors, chunk
+  iteration, linear-offset coordinate codecs).
+- :mod:`repro.arrays.dense` -- a thin dense n-d array wrapper with logical
+  size accounting.
+- :mod:`repro.arrays.sparse` -- the *chunk-offset compressed* sparse format
+  used by the paper (section 6): per chunk, the linear offsets and values of
+  the non-zero elements.
+- :mod:`repro.arrays.aggregate` -- aggregation kernels (sum over a set of
+  dimensions) for dense and sparse inputs; outputs are always dense, as in
+  the paper.
+- :mod:`repro.arrays.dataset` -- seeded synthetic sparse dataset generators
+  parameterized by shape and sparsity.
+- :mod:`repro.arrays.storage` -- a simulated disk that accounts every byte
+  read and written.
+"""
+
+from repro.arrays.chunking import (
+    BlockPartition,
+    block_bounds,
+    block_of_index,
+    block_shape,
+    block_slices,
+    split_points,
+)
+from repro.arrays.dense import DenseArray
+from repro.arrays.sparse import SparseArray, SparseChunk
+from repro.arrays.aggregate import (
+    aggregate_dense,
+    aggregate_sparse_to_dense,
+    project_axes,
+)
+from repro.arrays.dataset import random_sparse, random_dense, zipf_sparse
+from repro.arrays.measures import (
+    COUNT,
+    MAX,
+    MEASURES,
+    MIN,
+    SUM,
+    Measure,
+    finalize_average,
+    get_measure,
+)
+from repro.arrays.persist import load_cube, load_sparse, save_cube, save_sparse
+from repro.arrays.storage import SimulatedDisk, DiskStats
+
+__all__ = [
+    "BlockPartition",
+    "block_bounds",
+    "block_of_index",
+    "block_shape",
+    "block_slices",
+    "split_points",
+    "DenseArray",
+    "SparseArray",
+    "SparseChunk",
+    "aggregate_dense",
+    "aggregate_sparse_to_dense",
+    "project_axes",
+    "random_sparse",
+    "random_dense",
+    "zipf_sparse",
+    "COUNT",
+    "MAX",
+    "MEASURES",
+    "MIN",
+    "SUM",
+    "Measure",
+    "finalize_average",
+    "get_measure",
+    "load_cube",
+    "load_sparse",
+    "save_cube",
+    "save_sparse",
+    "SimulatedDisk",
+    "DiskStats",
+]

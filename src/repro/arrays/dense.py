@@ -1,0 +1,115 @@
+"""Dense n-dimensional array wrapper.
+
+All aggregate (output) arrays in the paper are stored dense, "because the
+probability of having zero-valued elements is much smaller after aggregating
+along a dimension" (section 6).  :class:`DenseArray` is a thin wrapper around
+a ``numpy.ndarray`` that carries the *dimension identities* of its axes --
+which dimensions of the original cube each axis corresponds to -- plus
+logical-size accounting used by the memory model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float64
+
+
+class DenseArray:
+    """A dense array tagged with the cube dimensions its axes represent.
+
+    Parameters
+    ----------
+    data:
+        The underlying numpy array.
+    dims:
+        For each axis of ``data``, the index of the cube dimension it
+        represents.  Must be strictly increasing (axes are always kept in
+        canonical dimension order).
+    """
+
+    __slots__ = ("data", "dims")
+
+    def __init__(self, data: np.ndarray, dims: Sequence[int]):
+        data = np.asarray(data)
+        dims = tuple(dims)
+        if data.ndim != len(dims):
+            raise ValueError(
+                f"array has {data.ndim} axes but {len(dims)} dims given"
+            )
+        if any(b <= a for a, b in zip(dims, dims[1:])):
+            raise ValueError(f"dims must be strictly increasing, got {dims}")
+        self.data = data
+        self.dims = dims
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def zeros(cls, shape: Sequence[int], dims: Sequence[int], dtype=DEFAULT_DTYPE) -> "DenseArray":
+        return cls(np.zeros(tuple(shape), dtype=dtype), dims)
+
+    @classmethod
+    def full_cube_input(cls, data: np.ndarray) -> "DenseArray":
+        """Wrap an initial array whose axes are dimensions ``0..n-1``."""
+        return cls(data, tuple(range(data.ndim)))
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical size in bytes (element count x element size)."""
+        return int(self.data.size) * self.data.dtype.itemsize
+
+    def copy(self) -> "DenseArray":
+        return DenseArray(self.data.copy(), self.dims)
+
+    # -- arithmetic used by the construction algorithms ------------------------
+
+    def accumulate(self, other: "DenseArray") -> None:
+        """In-place ``self += other`` (used when combining partial results)."""
+        if other.dims != self.dims or other.shape != self.shape:
+            raise ValueError("accumulate requires identical dims and shape")
+        self.data += other.data
+
+    def axis_of_dim(self, dim: int) -> int:
+        """Which axis of ``data`` represents cube dimension ``dim``."""
+        try:
+            return self.dims.index(dim)
+        except ValueError:
+            raise ValueError(f"dimension {dim} not present in {self.dims}") from None
+
+    def sum_along_dim(self, dim: int) -> "DenseArray":
+        """Aggregate (sum) along one cube dimension, dropping it."""
+        axis = self.axis_of_dim(dim)
+        out = self.data.sum(axis=axis)
+        new_dims = self.dims[:axis] + self.dims[axis + 1:]
+        if not new_dims:
+            out = np.asarray(out).reshape(())
+        return DenseArray(np.asarray(out), new_dims)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DenseArray(dims={self.dims}, shape={self.shape})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DenseArray):
+            return NotImplemented
+        return self.dims == other.dims and np.array_equal(self.data, other.data)
+
+    def allclose(self, other: "DenseArray", **kw) -> bool:
+        return self.dims == other.dims and bool(np.allclose(self.data, other.data, **kw))
+
+    __hash__ = None  # type: ignore[assignment]

@@ -1,0 +1,271 @@
+"""Chunk-offset compressed sparse arrays (paper, section 6).
+
+The initial multidimensional array is stored sparse: it is divided into
+chunks, and within each chunk only the non-zero elements are kept, each as a
+``(offset, value)`` pair where ``offset`` is the element's row-major linear
+offset *within the chunk*.  This is exactly the "chunk-offset compression"
+the paper adopts from Zhao et al.
+
+After aggregation all resulting arrays are stored dense (see
+:mod:`repro.arrays.dense`), so this module only needs decode paths (sparse ->
+coordinates) plus construction from / conversion to dense for testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.arrays.chunking import BlockPartition
+
+OFFSET_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class SparseChunk:
+    """One compressed chunk: non-zero offsets and values.
+
+    ``origin`` is the global coordinate of the chunk's ``[0, 0, ..., 0]``
+    corner; ``shape`` is the chunk's extent.  ``offsets`` are row-major
+    linear offsets within the chunk, strictly increasing; ``values`` are the
+    corresponding non-zero values.
+    """
+
+    origin: tuple[int, ...]
+    shape: tuple[int, ...]
+    offsets: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.origin) != len(self.shape):
+            raise ValueError("origin and shape rank mismatch")
+        if self.offsets.shape != self.values.shape or self.offsets.ndim != 1:
+            raise ValueError("offsets and values must be equal-length 1-d arrays")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.offsets.size)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Logical compressed size: offset + value storage."""
+        return int(self.offsets.nbytes + self.values.nbytes)
+
+    def local_coords(self) -> np.ndarray:
+        """Decode offsets to an ``(nnz, ndim)`` array of in-chunk coords."""
+        ndim = len(self.shape)
+        coords = np.empty((self.nnz, ndim), dtype=OFFSET_DTYPE)
+        rem = self.offsets.astype(OFFSET_DTYPE, copy=True)
+        for axis in range(ndim - 1, -1, -1):
+            coords[:, axis] = rem % self.shape[axis]
+            rem //= self.shape[axis]
+        return coords
+
+    def global_coords(self) -> np.ndarray:
+        """Decode offsets to global coordinates (origin added)."""
+        coords = self.local_coords()
+        coords += np.asarray(self.origin, dtype=OFFSET_DTYPE)
+        return coords
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.size, dtype=self.values.dtype)
+        out[self.offsets] = self.values
+        return out.reshape(self.shape)
+
+
+def _chunk_grid(shape: Sequence[int], chunk_shape: Sequence[int]) -> BlockPartition:
+    """Chunk grid as a BlockPartition with ceil-division part counts.
+
+    Note: chunks produced this way are *balanced*, not fixed-size; with
+    ``chunk_shape`` dividing ``shape`` (the common case) they coincide.
+    """
+    parts = tuple(
+        -(-s // c) for s, c in zip(shape, chunk_shape, strict=True)
+    )
+    return BlockPartition(tuple(shape), parts)
+
+
+class SparseArray:
+    """A chunk-offset compressed sparse n-dimensional array."""
+
+    __slots__ = ("shape", "chunks", "_partition")
+
+    def __init__(self, shape: Sequence[int], chunks: Sequence[SparseChunk]):
+        self.shape = tuple(shape)
+        self.chunks = list(chunks)
+        self._partition = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, data: np.ndarray, chunk_shape: Sequence[int] | None = None
+    ) -> "SparseArray":
+        """Compress a dense array.  Default: one chunk per array."""
+        data = np.asarray(data)
+        if chunk_shape is None:
+            chunk_shape = data.shape
+        grid = _chunk_grid(data.shape, chunk_shape)
+        chunks: list[SparseChunk] = []
+        for blocks in grid.iter_blocks():
+            sl = grid.slices(blocks)
+            sub = np.ascontiguousarray(data[sl])
+            flat = sub.reshape(-1)
+            offsets = np.flatnonzero(flat).astype(OFFSET_DTYPE)
+            values = flat[offsets].astype(VALUE_DTYPE)
+            origin = tuple(s.start for s in sl)
+            chunks.append(SparseChunk(origin, sub.shape, offsets, values))
+        return cls(data.shape, chunks)
+
+    @classmethod
+    def from_coords(
+        cls,
+        shape: Sequence[int],
+        coords: np.ndarray,
+        values: np.ndarray,
+        chunk_shape: Sequence[int] | None = None,
+    ) -> "SparseArray":
+        """Build from an ``(nnz, ndim)`` coordinate list.
+
+        Duplicate coordinates are summed.  Coordinates must be in range.
+        """
+        shape = tuple(shape)
+        coords = np.asarray(coords, dtype=OFFSET_DTYPE)
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        if coords.ndim != 2 or coords.shape[1] != len(shape):
+            raise ValueError("coords must be (nnz, ndim)")
+        if coords.shape[0] != values.shape[0]:
+            raise ValueError("coords/values length mismatch")
+        if coords.size and (
+            (coords < 0).any()
+            or (coords >= np.asarray(shape, dtype=OFFSET_DTYPE)).any()
+        ):
+            raise ValueError("coordinates out of range")
+        if chunk_shape is None:
+            chunk_shape = shape
+        grid = _chunk_grid(shape, chunk_shape)
+        chunks: list[SparseChunk] = []
+        owners = np.empty_like(coords)
+        for axis in range(len(shape)):
+            # Vectorized block_of_index for balanced splits.
+            m, s = grid.parts[axis], shape[axis]
+            owners[:, axis] = ((coords[:, axis] + 1) * m - 1) // s
+        for blocks in grid.iter_blocks():
+            mask = np.all(owners == np.asarray(blocks, dtype=OFFSET_DTYPE), axis=1)
+            sl = grid.slices(blocks)
+            origin = tuple(x.start for x in sl)
+            cshape = grid.local_shape(blocks)
+            sub_coords = coords[mask] - np.asarray(origin, dtype=OFFSET_DTYPE)
+            offs = np.zeros(sub_coords.shape[0], dtype=OFFSET_DTYPE)
+            for axis in range(len(shape)):
+                offs = offs * cshape[axis] + sub_coords[:, axis]
+            vals = values[mask]
+            # Sum duplicates and sort by offset.
+            if offs.size:
+                uniq, inv = np.unique(offs, return_inverse=True)
+                summed = np.zeros(uniq.size, dtype=VALUE_DTYPE)
+                np.add.at(summed, inv, vals)
+                offs, vals = uniq, summed
+            chunks.append(SparseChunk(origin, cshape, offs, vals))
+        return cls(shape, chunks)
+
+    # -- properties --------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return sum(c.nnz for c in self.chunks)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of elements that are non-zero (paper's definition)."""
+        return self.nnz / self.size if self.size else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self.chunks)
+
+    def iter_chunks(self) -> Iterator[SparseChunk]:
+        return iter(self.chunks)
+
+    # -- conversion / slicing ------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        for c in self.chunks:
+            sl = tuple(slice(o, o + s) for o, s in zip(c.origin, c.shape))
+            out[sl] += c.to_dense()
+        return out
+
+    def all_coords_values(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global ``(nnz, ndim)`` coordinates and values, concatenated."""
+        if not self.chunks:
+            return (
+                np.empty((0, self.ndim), dtype=OFFSET_DTYPE),
+                np.empty(0, dtype=VALUE_DTYPE),
+            )
+        coords = np.concatenate([c.global_coords() for c in self.chunks])
+        values = np.concatenate([c.values for c in self.chunks])
+        return coords, values
+
+    def extract_block(self, slices: Sequence[slice]) -> "SparseArray":
+        """Sub-array covered by per-dimension slices (single-chunk result).
+
+        Used to hand each simulated processor its partition of the initial
+        array.  Slices must have unit step and explicit bounds.
+        """
+        lows = []
+        highs = []
+        for sl, s in zip(slices, self.shape, strict=True):
+            lo = 0 if sl.start is None else sl.start
+            hi = s if sl.stop is None else sl.stop
+            if sl.step not in (None, 1) or not 0 <= lo <= hi <= s:
+                raise ValueError(f"bad slice {sl} for size {s}")
+            lows.append(lo)
+            highs.append(hi)
+        lows_a = np.asarray(lows, dtype=OFFSET_DTYPE)
+        highs_a = np.asarray(highs, dtype=OFFSET_DTYPE)
+        sub_shape = tuple(int(h - l) for l, h in zip(lows, highs))
+        if any(s == 0 for s in sub_shape):
+            # Empty block: no chunks, zero nnz.
+            return SparseArray(sub_shape, [])
+        picked_coords = []
+        picked_values = []
+        for c in self.chunks:
+            # Skip chunks that cannot intersect the block.
+            corner = np.asarray(c.origin, dtype=OFFSET_DTYPE)
+            far = corner + np.asarray(c.shape, dtype=OFFSET_DTYPE)
+            if (far <= lows_a).any() or (corner >= highs_a).any():
+                continue
+            g = c.global_coords()
+            mask = np.all((g >= lows_a) & (g < highs_a), axis=1)
+            if mask.any():
+                picked_coords.append(g[mask] - lows_a)
+                picked_values.append(c.values[mask])
+        if picked_coords:
+            coords = np.concatenate(picked_coords)
+            values = np.concatenate(picked_values)
+        else:
+            coords = np.empty((0, self.ndim), dtype=OFFSET_DTYPE)
+            values = np.empty(0, dtype=VALUE_DTYPE)
+        return SparseArray.from_coords(sub_shape, coords, values)

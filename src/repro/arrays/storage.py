@@ -1,0 +1,73 @@
+"""Simulated disk with byte accounting.
+
+The sequential algorithm's key property is its disk traffic: the initial
+array is read once, every computed array is written exactly once, in its
+entirety (paper, section 3).  :class:`SimulatedDisk` lets the construction
+algorithms record reads and writes so tests can assert that discipline, and
+the machine model can charge I/O time for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class DiskStats:
+    """Aggregate I/O counters."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+
+    def copy(self) -> "DiskStats":
+        return DiskStats(self.bytes_read, self.bytes_written, self.read_ops, self.write_ops)
+
+
+@dataclass
+class SimulatedDisk:
+    """Key-value store of named arrays with I/O accounting.
+
+    Objects are stored by name; their logical size is taken from a
+    ``nbytes`` attribute (DenseArray / SparseArray / numpy arrays all
+    provide one).
+    """
+
+    stats: DiskStats = field(default_factory=DiskStats)
+    _store: dict[str, Any] = field(default_factory=dict)
+    write_log: list[str] = field(default_factory=list)
+
+    @staticmethod
+    def _nbytes(obj: Any) -> int:
+        nbytes = getattr(obj, "nbytes", None)
+        if nbytes is None:
+            raise TypeError(f"object of type {type(obj).__name__} has no nbytes")
+        return int(nbytes)
+
+    def write(self, name: str, obj: Any) -> None:
+        """Write an object under ``name`` (overwrites allowed, all counted)."""
+        self.stats.bytes_written += self._nbytes(obj)
+        self.stats.write_ops += 1
+        self._store[name] = obj
+        self.write_log.append(name)
+
+    def read(self, name: str) -> Any:
+        try:
+            obj = self._store[name]
+        except KeyError:
+            raise KeyError(f"no object named {name!r} on disk") from None
+        self.stats.bytes_read += self._nbytes(obj)
+        self.stats.read_ops += 1
+        return obj
+
+    def peek(self, name: str) -> Any:
+        """Read without accounting (for test assertions, not algorithms)."""
+        return self._store[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._store
+
+    def names(self) -> list[str]:
+        return list(self._store)

@@ -1,0 +1,79 @@
+"""Partitioning choices used in the paper's experiments.
+
+Figures 7 and 8: a 4-d dataset on 8 processors (k = 3) admits three
+partition shapes -- three-, two-, and one-dimensional.  Figure 9: on 16
+processors (k = 4) there are five -- four-, three-, two 2-dimensional
+variants, and one-dimensional.  These helpers enumerate those options with
+the paper's names and run sweeps across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.comm_model import total_comm_volume
+from repro.core.partition import describe_partition, enumerate_partitions
+
+
+@dataclass(frozen=True)
+class PartitionChoice:
+    """One partitioning option with its predicted communication volume."""
+
+    bits: tuple[int, ...]
+    name: str
+    comm_volume_elements: int
+
+
+def all_partition_choices(
+    shape: Sequence[int], total_bits: int
+) -> list[PartitionChoice]:
+    """Every distinct bit assignment, best (lowest volume) first."""
+    shape = tuple(shape)
+    choices = [
+        PartitionChoice(
+            bits=bits,
+            name=describe_partition(bits),
+            comm_volume_elements=total_comm_volume(shape, bits),
+        )
+        for bits in enumerate_partitions(len(shape), total_bits, shape)
+    ]
+    choices.sort(key=lambda c: (c.comm_volume_elements, c.bits))
+    return choices
+
+
+def paper_partition_options(n: int, total_bits: int) -> list[tuple[int, ...]]:
+    """The *shapes* of partitions the paper reports, canonical instances.
+
+    For a 4-d array: k=3 -> (1,1,1,0), (2,1,0,0), (3,0,0,0); k=4 ->
+    (1,1,1,1), (2,1,1,0), (2,2,0,0), (3,1,0,0), (4,0,0,0).  Canonical means
+    bits are assigned to the *earliest* dimensions -- which, under the
+    canonical size ordering, is exactly the assignment the greedy algorithm
+    picks among partitions of that shape.
+    """
+    shapes: set[tuple[int, ...]] = set()
+    for bits in enumerate_partitions(n, total_bits):
+        shapes.add(tuple(sorted(bits, reverse=True)))
+    return sorted(shapes, key=lambda b: (-sum(1 for x in b if x), b))
+
+
+def partition_sweep(
+    shape: Sequence[int],
+    total_bits: int,
+    bit_options: Iterable[Sequence[int]] | None = None,
+) -> list[PartitionChoice]:
+    """Predicted volume for each option (default: the paper's shapes)."""
+    shape = tuple(shape)
+    if bit_options is None:
+        bit_options = paper_partition_options(len(shape), total_bits)
+    out = []
+    for bits in bit_options:
+        bits = tuple(bits)
+        out.append(
+            PartitionChoice(
+                bits=bits,
+                name=describe_partition(bits),
+                comm_volume_elements=total_comm_volume(shape, bits),
+            )
+        )
+    return out

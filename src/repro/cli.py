@@ -1,0 +1,359 @@
+"""Command-line interface: plan, construct, and inspect data cubes.
+
+Installed as ``repro-cube`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Subcommands:
+
+- ``plan``       closed-form planning table (ordering, partition, volume,
+                 memory bounds) for a shape across cluster sizes;
+- ``construct``  run the full construction on the simulated cluster and
+                 report measured metrics against the theory;
+- ``sweep``      compare every partition choice at one cluster size;
+- ``tree``       render the prefix/aggregation trees and the schedule;
+- ``views``      greedy view selection under a space budget.
+
+All output is plain text; every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.util import human_bytes, human_count, node_letters
+
+
+def _shape(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(p) for p in text.replace("x", ",").split(",") if p)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}") from None
+    if not shape or any(s <= 0 for s in shape):
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}")
+    return shape
+
+
+def _power_of_two(text: str) -> int:
+    v = int(text)
+    if v <= 0 or v & (v - 1):
+        raise argparse.ArgumentTypeError("processor count must be a power of two")
+    return v
+
+
+# -- subcommands ----------------------------------------------------------------------
+
+
+def cmd_plan(args: argparse.Namespace, out) -> int:
+    """``plan``: closed-form planning table across cluster sizes."""
+    from repro.core.memory_model import (
+        parallel_memory_bound_exact,
+        sequential_memory_bound,
+    )
+    from repro.core.ordering import apply_order, canonical_order
+    from repro.core.partition import describe_partition, greedy_partition
+    from repro.core.comm_model import total_comm_volume
+
+    shape = args.shape
+    order = canonical_order(shape)
+    ordered = apply_order(shape, order)
+    print(f"shape {shape} -> ordering {order} -> {ordered}", file=out)
+    print(
+        f"sequential memory bound: "
+        f"{human_count(sequential_memory_bound(ordered))} elements",
+        file=out,
+    )
+    print(f"{'procs':>6} {'partition':>26} {'comm volume':>12} {'mem/proc':>10}",
+          file=out)
+    k = 0
+    while 2 ** k <= args.max_procs:
+        try:
+            bits = greedy_partition(ordered, k)
+        except ValueError:
+            break
+        print(
+            f"{2 ** k:>6} {describe_partition(bits):>26} "
+            f"{human_count(total_comm_volume(ordered, bits)):>12} "
+            f"{human_count(parallel_memory_bound_exact(ordered, bits)):>10}",
+            file=out,
+        )
+        k += 1
+    return 0
+
+
+def cmd_construct(args: argparse.Namespace, out) -> int:
+    """``construct``: run a simulated construction, report vs theory."""
+    from repro.arrays.dataset import random_sparse
+    from repro.core.plan import plan_cube
+    from repro.core.sequential import verify_cube
+
+    data = random_sparse(args.shape, args.sparsity, seed=args.seed)
+    plan = plan_cube(args.shape, num_processors=args.procs)
+    print(plan.describe(), file=out)
+    print(f"input: nnz={data.nnz} ({data.sparsity:.1%})", file=out)
+    run = plan.run_parallel(data, collect_results=args.verify)
+    print(f"simulated time: {run.simulated_time_s:.4f} s", file=out)
+    print(
+        f"communication: {human_count(run.comm_volume_elements)} elements "
+        f"({human_bytes(run.comm_volume_bytes)}), "
+        f"{run.metrics.comm.total_messages} messages",
+        file=out,
+    )
+    ok = run.comm_volume_elements == run.expected_comm_volume_elements
+    print(
+        f"Theorem 3 check: predicted "
+        f"{human_count(run.expected_comm_volume_elements)} -> "
+        f"{'exact match' if ok else 'MISMATCH'}",
+        file=out,
+    )
+    print(
+        f"peak memory per rank: "
+        f"{human_count(run.max_peak_memory_elements)} elements "
+        f"(bound {human_count(plan.parallel_memory_bound_elements)})",
+        file=out,
+    )
+    if args.verify:
+        ordered = plan.transpose_input(data)
+        verify_cube(
+            {plan.to_plan_node(nd): arr for nd, arr in run.results.items()},
+            ordered,
+        )
+        print("all aggregates verified against direct recomputation", file=out)
+    return 0 if ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    """``sweep``: predicted volume of every partition choice."""
+    from repro.baselines.partitions import all_partition_choices
+    from repro.core.ordering import apply_order, canonical_order
+
+    shape = apply_order(args.shape, canonical_order(args.shape))
+    k = args.procs.bit_length() - 1
+    print(f"partition sweep for {shape} on {args.procs} processors:", file=out)
+    for choice in all_partition_choices(shape, k):
+        print(
+            f"  {choice.name:>26}: {human_count(choice.comm_volume_elements):>10}"
+            " elements",
+            file=out,
+        )
+    return 0
+
+
+def cmd_tree(args: argparse.Namespace, out) -> int:
+    """``tree``: render the prefix/aggregation trees (and schedule)."""
+    from repro.viz import (
+        render_aggregation_tree,
+        render_prefix_tree,
+        render_schedule,
+    )
+
+    n = args.dims if args.shape is None else len(args.shape)
+    print("prefix tree (Definition 2):", file=out)
+    print(render_prefix_tree(n), file=out)
+    print("\naggregation tree (Definition 3):", file=out)
+    print(render_aggregation_tree(n, shape=args.shape), file=out)
+    if args.schedule:
+        print("\nschedule (Fig 3, right-to-left DFS):", file=out)
+        print(render_schedule(n), file=out)
+    return 0
+
+
+def cmd_views(args: argparse.Namespace, out) -> int:
+    """``views``: greedy view selection under a space budget."""
+    from repro.olap.view_selection import greedy_select_views
+
+    sel = greedy_select_views(args.shape, args.budget)
+    print(
+        f"selected {len(sel.views)} views using "
+        f"{human_count(sel.space_used_elements)} of "
+        f"{human_count(sel.budget_elements)} elements",
+        file=out,
+    )
+    for view, benefit in sel.trace:
+        print(
+            f"  {node_letters(view):>6}: benefit {human_count(benefit)}",
+            file=out,
+        )
+    print(
+        f"workload cost: {human_count(sel.workload_cost_before)} -> "
+        f"{human_count(sel.workload_cost_after)} "
+        f"({sel.improvement_factor:.1f}x better)",
+        file=out,
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace, out) -> int:
+    """``build``: construct a cube from generated facts and save it."""
+    from repro.arrays.dataset import random_sparse, zipf_sparse
+    from repro.arrays.persist import save_cube, save_sparse
+    from repro.core.plan import plan_cube
+
+    if args.skew:
+        size = 1
+        for s_ in args.shape:
+            size *= s_
+        data = zipf_sparse(
+            args.shape, nnz=int(round(args.sparsity * size)), seed=args.seed
+        )
+    else:
+        data = random_sparse(args.shape, args.sparsity, seed=args.seed)
+    plan = plan_cube(args.shape, num_processors=args.procs)
+    run = plan.run_parallel(data, measure=args.measure)
+    save_cube(args.out, run.results, args.shape, measure_name=args.measure)
+    print(
+        f"built {len(run.results)} aggregates on {args.procs} simulated "
+        f"processors in {run.simulated_time_s:.4f} s "
+        f"({human_count(run.comm_volume_elements)} elements moved)",
+        file=out,
+    )
+    print(f"cube saved to {args.out}", file=out)
+    if args.facts_out:
+        save_sparse(args.facts_out, data)
+        print(f"facts saved to {args.facts_out}", file=out)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace, out) -> int:
+    """``query``: answer a group-by query from a saved cube."""
+    from repro.arrays.persist import load_cube
+    from repro.core.lattice import node_size
+
+    aggregates, shape, measure = load_cube(args.cube)
+    node = tuple(sorted(args.dims)) if args.dims else ()
+    if node and (min(node) < 0 or max(node) >= len(shape)):
+        print(f"error: dims out of range for {len(shape)} dimensions", file=out)
+        return 2
+    # Smallest materialized cover.
+    best = None
+    for v in aggregates:
+        if set(node) <= set(v):
+            if best is None or node_size(v, shape) < node_size(best, shape):
+                best = v
+    if best is None:
+        print("error: no materialized view covers this query", file=out)
+        return 2
+    arr = aggregates[best]
+    data = arr.data
+    drop = tuple(i for i, d in enumerate(best) if d not in node)
+    if drop:
+        data = data.sum(axis=drop)
+    print(f"group-by over dims {node} (measure={measure}, "
+          f"served from {best}):", file=out)
+    if data.ndim == 0:
+        print(f"  {float(data):.4f}", file=out)
+    else:
+        flat = data.reshape(-1)
+        head = ", ".join(f"{v:.2f}" for v in flat[:8])
+        more = "" if flat.size <= 8 else f", ... ({flat.size} cells)"
+        print(f"  shape={data.shape}: [{head}{more}]", file=out)
+    return 0
+
+
+def cmd_delta(args: argparse.Namespace, out) -> int:
+    """``delta``: absorb new facts into saved facts + cube (refresh)."""
+    from repro.arrays.dataset import random_sparse
+    from repro.arrays.persist import load_sparse, save_cube, save_sparse
+    from repro.olap.maintenance import merge_sparse
+    from repro.core.plan import plan_cube
+
+    base = load_sparse(args.facts)
+    delta = random_sparse(base.shape, args.sparsity, seed=args.seed)
+    merged = merge_sparse(base, delta)
+    plan = plan_cube(base.shape, num_processors=args.procs)
+    run = plan.run_parallel(merged, measure=args.measure)
+    save_sparse(args.facts, merged)
+    save_cube(args.cube, run.results, tuple(base.shape),
+              measure_name=args.measure)
+    print(
+        f"absorbed {delta.nnz} new facts (total {merged.nnz}); cube "
+        f"rebuilt in {run.simulated_time_s:.4f} simulated s",
+        file=out,
+    )
+    return 0
+
+
+# -- parser ------------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-cube`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cube",
+        description="Communication and memory optimal parallel data cube construction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="closed-form planning table")
+    p.add_argument("--shape", type=_shape, required=True)
+    p.add_argument("--max-procs", type=_power_of_two, default=64)
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("construct", help="run a simulated construction")
+    p.add_argument("--shape", type=_shape, required=True)
+    p.add_argument("--procs", type=_power_of_two, default=8)
+    p.add_argument("--sparsity", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true",
+                   help="collect results and verify against recomputation")
+    p.set_defaults(fn=cmd_construct)
+
+    p = sub.add_parser("sweep", help="compare all partition choices")
+    p.add_argument("--shape", type=_shape, required=True)
+    p.add_argument("--procs", type=_power_of_two, default=8)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("tree", help="render the paper's trees")
+    p.add_argument("--dims", type=int, default=3)
+    p.add_argument("--shape", type=_shape, default=None)
+    p.add_argument("--schedule", action="store_true")
+    p.set_defaults(fn=cmd_tree)
+
+    p = sub.add_parser("views", help="greedy view selection (HRU)")
+    p.add_argument("--shape", type=_shape, required=True)
+    p.add_argument("--budget", type=int, required=True,
+                   help="space budget in elements")
+    p.set_defaults(fn=cmd_views)
+
+    p = sub.add_parser("build", help="construct a cube and save it (.npz)")
+    p.add_argument("--shape", type=_shape, required=True)
+    p.add_argument("--procs", type=_power_of_two, default=8)
+    p.add_argument("--sparsity", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--skew", action="store_true",
+                   help="Zipf-skewed facts instead of uniform")
+    p.add_argument("--measure", choices=["sum", "count", "min", "max"],
+                   default="sum")
+    p.add_argument("--out", required=True, help="cube output path (.npz)")
+    p.add_argument("--facts-out", default=None,
+                   help="also save the generated facts (.npz)")
+    p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser("query", help="answer a group-by from a saved cube")
+    p.add_argument("--cube", required=True, help="cube path (.npz)")
+    p.add_argument("--dims", type=int, nargs="*", default=[],
+                   help="dimension indices to group by (empty = grand total)")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("delta", help="absorb new facts and refresh a cube")
+    p.add_argument("--facts", required=True, help="saved facts path (.npz)")
+    p.add_argument("--cube", required=True, help="cube path to refresh")
+    p.add_argument("--procs", type=_power_of_two, default=8)
+    p.add_argument("--sparsity", type=float, default=0.02,
+                   help="density of the synthetic delta batch")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--measure", choices=["sum", "count", "min", "max"],
+                   default="sum")
+    p.set_defaults(fn=cmd_delta)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return args.fn(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Collective operations built on point-to-point messages.
+
+The paper's parallel algorithm needs one collective: combine the partial
+results of a reduction group onto its *lead* processor.  Two implementations
+are provided -- the flat gather-to-lead the paper describes, and a
+binomial-tree reduction with the same total volume but logarithmic depth
+(the T-comm ablation compares them).  ``bcast`` / ``gather`` / ``allgather``
+round out the substrate for tests and examples.
+
+All of these are generator helpers: call them with ``yield from`` inside a
+rank program.  Numeric payloads are numpy arrays (or objects with
+``nbytes``); accumulation is the caller-supplied ``combine`` (default:
+in-place numpy add).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from repro.cluster.runtime import Op, RankEnv
+
+
+def _default_combine(acc: Any, other: Any) -> Any:
+    acc += other
+    return acc
+
+
+def reduce_to_lead(
+    env: RankEnv,
+    group: Sequence[int],
+    value: Any,
+    tag: int,
+    combine: Callable[[Any, Any], Any] = _default_combine,
+    element_ops: float | None = None,
+) -> Generator[Op, Any, Any]:
+    """Flat reduction: every non-lead sends to ``group[0]`` (the paper's).
+
+    Returns the combined value on the lead and ``None`` elsewhere.
+    ``element_ops`` charges compute time per combine (defaults to the
+    payload's ``size``).
+    """
+    group = list(group)
+    if env.rank not in group:
+        raise ValueError(f"rank {env.rank} not in group {group}")
+    lead = group[0]
+    if env.rank != lead:
+        yield env.send(lead, value, tag)
+        return None
+    acc = value
+    for src in group[1:]:
+        other = yield env.recv(src, tag)
+        ops = element_ops if element_ops is not None else getattr(other, "size", 0)
+        if ops:
+            yield env.compute(ops)
+        acc = combine(acc, other)
+    return acc
+
+
+def reduce_binomial(
+    env: RankEnv,
+    group: Sequence[int],
+    value: Any,
+    tag: int,
+    combine: Callable[[Any, Any], Any] = _default_combine,
+    element_ops: float | None = None,
+) -> Generator[Op, Any, Any]:
+    """Binomial-tree reduction onto ``group[0]``.
+
+    Same total volume as :func:`reduce_to_lead` -- ``(|group|-1)`` payload
+    sends -- but depth ``ceil(log2 |group|)``, so the lead is less of a
+    serial bottleneck.  Requires no special group size (non-powers of two
+    handled by the standard index folding).
+    """
+    group = list(group)
+    if env.rank not in group:
+        raise ValueError(f"rank {env.rank} not in group {group}")
+    me = group.index(env.rank)
+    n = len(group)
+    acc = value
+    dist = 1
+    while dist < n:
+        if me % (2 * dist) == 0:
+            partner = me + dist
+            if partner < n:
+                other = yield env.recv(group[partner], tag)
+                ops = element_ops if element_ops is not None else getattr(other, "size", 0)
+                if ops:
+                    yield env.compute(ops)
+                acc = combine(acc, other)
+        elif me % (2 * dist) == dist:
+            partner = me - dist
+            yield env.send(group[partner], acc, tag)
+            return None
+        dist *= 2
+    return acc if me == 0 else None
+
+
+def bcast(
+    env: RankEnv, group: Sequence[int], value: Any, tag: int
+) -> Generator[Op, Any, Any]:
+    """Flat broadcast from ``group[0]``; returns the value everywhere."""
+    group = list(group)
+    root = group[0]
+    if env.rank == root:
+        for dst in group[1:]:
+            yield env.send(dst, value, tag)
+        return value
+    return (yield env.recv(root, tag))
+
+
+def gather(
+    env: RankEnv, group: Sequence[int], value: Any, tag: int
+) -> Generator[Op, Any, Any]:
+    """Gather values to ``group[0]``; returns the list there, None elsewhere."""
+    group = list(group)
+    root = group[0]
+    if env.rank != root:
+        yield env.send(root, value, tag)
+        return None
+    out = [value]
+    for src in group[1:]:
+        out.append((yield env.recv(src, tag)))
+    return out
+
+
+def allgather(
+    env: RankEnv, group: Sequence[int], value: Any, tag: int
+) -> Generator[Op, Any, Any]:
+    """Gather to the group's first rank then broadcast the list back."""
+    gathered = yield from gather(env, group, value, tag)
+    if env.rank == group[0]:
+        # Lists have no nbytes; ship as a tuple of arrays via repeated sends.
+        for dst in list(group)[1:]:
+            for item in gathered:
+                yield env.send(dst, item, tag + 1)
+        return gathered
+    out = []
+    for _ in group:
+        out.append((yield env.recv(group[0], tag + 1)))
+    return out
+
+
+def reduce_to_lead_chunked(
+    env: RankEnv,
+    group: Sequence[int],
+    value: Any,
+    tag: int,
+    max_message_elements: int,
+    element_ops_per_element: float = 1.0,
+    combine_flat: Callable[[Any, Any], Any] = _default_combine,
+) -> Generator[Op, Any, Any]:
+    """Flat reduction in slabs of at most ``max_message_elements``.
+
+    Models the paper's section-4 discussion: "a processor can receive a
+    single element from one other processor, add it ... and then use the
+    same one element buffer" -- minimal memory, maximal message count --
+    versus whole-array messages.  This helper realizes any point on that
+    tradeoff: the lead's receive buffer is capped at one slab while the
+    number of messages (hence latency cost) grows as the slab shrinks.
+
+    ``value`` is a DenseArray or numpy array.  Slabs are merged with
+    ``combine_flat`` applied to flat views (default: in-place add; pass a
+    measure's ``combine`` for MIN/MAX/COUNT reductions).
+    """
+    if max_message_elements <= 0:
+        raise ValueError("max_message_elements must be positive")
+    group = list(group)
+    if env.rank not in group:
+        raise ValueError(f"rank {env.rank} not in group {group}")
+    lead = group[0]
+    # numpy arrays expose a buffer-protocol .data memoryview; dispatch on
+    # type instead of attribute presence.
+    data = value if isinstance(value, np.ndarray) else value.data
+    if not data.flags.c_contiguous:
+        raise ValueError("chunked reduction requires a C-contiguous array")
+    flat = data.reshape(-1)
+    nslabs = max(1, -(-flat.size // max_message_elements))
+    # Namespace slab tags under the caller's tag; FIFO matching keeps any
+    # residual collisions ordered correctly, this just keeps them rare.
+    base = (tag + 1) * 10_000_000
+    if env.rank != lead:
+        for s in range(nslabs):
+            lo = s * max_message_elements
+            hi = min(flat.size, lo + max_message_elements)
+            yield env.send(lead, flat[lo:hi].copy(), base + s)
+        return None
+    # Lead: receive slab by slab from each partner, reusing one slab's
+    # worth of buffer memory (accounted explicitly).
+    buf_elems = min(max_message_elements, max(flat.size, 1))
+    env.alloc(("recvbuf", tag), buf_elems)
+    try:
+        for src in group[1:]:
+            for s in range(nslabs):
+                lo = s * max_message_elements
+                hi = min(flat.size, lo + max_message_elements)
+                slab = yield env.recv(src, base + s)
+                yield env.compute((hi - lo) * element_ops_per_element)
+                combine_flat(flat[lo:hi], slab)
+    finally:
+        env.free(("recvbuf", tag))
+    return value
+
+
+def reduce_scalar_sum(
+    env: RankEnv, group: Sequence[int], value: float, tag: int
+) -> Generator[Op, Any, Any]:
+    """Sum a scalar across a group onto the lead (wraps it in a 1-element
+    array so byte accounting stays uniform)."""
+    arr = np.array([value], dtype=np.float64)
+    out = yield from reduce_to_lead(env, group, arr, tag)
+    return None if out is None else float(out[0])

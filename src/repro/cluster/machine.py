@@ -1,0 +1,108 @@
+"""Cluster cost model.
+
+Charges simulated time for the three resources the paper's experiments
+exercise: computation (per element-operation), the network (Hockney model:
+``latency + nbytes / bandwidth`` per message), and the disks.  The default
+parameters are calibrated to the paper's testbed class -- 250 MHz
+UltraSPARC-II nodes on a Myrinet switch -- so the *shape* of the time curves
+(communication/computation ratio, where partitioning choices separate)
+matches the paper; absolute seconds are not the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Per-node and network cost parameters.
+
+    Attributes
+    ----------
+    element_ops_per_second:
+        Dense aggregation throughput in element-updates per second.
+    sparse_op_factor:
+        Cost multiplier for one sparse element-update relative to a dense
+        one (offset decode + scatter-add).
+    network_latency_s:
+        Per-message fixed cost (both sides), seconds.
+    network_bandwidth_Bps:
+        Point-to-point bandwidth, bytes/second.
+    disk_bandwidth_Bps:
+        Sequential disk bandwidth, bytes/second.
+    disk_latency_s:
+        Per-operation disk overhead, seconds.
+    """
+
+    element_ops_per_second: float = 25e6
+    sparse_op_factor: float = 2.0
+    network_latency_s: float = 20e-6
+    network_bandwidth_Bps: float = 100e6
+    disk_bandwidth_Bps: float = 30e6
+    disk_latency_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "element_ops_per_second",
+            "sparse_op_factor",
+            "network_bandwidth_Bps",
+            "disk_bandwidth_Bps",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.network_latency_s < 0 or self.disk_latency_s < 0:
+            raise ValueError("latencies must be non-negative")
+
+    # -- time charges ------------------------------------------------------------
+
+    def compute_time(self, element_ops: float, sparse: bool = False) -> float:
+        """Seconds to perform ``element_ops`` aggregation updates."""
+        factor = self.sparse_op_factor if sparse else 1.0
+        return factor * element_ops / self.element_ops_per_second
+
+    def message_time(self, nbytes: int) -> float:
+        """Hockney model: seconds for one point-to-point message."""
+        return self.network_latency_s + nbytes / self.network_bandwidth_Bps
+
+    def disk_time(self, nbytes: int) -> float:
+        """Seconds for one sequential disk read or write."""
+        return self.disk_latency_s + nbytes / self.disk_bandwidth_Bps
+
+    # -- presets -----------------------------------------------------------------
+
+    @classmethod
+    def paper_cluster(cls) -> "MachineModel":
+        """The default: Ultra-II + Myrinet class parameters."""
+        return cls()
+
+    @classmethod
+    def infinite_network(cls) -> "MachineModel":
+        """Free communication (isolates computation in ablations)."""
+        return cls(network_latency_s=0.0, network_bandwidth_Bps=float("inf"))
+
+    @classmethod
+    def slow_network(cls, factor: float = 10.0) -> "MachineModel":
+        """Network slowed by ``factor`` (stresses partitioning choices)."""
+        base = cls()
+        return cls(
+            element_ops_per_second=base.element_ops_per_second,
+            sparse_op_factor=base.sparse_op_factor,
+            network_latency_s=base.network_latency_s * factor,
+            network_bandwidth_Bps=base.network_bandwidth_Bps / factor,
+            disk_bandwidth_Bps=base.disk_bandwidth_Bps,
+            disk_latency_s=base.disk_latency_s,
+        )
+
+    @classmethod
+    def free_disk(cls) -> "MachineModel":
+        """No disk charges (isolates compute + network)."""
+        base = cls()
+        return cls(
+            element_ops_per_second=base.element_ops_per_second,
+            sparse_op_factor=base.sparse_op_factor,
+            network_latency_s=base.network_latency_s,
+            network_bandwidth_Bps=base.network_bandwidth_Bps,
+            disk_bandwidth_Bps=float("inf"),
+            disk_latency_s=0.0,
+        )

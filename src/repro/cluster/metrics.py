@@ -1,0 +1,57 @@
+"""Measurement containers for simulated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class CommStats:
+    """Network counters for one run."""
+
+    total_bytes: int = 0
+    total_elements: int = 0
+    total_messages: int = 0
+    per_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: int, elements: int) -> None:
+        self.total_bytes += nbytes
+        self.total_elements += elements
+        self.total_messages += 1
+        key = (src, dst)
+        self.per_pair[key] = self.per_pair.get(key, 0) + nbytes
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured during one simulated SPMD run."""
+
+    makespan_s: float
+    rank_clocks: list[float]
+    comm: CommStats
+    rank_peak_memory_elements: list[int]
+    rank_compute_ops: list[float]
+    rank_disk_bytes_written: list[int]
+    rank_disk_bytes_read: list[int]
+    rank_results: list[Any]
+    trace: list[Any] = field(default_factory=list)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.rank_clocks)
+
+    @property
+    def max_peak_memory_elements(self) -> int:
+        return max(self.rank_peak_memory_elements, default=0)
+
+    @property
+    def total_compute_ops(self) -> float:
+        return sum(self.rank_compute_ops)
+
+    def summary(self) -> str:
+        return (
+            f"ranks={self.num_ranks} makespan={self.makespan_s:.4f}s "
+            f"comm={self.comm.total_bytes}B/{self.comm.total_messages}msgs "
+            f"peak_mem={self.max_peak_memory_elements}el"
+        )

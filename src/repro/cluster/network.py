@@ -1,0 +1,103 @@
+"""Message transport with exact byte accounting.
+
+Messages are delivered eagerly: a send never blocks (the payload is posted
+to the destination's mailbox with an arrival timestamp); a receive blocks
+until a matching message has been *posted* -- the scheduler then advances
+the receiver's clock to ``max(receiver_clock, arrival_time)``.
+
+Payload sizes: a payload's logical size is taken from its ``nbytes``
+attribute (numpy arrays, DenseArray, SparseArray); element counts come from
+``size``/``nnz`` when available.  Every message is recorded in
+:class:`repro.cluster.metrics.CommStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.metrics import CommStats
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Logical size in bytes of a message payload (``None`` -> 0)."""
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if payload is None:
+        return 0
+    raise TypeError(
+        f"payload of type {type(payload).__name__} has no nbytes; "
+        "wrap control messages in numpy arrays or None"
+    )
+
+
+def payload_elements(payload: Any) -> int:
+    """Element count of a payload (nnz for sparse, size for dense)."""
+    for attr in ("nnz", "size"):
+        v = getattr(payload, attr, None)
+        if v is not None:
+            return int(v)
+    return 0
+
+
+@dataclass
+class Message:
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival_time: float
+    seq: int
+
+
+class Network:
+    """Mailbox-per-destination transport with FIFO (src, tag) matching."""
+
+    def __init__(self, num_ranks: int):
+        self.num_ranks = num_ranks
+        self.stats = CommStats()
+        self._mailboxes: list[list[Message]] = [[] for _ in range(num_ranks)]
+        self._seq = 0
+
+    def post(self, src: int, dst: int, tag: int, payload: Any, arrival_time: float) -> Message:
+        """Deliver a message to ``dst``'s mailbox; returns the message."""
+        if not 0 <= dst < self.num_ranks or not 0 <= src < self.num_ranks:
+            raise ValueError(f"bad endpoints {src} -> {dst}")
+        if src == dst:
+            raise ValueError("self-sends are not allowed; use local state")
+        nbytes = payload_nbytes(payload)
+        msg = Message(
+            src=src,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            arrival_time=arrival_time,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._mailboxes[dst].append(msg)
+        self.stats.record(src, dst, nbytes, payload_elements(payload))
+        return msg
+
+    def match(self, dst: int, src: int, tag: int) -> Message | None:
+        """Pop the oldest message for ``dst`` matching ``(src, tag)``.
+
+        FIFO per (src, dst, tag) -- MPI's non-overtaking guarantee.
+        """
+        box = self._mailboxes[dst]
+        for i, msg in enumerate(box):
+            if msg.src == src and msg.tag == tag:
+                return box.pop(i)
+        return None
+
+    def pending(self, dst: int) -> int:
+        return len(self._mailboxes[dst])
+
+    def all_drained(self) -> bool:
+        return all(not box for box in self._mailboxes)
+
+    def undelivered(self) -> list[Message]:
+        return [m for box in self._mailboxes for m in box]

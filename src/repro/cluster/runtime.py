@@ -1,0 +1,304 @@
+"""Deterministic SPMD scheduler.
+
+Rank programs are Python *generator functions*: ``program(env)`` yields
+operation objects (:class:`SendOp`, :class:`RecvOp`, :class:`ComputeOp`,
+:class:`DiskWriteOp`, :class:`DiskReadOp`, :class:`BarrierOp`) and is resumed
+with the operation's result (the payload, for receives).  The scheduler
+advances ranks round-robin; a rank blocks only on a receive with no matching
+message, so progress is guaranteed unless the program genuinely deadlocks
+(reported as :class:`DeadlockError`).
+
+Timing model (LogGP-lite, deterministic):
+
+- a send occupies the sender for ``latency + nbytes/bandwidth`` and the
+  message arrives at the sender's clock after that charge;
+- a receive waits until the arrival time, then occupies the receiver for the
+  same transfer time (receiver-side copy / NIC occupancy) -- this serializes
+  a lead processor receiving from many partners, which is exactly the
+  behaviour that separates partitioning choices in the paper's figures;
+- compute and disk operations simply advance the local clock.
+
+The simulated makespan is the maximum rank clock at termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.cluster.machine import MachineModel
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.network import Network, payload_nbytes
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished ranks are blocked on receives that can never match."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval of a rank's simulated timeline.
+
+    ``kind`` is one of ``compute``, ``send``, ``wait`` (idle, blocked on a
+    receive), ``recv`` (receiver-side transfer), ``disk``, ``barrier``.
+    """
+
+    rank: int
+    kind: str
+    start: float
+    end: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SendOp:
+    dst: int
+    tag: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    src: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    element_ops: float
+    sparse: bool = False
+
+
+@dataclass(frozen=True)
+class DiskWriteOp:
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class DiskReadOp:
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class BarrierOp:
+    """Global barrier over all ranks."""
+
+
+Op = SendOp | RecvOp | ComputeOp | DiskWriteOp | DiskReadOp | BarrierOp
+
+
+@dataclass
+class RankEnv:
+    """Per-rank context handed to programs.
+
+    Programs yield ops built from this env (or the op classes directly) and
+    may use the non-yielding memory-accounting helpers, which track the
+    held-results footprint the paper's Theorems 4/5 bound.
+    """
+
+    rank: int
+    num_ranks: int
+    machine: MachineModel
+    clock: float = 0.0
+    disk_bytes_written: int = 0
+    disk_bytes_read: int = 0
+    compute_ops: float = 0.0
+    _held: dict[Any, int] = field(default_factory=dict)
+    current_memory_elements: int = 0
+    peak_memory_elements: int = 0
+
+    # -- op constructors (for readability at call sites) ---------------------------
+
+    def send(self, dst: int, payload: Any, tag: int = 0) -> SendOp:
+        return SendOp(dst=dst, tag=tag, payload=payload)
+
+    def recv(self, src: int, tag: int = 0) -> RecvOp:
+        return RecvOp(src=src, tag=tag)
+
+    def compute(self, element_ops: float, sparse: bool = False) -> ComputeOp:
+        return ComputeOp(element_ops=element_ops, sparse=sparse)
+
+    def disk_write(self, nbytes: int) -> DiskWriteOp:
+        return DiskWriteOp(nbytes=nbytes)
+
+    def disk_read(self, nbytes: int) -> DiskReadOp:
+        return DiskReadOp(nbytes=nbytes)
+
+    def barrier(self) -> BarrierOp:
+        return BarrierOp()
+
+    # -- memory accounting (immediate, no yield) ------------------------------------
+
+    def alloc(self, key: Any, elements: int) -> None:
+        """Record that a result of ``elements`` elements is now held."""
+        if key in self._held:
+            raise ValueError(f"allocation key {key!r} already held")
+        self._held[key] = int(elements)
+        self.current_memory_elements += int(elements)
+        self.peak_memory_elements = max(
+            self.peak_memory_elements, self.current_memory_elements
+        )
+
+    def free(self, key: Any) -> None:
+        self.current_memory_elements -= self._held.pop(key)
+
+    def held_keys(self) -> list[Any]:
+        return list(self._held)
+
+
+_READY, _BLOCKED, _BARRIER, _DONE = range(4)
+
+
+def run_spmd(
+    num_ranks: int,
+    program_factory: Callable[[RankEnv], Generator[Op, Any, Any]],
+    machine: MachineModel | None = None,
+    record_trace: bool = False,
+    machines: "list[MachineModel] | None" = None,
+) -> RunMetrics:
+    """Run one SPMD program on ``num_ranks`` virtual processors.
+
+    ``program_factory(env)`` must return a fresh generator per rank.  The
+    generator's return value is collected into ``RunMetrics.rank_results``.
+    With ``record_trace=True``, every rank's simulated timeline is captured
+    as :class:`TraceEvent` intervals in ``RunMetrics.trace``.
+
+    ``machines`` gives each rank its own cost model (heterogeneous cluster /
+    straggler studies); it overrides ``machine`` and must have one entry per
+    rank.  Per-message transfer charges use each side's own model (a slow
+    NIC hurts both its sends and its receives).
+    """
+    if machines is not None:
+        if len(machines) != num_ranks:
+            raise ValueError(
+                f"need {num_ranks} machine models, got {len(machines)}"
+            )
+        rank_machines = list(machines)
+    else:
+        rank_machines = [machine or MachineModel.paper_cluster()] * num_ranks
+    network = Network(num_ranks)
+    envs = [
+        RankEnv(rank=r, num_ranks=num_ranks, machine=rank_machines[r])
+        for r in range(num_ranks)
+    ]
+    gens = [program_factory(env) for env in envs]
+    state = [_READY] * num_ranks
+    blocked_on: list[RecvOp | None] = [None] * num_ranks
+    results: list[Any] = [None] * num_ranks
+    trace: list[TraceEvent] = []
+
+    def record(rank: int, kind: str, start: float, end: float, detail: str = "") -> None:
+        if record_trace and end > start:
+            trace.append(TraceEvent(rank, kind, start, end, detail))
+
+    def complete_recv(r: int, msg) -> None:
+        """Advance rank ``r``'s clock through a matched receive."""
+        env = envs[r]
+        t0 = env.clock
+        arrived = max(t0, msg.arrival_time)
+        record(r, "wait", t0, arrived, f"from {msg.src}")
+        env.clock = arrived + env.machine.message_time(msg.nbytes)
+        record(r, "recv", arrived, env.clock, f"from {msg.src} ({msg.nbytes}B)")
+
+    def advance(r: int, resume_value: Any) -> None:
+        """Run rank ``r`` until it blocks or finishes."""
+        env, gen = envs[r], gens[r]
+        while True:
+            try:
+                op = gen.send(resume_value)
+            except StopIteration as stop:
+                state[r] = _DONE
+                results[r] = stop.value
+                return
+            resume_value = None
+            if isinstance(op, ComputeOp):
+                t0 = env.clock
+                env.clock += env.machine.compute_time(op.element_ops, sparse=op.sparse)
+                env.compute_ops += op.element_ops
+                record(r, "compute", t0, env.clock)
+            elif isinstance(op, SendOp):
+                nbytes = payload_nbytes(op.payload)
+                t0 = env.clock
+                env.clock += env.machine.message_time(nbytes)
+                record(r, "send", t0, env.clock, f"to {op.dst} ({nbytes}B)")
+                network.post(r, op.dst, op.tag, op.payload, arrival_time=env.clock)
+            elif isinstance(op, RecvOp):
+                msg = network.match(r, op.src, op.tag)
+                if msg is None:
+                    state[r] = _BLOCKED
+                    blocked_on[r] = op
+                    return
+                complete_recv(r, msg)
+                resume_value = msg.payload
+            elif isinstance(op, DiskWriteOp):
+                t0 = env.clock
+                env.clock += env.machine.disk_time(op.nbytes)
+                env.disk_bytes_written += op.nbytes
+                record(r, "disk", t0, env.clock, "write")
+            elif isinstance(op, DiskReadOp):
+                t0 = env.clock
+                env.clock += env.machine.disk_time(op.nbytes)
+                env.disk_bytes_read += op.nbytes
+                record(r, "disk", t0, env.clock, "read")
+            elif isinstance(op, BarrierOp):
+                state[r] = _BARRIER
+                return
+            else:
+                raise TypeError(f"rank {r} yielded unknown op {op!r}")
+
+    while True:
+        progressed = False
+        for r in range(num_ranks):
+            if state[r] == _DONE or state[r] == _BARRIER:
+                continue
+            if state[r] == _BLOCKED:
+                op = blocked_on[r]
+                assert op is not None
+                msg = network.match(r, op.src, op.tag)
+                if msg is None:
+                    continue
+                complete_recv(r, msg)
+                state[r] = _READY
+                blocked_on[r] = None
+                progressed = True
+                advance(r, msg.payload)
+            else:
+                progressed = True
+                advance(r, None)
+        # Release a completed barrier: every unfinished rank must be waiting.
+        waiting = [r for r in range(num_ranks) if state[r] == _BARRIER]
+        if waiting:
+            unfinished = [r for r in range(num_ranks) if state[r] != _DONE]
+            if len(waiting) == len(unfinished):
+                sync = max(envs[r].clock for r in waiting)
+                for r in waiting:
+                    record(r, "barrier", envs[r].clock, sync)
+                    envs[r].clock = sync
+                    state[r] = _READY
+                progressed = True
+                for r in waiting:
+                    if state[r] == _READY:
+                        advance(r, None)
+        if all(s == _DONE for s in state):
+            break
+        if not progressed:
+            stuck = [
+                (r, blocked_on[r]) for r in range(num_ranks) if state[r] == _BLOCKED
+            ]
+            barr = [r for r in range(num_ranks) if state[r] == _BARRIER]
+            raise DeadlockError(
+                f"no progress: blocked={stuck} at_barrier={barr} "
+                f"undelivered={len(network.undelivered())}"
+            )
+
+    return RunMetrics(
+        makespan_s=max((env.clock for env in envs), default=0.0),
+        rank_clocks=[env.clock for env in envs],
+        comm=network.stats,
+        rank_peak_memory_elements=[env.peak_memory_elements for env in envs],
+        rank_compute_ops=[env.compute_ops for env in envs],
+        rank_disk_bytes_written=[env.disk_bytes_written for env in envs],
+        rank_disk_bytes_read=[env.disk_bytes_read for env in envs],
+        rank_results=results,
+        trace=trace,
+    )

@@ -1,0 +1,132 @@
+"""Processor grid topology (paper, section 4).
+
+``p = 2**k`` processors; dimension ``i`` of the data is partitioned across
+``2**bits[i]`` of them.  Each processor gets a unique *label*
+``(l_0, ..., l_{n-1})`` with ``0 <= l_i < 2**bits[i]``; processor ``l`` owns
+the ``l_i``-th block along every dimension ``i``.
+
+A processor is a *lead* along dimension ``i`` iff ``l_i == 0``; when the
+cube construction aggregates along dimension ``i``, the finalized results
+live on the leads along ``i``.  More generally, the finalized array for
+cube node ``T`` (a set of surviving dimensions) is held by the processors
+that are leads along every dimension *not* in ``T``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+class ProcessorGrid:
+    """Bit-label topology over ``2**sum(bits)`` processors."""
+
+    def __init__(self, bits: Sequence[int]):
+        bits = tuple(bits)
+        if not bits:
+            raise ValueError("need at least one dimension")
+        if any(b < 0 for b in bits):
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        self.bits = bits
+        self.parts = tuple(2 ** b for b in bits)
+        self.ndim = len(bits)
+        p = 1
+        for m in self.parts:
+            p *= m
+        self.size = p
+
+    # -- rank <-> label -----------------------------------------------------------
+
+    def label(self, rank: int) -> tuple[int, ...]:
+        """Label of ``rank`` (mixed radix, dimension 0 most significant)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for {self.size} processors")
+        coords = []
+        for m in reversed(self.parts):
+            coords.append(rank % m)
+            rank //= m
+        return tuple(reversed(coords))
+
+    def rank(self, label: Sequence[int]) -> int:
+        """Inverse of :meth:`label`."""
+        label = tuple(label)
+        if len(label) != self.ndim:
+            raise ValueError(f"label rank mismatch: {label}")
+        r = 0
+        for l, m in zip(label, self.parts):
+            if not 0 <= l < m:
+                raise ValueError(f"label {label} out of range for parts {self.parts}")
+            r = r * m + l
+        return r
+
+    def ranks(self) -> range:
+        return range(self.size)
+
+    # -- leads and holders ----------------------------------------------------------
+
+    def is_lead(self, rank: int, dim: int) -> bool:
+        """Lead along ``dim``: label coordinate zero."""
+        return self.label(rank)[dim] == 0
+
+    def holds_node(self, rank: int, node: Sequence[int]) -> bool:
+        """Whether ``rank`` holds (a portion of) cube node ``node``:
+        lead along every dimension missing from ``node``."""
+        in_node = set(node)
+        lab = self.label(rank)
+        return all(lab[d] == 0 for d in range(self.ndim) if d not in in_node)
+
+    def holders(self, node: Sequence[int]) -> list[int]:
+        """All ranks holding cube node ``node``, ascending."""
+        return [r for r in self.ranks() if self.holds_node(r, node)]
+
+    def num_holders(self, node: Sequence[int]) -> int:
+        n = 1
+        for d in node:
+            n *= self.parts[d]
+        return n
+
+    # -- reduction groups --------------------------------------------------------------
+
+    def reduction_group(self, rank: int, dim: int) -> list[int]:
+        """Ranks whose labels differ from ``rank`` only along ``dim``.
+
+        Ordered by the ``dim`` coordinate, so the group's first member (the
+        lead along ``dim``) is ``group[0]``.
+        """
+        lab = list(self.label(rank))
+        group = []
+        for v in range(self.parts[dim]):
+            lab[dim] = v
+            group.append(self.rank(lab))
+        return group
+
+    def lead_of(self, rank: int, dim: int) -> int:
+        """The lead processor of ``rank``'s reduction group along ``dim``."""
+        lab = list(self.label(rank))
+        lab[dim] = 0
+        return self.rank(lab)
+
+    def iter_reduction_groups(
+        self, node: Sequence[int], dim: int
+    ) -> Iterator[list[int]]:
+        """All reduction groups used to finalize child ``node`` along ``dim``.
+
+        One group per holder of ``node`` (the leads); each group consists of
+        the holders of the parent ``node + {dim}`` that share the lead's
+        label outside ``dim``.
+        """
+        for lead in self.holders(node):
+            yield self.reduction_group(lead, dim)
+
+    # -- data ownership -----------------------------------------------------------------
+
+    def block_of(self, rank: int, dims: Sequence[int] | None = None) -> tuple[int, ...]:
+        """The rank's block coordinates, optionally restricted to ``dims``."""
+        lab = self.label(rank)
+        if dims is None:
+            return lab
+        return tuple(lab[d] for d in dims)
+
+    def describe(self) -> str:
+        from repro.core.partition import describe_partition
+
+        return f"{self.size} processors, {describe_partition(self.bits)}"

@@ -1,0 +1,163 @@
+"""The aggregation tree (paper, Definition 3) and its schedule (Fig 3).
+
+The aggregation tree over dimensions ``{0..n-1}`` is the image of the prefix
+tree under complementation: node ``T`` of the aggregation tree corresponds
+to prefix-tree node ``complement(T)``.  Consequences used everywhere below:
+
+- The root is the full set (the initial array).
+- Node ``T`` (except the root) has parent ``T + {j}`` where
+  ``j = max(complement(T))``; it is computed by aggregating the parent along
+  dimension ``j``.
+- Node ``T``'s children, ordered left to right, are ``T - {j}`` for
+  ``j = max(complement(T)) + 1, ..., n-1`` (ascending ``j``).
+
+Under the canonical dimension ordering (sizes non-increasing),
+``max(complement(T))`` is the *smallest-size* dimension missing from ``T``,
+so every node's aggregation-tree parent is its minimal parent in the lattice
+(Theorem 7); see :mod:`repro.core.ordering`.
+
+The sequential algorithm (Fig 3) evaluates the tree with a right-to-left
+depth-first traversal: all children of a node are computed simultaneously
+(maximal cache/memory reuse -- the parent is scanned once), then children
+are finalized right to left, recursing into non-leaves; a node is written
+back to disk exactly once, when no further child will be computed from it.
+:meth:`AggregationTree.schedule` linearizes that recursion into explicit
+steps shared by the sequential and parallel constructors and by the memory
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.lattice import Node, all_nodes, full_node, node_complement
+
+
+@dataclass(frozen=True)
+class ComputeChildren:
+    """Aggregate all children of ``node`` from ``node``, simultaneously.
+
+    ``children`` are in left-to-right tree order.
+    """
+
+    node: Node
+    children: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class WriteBack:
+    """Retire ``node``: its final value is written to disk and freed."""
+
+    node: Node
+
+
+ScheduleStep = ComputeChildren | WriteBack
+
+
+class AggregationTree:
+    """Aggregation tree over ``n`` dimensions.
+
+    The tree is *parameterized by the ordering of dimensions* only through
+    the meaning of the indices: index 0 is the first dimension of the
+    ordering.  Use :mod:`repro.core.ordering` to map arbitrary physical
+    dimensions onto the canonical order first.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one dimension")
+        self.n = n
+
+    @property
+    def root(self) -> Node:
+        return full_node(self.n)
+
+    def nodes(self) -> list[Node]:
+        return all_nodes(self.n)
+
+    # -- structure ---------------------------------------------------------------
+
+    def children(self, node: Sequence[int]) -> list[Node]:
+        """Children, ordered left to right (ascending dropped dimension)."""
+        node = tuple(node)
+        comp = node_complement(node, self.n)
+        start = (comp[-1] + 1) if comp else 0
+        kids = []
+        for j in range(start, self.n):
+            # Every j > max(complement) is necessarily in node.
+            kids.append(tuple(d for d in node if d != j))
+        return kids
+
+    def parent(self, node: Sequence[int]) -> Node:
+        """Parent of a non-root node: add back max(complement(node))."""
+        node = tuple(node)
+        comp = node_complement(node, self.n)
+        if not comp:
+            raise ValueError("the root has no parent")
+        j = comp[-1]
+        return tuple(sorted(node + (j,)))
+
+    def aggregated_dim(self, node: Sequence[int]) -> int:
+        """Dimension aggregated away when computing ``node`` from its parent."""
+        comp = node_complement(tuple(node), self.n)
+        if not comp:
+            raise ValueError("the root is not computed by aggregation")
+        return comp[-1]
+
+    def is_leaf(self, node: Sequence[int]) -> bool:
+        return not self.children(node)
+
+    def iter_edges(self) -> Iterator[tuple[Node, Node]]:
+        """All (parent, child) edges, parents in preorder."""
+        for node in self.preorder():
+            for kid in self.children(node):
+                yield (node, kid)
+
+    def preorder(self) -> Iterator[Node]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self.children(node)))
+
+    # -- the Fig 3 schedule --------------------------------------------------------
+
+    def schedule(self) -> list[ScheduleStep]:
+        """Linearized right-to-left depth-first evaluation (Fig 3).
+
+        The returned steps have the invariants the paper's analysis relies
+        on: every node's children are computed in a single step while the
+        node is still held; every computed node is written back exactly
+        once; the initial array (root) is never written back.
+        """
+        steps: list[ScheduleStep] = []
+
+        def evaluate(node: Node) -> None:
+            kids = self.children(node)
+            if kids:
+                steps.append(ComputeChildren(node, tuple(kids)))
+            for child in reversed(kids):
+                if self.is_leaf(child):
+                    steps.append(WriteBack(child))
+                else:
+                    evaluate(child)
+            if node != self.root:
+                steps.append(WriteBack(node))
+
+        evaluate(self.root)
+        return steps
+
+    # -- conversions ------------------------------------------------------------------
+
+    def parent_map(self) -> dict[Node, Node]:
+        """node -> parent for every non-root node (spanning-tree view)."""
+        return {node: self.parent(node) for node in self.nodes() if len(node) < self.n}
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from(self.iter_edges())
+        return g

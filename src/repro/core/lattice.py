@@ -1,0 +1,164 @@
+"""The data-cube lattice and minimal parents.
+
+A *node* of the cube is a subset of the dimension indices ``{0, ..., n-1}``,
+represented throughout this codebase as a **sorted tuple of ints** (the
+empty tuple is the scalar ``all`` aggregate; ``(0, 1, ..., n-1)`` is the
+initial array).
+
+The data-cube lattice (paper Fig 1) has an edge from each (m+1)-dimensional
+node to each of its m-dimensional subsets: the *parents* of a node are the
+arrays it can be aggregated from.  The *minimal parent* of a node is the
+parent of smallest size -- computing each node from its minimal parent
+minimizes total computation (paper, section 2).
+
+Dimension-size convention: everywhere in :mod:`repro.core`, ``shape[i]`` is
+the size of dimension ``i`` and the canonical ordering sorts sizes
+**non-increasing** (``shape[0] >= shape[1] >= ... >= shape[n-1]``); see
+:mod:`repro.core.ordering`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+Node = tuple[int, ...]
+
+
+def _check_node(node: Sequence[int], n: int) -> Node:
+    node = tuple(node)
+    if any(b <= a for a, b in zip(node, node[1:])):
+        raise ValueError(f"node must be a strictly increasing tuple, got {node}")
+    if node and (node[0] < 0 or node[-1] >= n):
+        raise ValueError(f"node {node} out of range for {n} dimensions")
+    return node
+
+
+def full_node(n: int) -> Node:
+    """The root of the lattice: the initial n-dimensional array."""
+    return tuple(range(n))
+
+
+def node_complement(node: Sequence[int], n: int) -> Node:
+    """Complement of a node with respect to ``{0..n-1}``."""
+    s = set(node)
+    return tuple(i for i in range(n) if i not in s)
+
+
+def all_nodes(n: int) -> list[Node]:
+    """All ``2**n`` nodes, grouped by decreasing dimensionality."""
+    out: list[Node] = []
+    for m in range(n, -1, -1):
+        out.extend(combinations(range(n), m))
+    return out
+
+
+def node_size(node: Sequence[int], shape: Sequence[int]) -> int:
+    """Number of elements of the aggregate array for ``node``."""
+    size = 1
+    for d in node:
+        size *= shape[d]
+    return size
+
+
+def lattice_parents(node: Sequence[int], n: int) -> list[Node]:
+    """All nodes this node can be computed from (one extra dimension)."""
+    node = _check_node(node, n)
+    in_node = set(node)
+    out = []
+    for d in range(n):
+        if d not in in_node:
+            out.append(tuple(sorted(node + (d,))))
+    return out
+
+
+def lattice_children(node: Sequence[int]) -> list[Node]:
+    """All nodes computable from this node (one fewer dimension)."""
+    node = tuple(node)
+    return [node[:i] + node[i + 1:] for i in range(len(node))]
+
+
+def minimal_parent(node: Sequence[int], shape: Sequence[int]) -> Node:
+    """The smallest parent of ``node`` in the lattice.
+
+    Ties are broken toward the parent adding the *largest* dimension index,
+    which matches the aggregation-tree parent under the canonical
+    (non-increasing) ordering, where later indices have sizes <= earlier
+    ones.
+    """
+    n = len(shape)
+    parents = lattice_parents(node, n)
+    if not parents:
+        raise ValueError("the root has no parent")
+    # max(p) is the added dimension for exactly one parent each; sorting by
+    # (size, -added_dim) implements the tie-break.
+    def key(p: Node) -> tuple[int, int]:
+        added = (set(p) - set(node)).pop()
+        return (node_size(p, shape), -added)
+
+    return min(parents, key=key)
+
+
+def minimal_parents(shape: Sequence[int]) -> dict[Node, Node]:
+    """Minimal parent of every non-root node."""
+    n = len(shape)
+    return {
+        node: minimal_parent(node, shape)
+        for node in all_nodes(n)
+        if len(node) < n
+    }
+
+
+class CubeLattice:
+    """The data-cube lattice over ``n`` dimensions with sizes ``shape``."""
+
+    def __init__(self, shape: Sequence[int]):
+        self.shape = tuple(shape)
+        if not self.shape:
+            raise ValueError("need at least one dimension")
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"dimension sizes must be positive, got {self.shape}")
+        self.n = len(self.shape)
+
+    @property
+    def root(self) -> Node:
+        return full_node(self.n)
+
+    def nodes(self) -> list[Node]:
+        return all_nodes(self.n)
+
+    def num_nodes(self) -> int:
+        return 2 ** self.n
+
+    def size(self, node: Sequence[int]) -> int:
+        return node_size(node, self.shape)
+
+    def total_output_size(self) -> int:
+        """Total elements over all 2^n - 1 computed aggregates (excl. root)."""
+        return sum(
+            self.size(nd) for nd in self.nodes() if len(nd) < self.n
+        )
+
+    def parents(self, node: Sequence[int]) -> list[Node]:
+        return lattice_parents(node, self.n)
+
+    def children(self, node: Sequence[int]) -> list[Node]:
+        return lattice_children(node)
+
+    def minimal_parent(self, node: Sequence[int]) -> Node:
+        return minimal_parent(node, self.shape)
+
+    def iter_edges(self) -> Iterator[tuple[Node, Node]]:
+        """All (parent, child) lattice edges."""
+        for node in self.nodes():
+            for child in lattice_children(node):
+                yield (node, child)
+
+    def to_networkx(self):
+        """Optional networkx DiGraph view (parent -> child edges)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from(self.iter_edges())
+        return g

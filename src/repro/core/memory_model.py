@@ -1,0 +1,133 @@
+"""Memory bounds (paper, Theorems 1, 2, 4, 5).
+
+Theorem 1 (sequential upper bound): constructing the cube by the
+right-to-left depth-first traversal of the aggregation tree holds at most
+
+    ``B(shape) = sum_i prod_{j != i} shape[j]``
+
+elements of results in memory at any time -- the combined size of the ``n``
+first-level aggregates.  Theorem 2 shows ``B`` is also a *lower* bound for
+any spanning tree whose algorithm does maximal cache/memory reuse (all
+first-level children computed simultaneously from the root) and never
+writes partial results: the first level alone already occupies ``B``.
+
+Theorems 4/5 are the per-processor analogues with each dimension's size
+divided by its processor count ``2**bits[j]`` (local aggregation only; the
+paper deliberately excludes receive buffers, whose size is an
+implementation tradeoff).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.arrays.chunking import split_points
+
+
+def sequential_memory_bound(shape: Sequence[int]) -> int:
+    """Theorem 1: upper bound on held-results memory (in elements)."""
+    shape = tuple(shape)
+    n = len(shape)
+    total = 0
+    for i in range(n):
+        prod = 1
+        for j in range(n):
+            if j != i:
+                prod *= shape[j]
+        total += prod
+    return total
+
+
+def sequential_memory_lower_bound(shape: Sequence[int]) -> int:
+    """Theorem 2: the same quantity, as the lower bound for any tree.
+
+    Provided separately for clarity at call sites; equals
+    :func:`sequential_memory_bound`.
+    """
+    return sequential_memory_bound(shape)
+
+
+def parallel_memory_bound(shape: Sequence[int], bits: Sequence[int]) -> float:
+    """Theorem 4 (idealized): per-processor bound with exact division.
+
+    ``sum_i prod_{j != i} shape[j] / 2**bits[j]``.  Exact when every
+    ``2**bits[j]`` divides ``shape[j]`` (the paper's power-of-two setting);
+    otherwise use :func:`parallel_memory_bound_exact`.
+    """
+    shape = tuple(shape)
+    bits = tuple(bits)
+    n = len(shape)
+    total = 0.0
+    for i in range(n):
+        prod = 1.0
+        for j in range(n):
+            if j != i:
+                prod *= shape[j] / (2 ** bits[j])
+        total += prod
+    return total
+
+
+def parallel_memory_bound_exact(shape: Sequence[int], bits: Sequence[int]) -> int:
+    """Theorem 4 with balanced (possibly uneven) blocks: worst processor.
+
+    Uses the maximum block length per dimension, so the bound holds for
+    every processor even when ``2**bits[j]`` does not divide ``shape[j]``.
+    """
+    shape = tuple(shape)
+    bits = tuple(bits)
+    n = len(shape)
+    max_block = []
+    for s, b in zip(shape, bits):
+        pts = split_points(s, 2 ** b)
+        max_block.append(max(hi - lo for lo, hi in zip(pts, pts[1:])))
+    total = 0
+    for i in range(n):
+        prod = 1
+        for j in range(n):
+            if j != i:
+                prod *= max_block[j]
+        total += prod
+    return total
+
+
+def parallel_memory_lower_bound(shape: Sequence[int], bits: Sequence[int]) -> float:
+    """Theorem 5: per-processor lower bound (same quantity as Theorem 4)."""
+    return parallel_memory_bound(shape, bits)
+
+
+def fits_in_memory(shape: Sequence[int], capacity_elements: int) -> bool:
+    """Whether the Theorem-1 working set fits in ``capacity_elements``.
+
+    When it does not, the paper points to tiling (section 3 discussion);
+    see :mod:`repro.tiling`.
+    """
+    return sequential_memory_bound(shape) <= capacity_elements
+
+
+def tiles_required(shape: Sequence[int], capacity_elements: int) -> int:
+    """Minimum power-of-two tile count so the tiled working set fits.
+
+    Tiling divides each dimension's first-level result extents; halving one
+    dimension halves every first-level term that contains it.  We return
+    the smallest ``t = 2**m`` such that ``B(shape) / t <= capacity`` -- the
+    aggregation tree minimizes the number of tiles precisely because it
+    minimizes ``B`` (section 3).
+    """
+    if capacity_elements <= 0:
+        raise ValueError("capacity must be positive")
+    bound = sequential_memory_bound(shape)
+    t = 1
+    while bound / t > capacity_elements:
+        t *= 2
+        if t > bound:
+            break
+    return t
+
+
+def memory_bound_ratio(shape: Sequence[int]) -> float:
+    """How tight Theorem 1 is: bound / total output size (diagnostic)."""
+    from repro.core.lattice import CubeLattice
+
+    total = CubeLattice(shape).total_output_size()
+    return sequential_memory_bound(shape) / total if total else math.inf

@@ -1,0 +1,118 @@
+"""Dimension-ordering optimality (paper, Theorems 6 and 7).
+
+The aggregation tree is parameterized by the ordering of the dimensions:
+there are ``n!`` instantiations.  The paper proves the *same* ordering --
+sizes non-increasing, ``shape[0] >= shape[1] >= ... >= shape[n-1]`` --
+simultaneously
+
+- makes every node's aggregation-tree parent its minimal parent in the
+  lattice (Theorem 7), minimizing computation, and
+- minimizes the total communication volume (Theorem 6).
+
+Intuition for both: node ``T`` is computed by aggregating along
+``max(complement(T))``, the *last* missing dimension; putting the smallest
+dimensions last means every aggregation drops the cheapest possible
+dimension, and the communication coefficients ``c_j`` put the weight
+``(1 + shape[l])`` factors on early positions where large sizes would be
+multiplied fewest times.
+
+:func:`best_order_bruteforce` exhaustively verifies both claims for small
+``n`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+from repro.core.lattice import all_nodes, minimal_parent, node_size
+from repro.core.aggregation_tree import AggregationTree
+from repro.core.comm_model import total_comm_volume
+
+
+def canonical_order(shape: Sequence[int]) -> tuple[int, ...]:
+    """Permutation placing sizes in non-increasing order (stable).
+
+    Returns ``order`` with ``order[pos] = original_dim``;
+    ``apply_order(shape, order)`` is then non-increasing.
+    """
+    return tuple(sorted(range(len(shape)), key=lambda d: (-shape[d], d)))
+
+
+def apply_order(values: Sequence, order: Sequence[int]) -> tuple:
+    """Reorder ``values`` so position ``pos`` holds ``values[order[pos]]``."""
+    if sorted(order) != list(range(len(values))):
+        raise ValueError(f"{order} is not a permutation of 0..{len(values) - 1}")
+    return tuple(values[d] for d in order)
+
+
+def invert_order(order: Sequence[int]) -> tuple[int, ...]:
+    """Inverse permutation: ``inv[original_dim] = position``."""
+    inv = [0] * len(order)
+    for pos, d in enumerate(order):
+        inv[d] = pos
+    return tuple(inv)
+
+
+def is_sorted_nonincreasing(shape: Sequence[int]) -> bool:
+    """Whether ``shape`` is already in the canonical ordering."""
+    return all(a >= b for a, b in zip(shape, shape[1:]))
+
+
+def ordering_uses_minimal_parents(shape: Sequence[int]) -> bool:
+    """Theorem 7 check: does the aggregation tree over this (ordered) shape
+    compute every node from a parent of minimal size?  (Ties count as
+    minimal.)"""
+    n = len(shape)
+    tree = AggregationTree(n)
+    for node in all_nodes(n):
+        if len(node) == n:
+            continue
+        tree_parent = tree.parent(node)
+        best = minimal_parent(node, shape)
+        if node_size(tree_parent, shape) != node_size(best, shape):
+            return False
+    return True
+
+
+def ordering_computation_cost(shape: Sequence[int]) -> int:
+    """Total computation of the aggregation tree over this (ordered) shape:
+    each edge scans its parent once."""
+    n = len(shape)
+    tree = AggregationTree(n)
+    return sum(node_size(parent, shape) for parent, _ in tree.iter_edges())
+
+
+def ordering_comm_volume(shape: Sequence[int], total_bits: int) -> int:
+    """Minimum communication volume achievable for this ordering, using the
+    optimal partition for it (greedy, Theorem 8)."""
+    from repro.core.partition import greedy_partition
+
+    bits = greedy_partition(shape, total_bits)
+    return total_comm_volume(shape, bits)
+
+
+def best_order_bruteforce(
+    shape: Sequence[int], total_bits: int
+) -> tuple[tuple[int, ...], int]:
+    """Exhaustively find the ordering with minimal communication volume.
+
+    Returns ``(order, volume)`` where ``order`` maps position -> original
+    dimension.  Exponential in ``n`` -- for tests and small planning
+    problems only.
+    """
+    n = len(shape)
+    best_order: tuple[int, ...] | None = None
+    best_vol: int | None = None
+    for perm in permutations(range(n)):
+        vol = ordering_comm_volume(apply_order(shape, perm), total_bits)
+        if best_vol is None or vol < best_vol:
+            best_vol = vol
+            best_order = perm
+    assert best_order is not None and best_vol is not None
+    return best_order, best_vol
+
+
+def worst_order(shape: Sequence[int]) -> tuple[int, ...]:
+    """The adversarial ordering (sizes non-decreasing), for baselines."""
+    return tuple(sorted(range(len(shape)), key=lambda d: (shape[d], d)))

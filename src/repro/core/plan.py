@@ -1,0 +1,238 @@
+"""End-to-end planning: ordering + partitioning + tree for arbitrary inputs.
+
+The core algorithms assume dimensions already sorted by the canonical
+(non-increasing) ordering.  :func:`plan_cube` takes an arbitrary shape and a
+processor count, picks the optimal ordering (Theorems 6/7) and partition
+(Theorem 8), and returns a :class:`CubePlan` that can transpose data into
+plan order, run either constructor, and translate node keys back to the
+caller's original dimension numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.arrays.dense import DenseArray
+from repro.arrays.measures import Measure, SUM
+from repro.arrays.sparse import SparseArray
+from repro.cluster.machine import MachineModel
+from repro.core.comm_model import total_comm_volume
+from repro.core.lattice import Node
+from repro.core.memory_model import (
+    parallel_memory_bound_exact,
+    sequential_memory_bound,
+)
+from repro.core.ordering import apply_order, canonical_order, invert_order
+from repro.core.partition import describe_partition, greedy_partition
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CubePlan:
+    """A complete construction plan.
+
+    Attributes
+    ----------
+    original_shape:
+        Shape in the caller's dimension order.
+    order:
+        Permutation mapping plan position -> original dimension.
+    ordered_shape:
+        ``original_shape`` permuted into plan order (non-increasing).
+    bits:
+        Bits of partitioning per plan position (Theorem 8 optimum).
+    """
+
+    original_shape: tuple[int, ...]
+    order: tuple[int, ...]
+    ordered_shape: tuple[int, ...]
+    bits: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.original_shape)
+
+    @property
+    def num_processors(self) -> int:
+        return 2 ** sum(self.bits)
+
+    @property
+    def comm_volume_elements(self) -> int:
+        return total_comm_volume(self.ordered_shape, self.bits)
+
+    @property
+    def sequential_memory_bound_elements(self) -> int:
+        return sequential_memory_bound(self.ordered_shape)
+
+    @property
+    def parallel_memory_bound_elements(self) -> int:
+        return parallel_memory_bound_exact(self.ordered_shape, self.bits)
+
+    # -- node translation ---------------------------------------------------------
+
+    def to_original_node(self, node: Sequence[int]) -> Node:
+        """Plan-order node -> original-dimension node."""
+        return tuple(sorted(self.order[pos] for pos in node))
+
+    def to_plan_node(self, node: Sequence[int]) -> Node:
+        """Original-dimension node -> plan-order node."""
+        inv = invert_order(self.order)
+        return tuple(sorted(inv[d] for d in node))
+
+    # -- data translation ----------------------------------------------------------
+
+    def transpose_input(
+        self, array: SparseArray | DenseArray | np.ndarray
+    ) -> SparseArray | DenseArray:
+        """Permute the initial array's axes into plan order."""
+        if isinstance(array, SparseArray):
+            if array.shape != self.original_shape:
+                raise ValueError(
+                    f"array shape {array.shape} != plan shape {self.original_shape}"
+                )
+            coords, values = array.all_coords_values()
+            coords = coords[:, list(self.order)]
+            return SparseArray.from_coords(self.ordered_shape, coords, values)
+        data = array.data if isinstance(array, DenseArray) else np.asarray(array)
+        if data.shape != self.original_shape:
+            raise ValueError(
+                f"array shape {data.shape} != plan shape {self.original_shape}"
+            )
+        return DenseArray.full_cube_input(
+            np.ascontiguousarray(np.transpose(data, self.order))
+        )
+
+    def translate_results(
+        self, results: Mapping[Node, DenseArray]
+    ) -> dict[Node, DenseArray]:
+        """Re-key plan-order results by original dimensions and reorder axes.
+
+        Result arrays keep axes sorted by *original* dimension index.
+        """
+        out: dict[Node, DenseArray] = {}
+        for node, arr in results.items():
+            orig_dims_unsorted = [self.order[pos] for pos in node]
+            perm = sorted(range(len(node)), key=lambda i: orig_dims_unsorted[i])
+            new_dims = tuple(orig_dims_unsorted[i] for i in perm)
+            if node:
+                data = np.ascontiguousarray(np.transpose(arr.data, perm))
+            else:
+                data = arr.data.reshape(())
+            out[new_dims] = DenseArray(data, new_dims)
+        return out
+
+    # -- execution ------------------------------------------------------------------
+
+    def run_sequential(
+        self,
+        array: SparseArray | DenseArray | np.ndarray,
+        measure: Measure | str = SUM,
+    ):
+        """Construct the cube sequentially; results keyed by original dims."""
+        from repro.core.sequential import construct_cube_sequential
+
+        ordered = self.transpose_input(array)
+        result = construct_cube_sequential(ordered, measure=measure)
+        result.results = self.translate_results(result.results)
+        return result
+
+    def run_parallel(
+        self,
+        array: SparseArray | DenseArray | np.ndarray,
+        machine: MachineModel | None = None,
+        reduction: str = "flat",
+        collect_results: bool = True,
+        measure: Measure | str = SUM,
+    ):
+        """Construct the cube on the simulated cluster; results re-keyed."""
+        from repro.core.parallel import construct_cube_parallel
+
+        ordered = self.transpose_input(array)
+        result = construct_cube_parallel(
+            ordered,
+            self.bits,
+            machine=machine,
+            reduction=reduction,
+            collect_results=collect_results,
+            measure=measure,
+        )
+        if result.results is not None:
+            result.results = self.translate_results(result.results)
+        return result
+
+    def run_partial(
+        self,
+        array: SparseArray | DenseArray | np.ndarray,
+        targets,
+        machine: MachineModel | None = None,
+        parallel: bool | None = None,
+        collect_results: bool = True,
+        measure: Measure | str = SUM,
+    ):
+        """Materialize only ``targets`` (original-dimension nodes).
+
+        Runs the pruned aggregation-tree schedule; parallel when the plan
+        has more than one processor (override with ``parallel``).  Results
+        are re-keyed by original dimensions.
+        """
+        from repro.core.partial import (
+            construct_partial_cube_parallel,
+            construct_partial_cube_sequential,
+        )
+
+        plan_targets = [self.to_plan_node(t) for t in targets]
+        ordered = self.transpose_input(array)
+        if parallel is None:
+            parallel = self.num_processors > 1
+        if parallel:
+            result = construct_partial_cube_parallel(
+                ordered,
+                self.bits,
+                plan_targets,
+                machine=machine,
+                collect_results=collect_results,
+                measure=measure,
+            )
+            if result.results is not None:
+                result.results = self.translate_results(result.results)
+        else:
+            result = construct_partial_cube_sequential(
+                ordered, plan_targets, measure=measure
+            )
+            result.results = self.translate_results(result.results)
+        return result
+
+    def describe(self) -> str:
+        return (
+            f"CubePlan: shape={self.original_shape} order={self.order} "
+            f"ordered={self.ordered_shape} partition={describe_partition(self.bits)} "
+            f"p={self.num_processors} comm={self.comm_volume_elements} elements"
+        )
+
+
+def plan_cube(shape: Sequence[int], num_processors: int = 1) -> CubePlan:
+    """Pick the optimal ordering and partition for ``shape`` on ``p`` procs.
+
+    ``num_processors`` must be a power of two (paper assumption).
+    """
+    shape = tuple(shape)
+    if not shape:
+        raise ValueError("need at least one dimension")
+    if not _is_power_of_two(num_processors):
+        raise ValueError(f"num_processors must be a power of two, got {num_processors}")
+    order = canonical_order(shape)
+    ordered = apply_order(shape, order)
+    k = num_processors.bit_length() - 1
+    bits = greedy_partition(ordered, k)
+    return CubePlan(
+        original_shape=shape,
+        order=order,
+        ordered_shape=ordered,
+        bits=bits,
+    )

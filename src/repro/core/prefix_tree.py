@@ -1,0 +1,78 @@
+"""The prefix tree (paper, Definition 2).
+
+The prefix tree over ``X = {0, ..., n-1}`` is a spanning tree of the prefix
+lattice: its nodes are the power set of ``X``; the root is the empty set;
+and a node ``{y_1 < y_2 < ... < y_m}`` has children
+``{y_1..y_m, y_m+1}, ..., {y_1..y_m, n-1}``, ordered left to right by the
+added element.  Equivalently, every node's parent drops its maximum
+element.
+
+The aggregation tree (Definition 3) is obtained by complementing every node
+with respect to ``X``; see :mod:`repro.core.aggregation_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.lattice import Node, all_nodes
+
+
+def prefix_children(node: Sequence[int], n: int) -> list[Node]:
+    """Children of a prefix-tree node, ordered left to right."""
+    node = tuple(node)
+    start = (node[-1] + 1) if node else 0
+    return [node + (j,) for j in range(start, n)]
+
+
+def prefix_parent(node: Sequence[int]) -> Node:
+    """Parent of a prefix-tree node: drop the maximum element."""
+    node = tuple(node)
+    if not node:
+        raise ValueError("the empty set is the prefix-tree root")
+    return node[:-1]
+
+
+class PrefixTree:
+    """Explicit prefix tree over ``{0..n-1}`` with traversal helpers."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one dimension")
+        self.n = n
+        self._children: dict[Node, list[Node]] = {
+            node: prefix_children(node, n) for node in all_nodes(n)
+        }
+
+    @property
+    def root(self) -> Node:
+        return ()
+
+    def nodes(self) -> list[Node]:
+        return all_nodes(self.n)
+
+    def children(self, node: Sequence[int]) -> list[Node]:
+        return list(self._children[tuple(node)])
+
+    def parent(self, node: Sequence[int]) -> Node:
+        return prefix_parent(node)
+
+    def is_leaf(self, node: Sequence[int]) -> bool:
+        return not self._children[tuple(node)]
+
+    def iter_edges(self) -> Iterator[tuple[Node, Node]]:
+        for node, kids in self._children.items():
+            for kid in kids:
+                yield (node, kid)
+
+    def preorder(self) -> Iterator[Node]:
+        """Depth-first preorder, children left to right."""
+        stack: list[Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children[node]))
+
+    def depth(self, node: Sequence[int]) -> int:
+        """Depth = cardinality (each level adds one element)."""
+        return len(tuple(node))

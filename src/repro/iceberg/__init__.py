@@ -1,0 +1,24 @@
+"""Iceberg cubes: materialize only cells above a support threshold.
+
+The partial-materialization literature the paper cites closes the loop with
+*iceberg* cubes (Beyer & Ramakrishnan's BUC; Ross & Srivastava's sparse
+cubes, the paper's reference [9]): instead of selecting which *views* to
+keep, keep only the *cells* whose support (fact count) reaches a minimum --
+the cells a decision-maker would ever look at in sparse data.
+
+- :mod:`repro.iceberg.buc` -- Bottom-Up Computation with monotone
+  support pruning, over the same sparse fact arrays as everything else,
+  plus the filter-the-full-cube oracle used to verify it.
+"""
+
+from repro.iceberg.buc import (
+    IcebergCube,
+    buc_iceberg,
+    iceberg_from_full_cube,
+)
+
+__all__ = [
+    "IcebergCube",
+    "buc_iceberg",
+    "iceberg_from_full_cube",
+]

@@ -1,0 +1,131 @@
+"""Incremental cube maintenance: absorbing new facts without rebuilding.
+
+Warehouses refresh periodically (the retail chain's nightly load).  For
+*distributive* measures, a batch of new facts can be absorbed by building
+the much smaller **delta cube** over just those facts and merging it into
+the materialized aggregates with the measure's combine operator:
+
+    new_aggregate[T] = combine(old_aggregate[T], delta_aggregate[T])
+
+This works for SUM/COUNT/MIN/MAX inserts (and for SUM retractions encoded
+as negative values); it cannot retract facts under MIN/MAX or COUNT --
+those need recomputation, which :func:`refresh_full` provides.
+
+For a *partially* materialized cube, only the materialized views are
+updated (via the pruned-tree constructor), so maintenance cost scales with
+what is stored, not with `2^n`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrays.measures import get_measure
+from repro.arrays.sparse import SparseArray
+from repro.cluster.machine import MachineModel
+from repro.core.lattice import Node
+from repro.olap.cube import DataCube
+
+
+def merge_sparse(
+    a: SparseArray, b: SparseArray, chunk_shape=None
+) -> SparseArray:
+    """Union of two sparse fact arrays (coinciding cells summed)."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    ca, va = a.all_coords_values()
+    cb, vb = b.all_coords_values()
+    coords = np.concatenate([ca, cb])
+    values = np.concatenate([va, vb])
+    return SparseArray.from_coords(a.shape, coords, values, chunk_shape=chunk_shape)
+
+
+@dataclass
+class MaintenanceStats:
+    """What one incremental refresh did and cost."""
+
+    facts_absorbed: int
+    nodes_updated: int
+    delta_comm_volume_elements: int
+    delta_simulated_time_s: float
+
+
+def apply_delta(
+    cube: DataCube,
+    delta: SparseArray,
+    machine: MachineModel | None = None,
+    update_base: bool = True,
+) -> MaintenanceStats:
+    """Absorb ``delta`` facts into a materialized cube, in place.
+
+    Builds the delta's aggregates for exactly the cube's materialized
+    views (using the same plan, so the cluster partitioning is reused) and
+    merges them with the cube's measure.  Raises for empty deltas or shape
+    mismatches.
+    """
+    measure = get_measure(cube.measure_name)
+    if tuple(delta.shape) != cube.schema.shape:
+        raise ValueError(
+            f"delta shape {tuple(delta.shape)} != schema shape {cube.schema.shape}"
+        )
+    if delta.nnz == 0:
+        raise ValueError("empty delta; nothing to absorb")
+    targets: list[Node] = list(cube.aggregates)
+    run = cube.plan.run_partial(
+        delta,
+        targets,
+        machine=machine,
+        parallel=cube.plan.num_processors > 1,
+        measure=measure,
+    )
+    for node, arr in run.results.items():
+        measure.combine(cube.aggregates[node].data, arr.data)
+    if update_base and cube.base is not None:
+        if not isinstance(cube.base, SparseArray):
+            raise ValueError(
+                "base updates require a sparse base array; rebuild instead"
+            )
+        cube.base = merge_sparse(cube.base, delta)
+    comm = getattr(run, "comm_volume_elements", 0)
+    sim = getattr(run, "simulated_time_s", 0.0)
+    return MaintenanceStats(
+        facts_absorbed=delta.nnz,
+        nodes_updated=len(targets),
+        delta_comm_volume_elements=comm,
+        delta_simulated_time_s=sim,
+    )
+
+
+def refresh_full(
+    cube: DataCube,
+    machine: MachineModel | None = None,
+) -> DataCube:
+    """Rebuild the cube from its (updated) base facts.
+
+    The fallback for non-incrementable changes (retractions under
+    MIN/MAX/COUNT).  Returns a new cube with the same schema, plan
+    processor count, measure, and view set.
+    """
+    if cube.base is None:
+        raise ValueError("no base facts kept; cannot rebuild")
+    n = len(cube.schema.dimensions)
+    views = list(cube.aggregates)
+    full = len(views) == 2 ** n - 1
+    if full:
+        return DataCube.build(
+            cube.schema,
+            cube.base,
+            num_processors=cube.plan.num_processors,
+            machine=machine,
+            measure=cube.measure_name,
+        )
+    return DataCube.build_partial(
+        cube.schema,
+        cube.base,
+        views=views,
+        num_processors=cube.plan.num_processors,
+        machine=machine,
+        measure=cube.measure_name,
+    )

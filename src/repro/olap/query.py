@@ -1,0 +1,166 @@
+"""Group-by queries answered from materialized views.
+
+A warehouse answers a query from the *smallest materialized view that
+covers it* -- with a fully materialized cube that is the exact group-by
+over the query's mentioned dimensions; with a partially materialized cube
+(see :mod:`repro.olap.view_selection`) it may be a strict superset, with
+the extra dimensions aggregated on the fly; failing everything, the base
+fact array.  :class:`QueryEngine` resolves covers, applies point/range
+filters, and reports which view served each query and how many cells were
+scanned -- the cost model view selection optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.arrays.aggregate import aggregate_sparse_to_dense
+from repro.arrays.dense import DenseArray
+from repro.arrays.sparse import SparseArray
+from repro.core.lattice import Node, node_size
+from repro.olap.cube import DataCube
+
+BASE = ("<base>",)
+
+
+@dataclass(frozen=True)
+class GroupByQuery:
+    """Sum of the measure, grouped by ``group_by``, filtered by ``where``.
+
+    ``where`` maps dimension name -> member index, label, or ``(lo, hi)``
+    half-open index range.
+    """
+
+    group_by: tuple[str, ...] = ()
+    where: Mapping[str, object] = field(default_factory=dict)
+
+    def mentioned(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(tuple(self.group_by) + tuple(self.where)))
+
+
+@dataclass
+class QueryAnswer:
+    """Result plus provenance: which view answered, at what cost."""
+
+    values: np.ndarray | float
+    served_from: tuple[str, ...]
+    cells_scanned: int
+
+
+class QueryEngine:
+    """Answers :class:`GroupByQuery` objects from a :class:`DataCube`."""
+
+    def __init__(self, cube: DataCube):
+        self.cube = cube
+        self.queries_answered = 0
+        self.total_cells_scanned = 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _resolve_filter(self, name: str, value: object) -> slice | int:
+        dim = self.cube.schema.dimension(name)
+        if isinstance(value, str):
+            return dim.index_of(value)
+        if isinstance(value, tuple):
+            lo, hi = value
+            if not 0 <= lo <= hi <= dim.size:
+                raise ValueError(f"range {value} out of bounds for {name!r}")
+            return slice(lo, hi)
+        idx = int(value)  # type: ignore[arg-type]
+        if not 0 <= idx < dim.size:
+            raise ValueError(f"index {idx} out of bounds for {name!r}")
+        return idx
+
+    def _best_cover(self, node: Node) -> Node | None:
+        """Smallest materialized view containing ``node``."""
+        shape = self.cube.schema.shape
+        best: Node | None = None
+        best_size = None
+        q = set(node)
+        for v in self.cube.aggregates:
+            if q <= set(v):
+                size_v = node_size(v, shape)
+                if best_size is None or (size_v, v) < (best_size, best):
+                    best, best_size = v, size_v
+        return best
+
+    def _base_group_by(self, node: Node) -> DenseArray:
+        """Aggregate the base fact array onto ``node`` (last resort)."""
+        base = self.cube.base
+        if base is None:
+            raise LookupError(
+                "no materialized view covers the query and the base array "
+                "was not kept (build with keep_base=True)"
+            )
+        n = len(self.cube.schema.dimensions)
+        if isinstance(base, SparseArray):
+            return aggregate_sparse_to_dense(base, tuple(range(n)), node)
+        from repro.arrays.aggregate import aggregate_dense
+
+        return aggregate_dense(base, node)
+
+    # -- answering ------------------------------------------------------------------
+
+    def answer(self, query: GroupByQuery) -> QueryAnswer:
+        """Answer from the cheapest cover; falls back to the base array."""
+        schema = self.cube.schema
+        mentioned = query.mentioned()
+        names = sorted(mentioned, key=schema.index)
+        if len(query.group_by) == len(schema.dimensions):
+            raise ValueError(
+                "grouping by every dimension reproduces the base array; "
+                "read it directly"
+            )
+        node = schema.node_of(names)
+        if len(node) == len(schema.dimensions):
+            # Filters mention every dimension: only the base can answer.
+            cover = None
+        else:
+            cover = self._best_cover(node)
+        if cover is not None:
+            arr = self.cube.aggregates[cover]
+            served = schema.names_of(cover)
+        else:
+            arr = self._base_group_by(node)
+            served = BASE
+
+        # Build the index into the cover: filter, keep, or sum each of the
+        # cover's dimensions.
+        index: list[object] = []
+        sum_axes: list[int] = []
+        kept = 0
+        for d in arr.dims:
+            name = schema.names[d]
+            if name in query.where:
+                resolved = self._resolve_filter(name, query.where[name])
+                index.append(resolved)
+                if isinstance(resolved, slice):
+                    if name not in query.group_by:
+                        sum_axes.append(kept)
+                    kept += 1
+            elif name in query.group_by:
+                index.append(slice(None))
+                kept += 1
+            else:
+                # Cover dimension the query never mentioned: aggregate out.
+                index.append(slice(None))
+                sum_axes.append(kept)
+                kept += 1
+        sub = arr.data[tuple(index)]
+        cells = int(np.asarray(sub).size)
+        if sum_axes:
+            sub = sub.sum(axis=tuple(sum_axes))
+        values: np.ndarray | float
+        if isinstance(sub, np.ndarray) and sub.ndim > 0:
+            values = sub
+        else:
+            values = float(sub)
+        self.queries_answered += 1
+        self.total_cells_scanned += cells
+        return QueryAnswer(values, served, cells)
+
+    def answer_many(self, queries: Sequence[GroupByQuery]) -> list[QueryAnswer]:
+        return [self.answer(q) for q in queries]

@@ -1,0 +1,169 @@
+"""Greedy view selection under a space budget (Harinarayan et al., the
+paper's reference [6]).
+
+The paper's conclusion points at partial materialization as the natural
+follow-on; selecting *which* group-bys to materialize is the classic view-
+selection problem.  This module implements the greedy algorithm of
+"Implementing Data Cubes Efficiently" (HRU), benefit-per-unit-space
+variant:
+
+- answering a query over dimension set ``q`` from a materialized view ``v``
+  (``q`` a subset of ``v``) costs ``|v|`` (a linear scan of the view);
+- the base array (the lattice root) is always available;
+- the *benefit* of materializing ``v`` given the already-selected set ``S``
+  is ``sum_q freq(q) * max(0, cost_S(q) - |v|)`` over the queries ``v`` can
+  serve;
+- greedily pick the view with the highest benefit per element of space
+  until the budget is exhausted.
+
+The selected views feed :func:`repro.core.partial` for construction and the
+generalized :class:`repro.olap.query.QueryEngine` for answering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.lattice import Node, all_nodes, full_node, node_size
+
+
+def uniform_workload(n: int) -> dict[Node, float]:
+    """Every proper group-by queried with equal frequency."""
+    nodes = [nd for nd in all_nodes(n) if len(nd) < n]
+    w = 1.0 / len(nodes)
+    return {nd: w for nd in nodes}
+
+
+def _check_workload(workload: Mapping[Node, float], n: int) -> dict[Node, float]:
+    out: dict[Node, float] = {}
+    for node, freq in workload.items():
+        node = tuple(node)
+        if len(node) >= n:
+            raise ValueError(f"workload query {node} is the base array")
+        if freq < 0:
+            raise ValueError(f"negative frequency for {node}")
+        out[node] = float(freq)
+    if not out:
+        raise ValueError("workload must contain at least one query")
+    return out
+
+
+def answering_cost(
+    query: Sequence[int],
+    materialized: set[Node],
+    shape: Sequence[int],
+) -> int:
+    """Cost of the cheapest materialized view covering ``query``.
+
+    The root (base array) is an implicit member of ``materialized``.
+    """
+    q = set(query)
+    n = len(shape)
+    best = node_size(full_node(n), shape)
+    for v in materialized:
+        if q <= set(v):
+            best = min(best, node_size(v, shape))
+    return best
+
+
+def workload_cost(
+    workload: Mapping[Node, float],
+    materialized: set[Node],
+    shape: Sequence[int],
+) -> float:
+    """Frequency-weighted total scan cost of a workload."""
+    return sum(
+        freq * answering_cost(q, materialized, shape)
+        for q, freq in workload.items()
+    )
+
+
+@dataclass
+class ViewSelection:
+    """Result of the greedy selection."""
+
+    views: list[Node]
+    space_used_elements: int
+    budget_elements: int
+    workload_cost_before: float
+    workload_cost_after: float
+    trace: list[tuple[Node, float]] = field(default_factory=list)
+
+    @property
+    def improvement_factor(self) -> float:
+        if self.workload_cost_after == 0:
+            return float("inf")
+        return self.workload_cost_before / self.workload_cost_after
+
+
+def greedy_select_views(
+    shape: Sequence[int],
+    budget_elements: int,
+    workload: Mapping[Node, float] | None = None,
+) -> ViewSelection:
+    """HRU greedy: maximize benefit per element of space under a budget."""
+    shape = tuple(shape)
+    n = len(shape)
+    if budget_elements < 0:
+        raise ValueError("budget must be non-negative")
+    wl = _check_workload(workload, n) if workload is not None else uniform_workload(n)
+    candidates = [nd for nd in all_nodes(n) if len(nd) < n]
+    selected: set[Node] = set()
+    space = 0
+    trace: list[tuple[Node, float]] = []
+    cost0 = workload_cost(wl, selected, shape)
+
+    while True:
+        best_view: Node | None = None
+        best_ratio = 0.0
+        best_benefit = 0.0
+        for v in candidates:
+            if v in selected:
+                continue
+            size_v = node_size(v, shape)
+            if size_v == 0 or space + size_v > budget_elements:
+                continue
+            benefit = 0.0
+            for q, freq in wl.items():
+                if set(q) <= set(v):
+                    cur = answering_cost(q, selected, shape)
+                    if cur > size_v:
+                        benefit += freq * (cur - size_v)
+            ratio = benefit / size_v
+            # Deterministic tie-break: higher ratio, then smaller view,
+            # then lexicographic node.
+            key = (ratio, -size_v, tuple(-d for d in v))
+            best_key = (best_ratio, -(node_size(best_view, shape)) if best_view else 0,
+                        tuple(-d for d in best_view) if best_view else ())
+            if best_view is None or key > best_key:
+                if benefit > 0:
+                    best_view = v
+                    best_ratio = ratio
+                    best_benefit = benefit
+        if best_view is None:
+            break
+        selected.add(best_view)
+        space += node_size(best_view, shape)
+        trace.append((best_view, best_benefit))
+
+    return ViewSelection(
+        views=sorted(selected, key=lambda v: (len(v), v)),
+        space_used_elements=space,
+        budget_elements=budget_elements,
+        workload_cost_before=cost0,
+        workload_cost_after=workload_cost(wl, selected, shape),
+        trace=trace,
+    )
+
+
+def closure_views(views: Sequence[Node], n: int) -> list[Node]:
+    """Views plus the aggregation-tree ancestors construction needs.
+
+    Construction via the pruned aggregation tree computes the ancestral
+    closure anyway; materializing it too costs no extra computation, only
+    the space of the intermediates.
+    """
+    from repro.core.partial import required_closure
+
+    return sorted(required_closure(views, n), key=lambda v: (len(v), v))

@@ -1,0 +1,31 @@
+"""Tiling: cube construction under a main-memory cap (paper, section 3).
+
+When the Theorem-1 working set ``B(shape)`` exceeds main memory, prior work
+either writes elements back eagerly (Zhao et al.) or tiles the computation
+(the authors' follow-up).  The paper's observation: *because the aggregation
+tree minimizes the memory bound, it minimizes the number of tiles required,
+and therefore the extra I/O traffic.*  This subpackage implements a tiled
+sequential constructor with exact I/O accounting so that claim is testable.
+"""
+
+from repro.tiling.tiles import (
+    TilingPlan,
+    choose_tiling,
+    construct_cube_tiled,
+    TiledResult,
+)
+from repro.tiling.parallel_tiled import (
+    ParallelTiledResult,
+    choose_parallel_tiling,
+    construct_cube_tiled_parallel,
+)
+
+__all__ = [
+    "TilingPlan",
+    "choose_tiling",
+    "construct_cube_tiled",
+    "TiledResult",
+    "ParallelTiledResult",
+    "choose_parallel_tiling",
+    "construct_cube_tiled_parallel",
+]

@@ -1,0 +1,182 @@
+"""Tiled sequential cube construction with exact I/O accounting.
+
+The input array is split into a grid of tiles (``2**t_i`` per dimension).
+Each tile is processed independently with the ordinary Fig 3 constructor,
+and its (tile-local) aggregates are *accumulated* into on-disk output
+arrays: for node ``T``, the tile's result lands at the tile's index ranges
+along the dimensions in ``T`` and is added to what previous tiles wrote
+(tiles that differ only along aggregated dimensions hit the same region).
+
+I/O cost: every accumulation into a previously-written region is a
+read-modify-write, so each output array is written once plus re-read/
+re-written once per *extra* contributing tile.  Fewer tiles -> less traffic
+-- which is why minimizing the Theorem-1 bound (the aggregation tree's
+property) matters when memory is capped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.arrays.chunking import BlockPartition
+from repro.arrays.dense import DenseArray
+from repro.arrays.sparse import SparseArray
+from repro.arrays.storage import DiskStats, SimulatedDisk
+from repro.core.lattice import Node, all_nodes
+from repro.core.memory_model import sequential_memory_bound
+from repro.core.sequential import construct_cube_sequential
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """How many power-of-two tiles each dimension is split into."""
+
+    shape: tuple[int, ...]
+    tile_bits: tuple[int, ...]
+
+    @property
+    def tiles_per_dim(self) -> tuple[int, ...]:
+        return tuple(2 ** b for b in self.tile_bits)
+
+    @property
+    def num_tiles(self) -> int:
+        n = 1
+        for t in self.tiles_per_dim:
+            n *= t
+        return n
+
+    def tile_shape_max(self) -> tuple[int, ...]:
+        """Largest tile extents (balanced split)."""
+        out = []
+        for s, t in zip(self.shape, self.tiles_per_dim):
+            out.append(-(-s // t))
+        return tuple(out)
+
+    def working_set_elements(self) -> int:
+        """Theorem-1 bound of one (largest) tile."""
+        return sequential_memory_bound(self.tile_shape_max())
+
+
+def choose_tiling(shape: Sequence[int], capacity_elements: int) -> TilingPlan:
+    """Smallest tiling whose per-tile working set fits in ``capacity``.
+
+    Greedy: repeatedly halve the dimension whose halving most reduces the
+    per-tile Theorem-1 bound (ties toward the earliest dimension), until
+    the bound fits.  Raises if even fully split tiles cannot fit.
+    """
+    shape = tuple(shape)
+    if capacity_elements <= 0:
+        raise ValueError("capacity must be positive")
+    n = len(shape)
+    bits = [0] * n
+    while True:
+        plan = TilingPlan(shape, tuple(bits))
+        if plan.working_set_elements() <= capacity_elements:
+            return plan
+        candidates = [
+            j for j in range(n) if 2 ** (bits[j] + 1) <= shape[j]
+        ]
+        if not candidates:
+            raise ValueError(
+                f"shape {shape} cannot fit working set into {capacity_elements} "
+                "elements even fully tiled"
+            )
+
+        def bound_after(j: int) -> int:
+            trial = list(bits)
+            trial[j] += 1
+            return TilingPlan(shape, tuple(trial)).working_set_elements()
+
+        j = min(candidates, key=lambda j: (bound_after(j), j))
+        bits[j] += 1
+
+
+@dataclass
+class TiledResult:
+    """Outcome of a tiled construction."""
+
+    results: dict[Node, DenseArray]
+    plan: TilingPlan
+    disk: DiskStats
+    peak_memory_elements: int
+    accumulation_rewrites: int
+
+    def __getitem__(self, node: Sequence[int]) -> DenseArray:
+        return self.results[tuple(node)]
+
+
+def construct_cube_tiled(
+    array: SparseArray | DenseArray | np.ndarray,
+    capacity_elements: int | None = None,
+    plan: TilingPlan | None = None,
+    disk: SimulatedDisk | None = None,
+) -> TiledResult:
+    """Construct the cube tile by tile under a memory cap.
+
+    Provide either ``capacity_elements`` (a plan is chosen greedily) or an
+    explicit ``plan``.  Results are full global aggregates; the disk stats
+    include the read-modify-write traffic of cross-tile accumulation.
+    """
+    if isinstance(array, np.ndarray):
+        array = DenseArray.full_cube_input(array)
+    shape = tuple(array.shape)
+    n = len(shape)
+    if plan is None:
+        if capacity_elements is None:
+            raise ValueError("need capacity_elements or an explicit plan")
+        plan = choose_tiling(shape, capacity_elements)
+    elif plan.shape != shape:
+        raise ValueError(f"plan shape {plan.shape} != array shape {shape}")
+    disk = disk if disk is not None else SimulatedDisk()
+    grid = BlockPartition(shape, plan.tiles_per_dim)
+    itemsize = np.dtype(np.float64).itemsize
+
+    results: dict[Node, DenseArray] = {}
+    # Regions already written: (node, tile coords along the node's dims).
+    # Tiles differing only along aggregated dimensions hit the same region
+    # and force a read-modify-write.
+    touched: set[tuple[Node, tuple[int, ...]]] = set()
+    rewrites = 0
+    peak = 0
+    for node in all_nodes(n):
+        if len(node) < n:
+            results[node] = DenseArray.zeros(tuple(shape[d] for d in node), node)
+
+    for tile_coords in grid.iter_blocks():
+        slices = grid.slices(tile_coords)
+        if isinstance(array, SparseArray):
+            block = array.extract_block(slices)
+        else:
+            block = DenseArray(
+                np.ascontiguousarray(array.data[slices]), tuple(range(n))
+            )
+        sub = construct_cube_sequential(block)
+        peak = max(peak, sub.peak_memory_elements)
+        for node, local in sub.results.items():
+            target = results[node]
+            sl = tuple(slices[d] for d in node)
+            region = (node, tuple(tile_coords[d] for d in node))
+            region_bytes = local.size * itemsize
+            if region in touched:
+                # Read-modify-write of the affected region.
+                disk.stats.bytes_read += region_bytes
+                disk.stats.read_ops += 1
+                rewrites += 1
+            disk.stats.bytes_written += region_bytes
+            disk.stats.write_ops += 1
+            if node:
+                target.data[sl] += local.data
+            else:
+                target.data[()] += local.data
+            touched.add(region)
+
+    return TiledResult(
+        results=results,
+        plan=plan,
+        disk=disk.stats.copy(),
+        peak_memory_elements=peak,
+        accumulation_rewrites=rewrites,
+    )

@@ -1,0 +1,56 @@
+"""Small shared helpers: node naming and formatting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+DEFAULT_DIM_LETTERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def node_name(node: Sequence[int]) -> str:
+    """Canonical on-disk / display name of a cube node.
+
+    ``(0, 2)`` -> ``"d0.d2"``; the empty node is ``"all"``.
+    """
+    node = tuple(node)
+    if not node:
+        return "all"
+    return ".".join(f"d{d}" for d in node)
+
+
+def parse_node_name(name: str) -> tuple[int, ...]:
+    """Inverse of :func:`node_name`."""
+    if name == "all":
+        return ()
+    parts = name.split(".")
+    out = []
+    for p in parts:
+        if not p.startswith("d"):
+            raise ValueError(f"bad node name {name!r}")
+        out.append(int(p[1:]))
+    return tuple(out)
+
+
+def node_letters(node: Sequence[int], letters: str = DEFAULT_DIM_LETTERS) -> str:
+    """Paper-style label: ``(0, 1, 2)`` -> ``"ABC"``, ``()`` -> ``"all"``."""
+    node = tuple(node)
+    if not node:
+        return "all"
+    return "".join(letters[d] for d in node)
+
+
+def human_bytes(n: float) -> str:
+    """``1536`` -> ``"1.5 KiB"`` (for report printing)."""
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    raise AssertionError("unreachable")
+
+
+def human_count(n: float) -> str:
+    """``1.5e6`` -> ``"1.50M"`` (for report printing)."""
+    for unit, div in (("G", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(n) >= div:
+            return f"{n / div:.2f}{unit}"
+    return f"{n:.0f}"

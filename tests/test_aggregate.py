@@ -1,0 +1,123 @@
+"""Unit tests for aggregation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.aggregate import (
+    aggregate_dense,
+    aggregate_sparse_multi,
+    aggregate_sparse_to_dense,
+    project_axes,
+)
+from repro.arrays.dense import DenseArray
+from repro.arrays.sparse import SparseArray
+
+
+def rand_dense(shape, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, size=shape)
+
+
+class TestProjectAxes:
+    def test_basic(self):
+        assert project_axes((0, 2, 5), (2, 5)) == (1, 2)
+
+    def test_empty_keep(self):
+        assert project_axes((0, 1), ()) == ()
+
+    def test_missing_dim(self):
+        with pytest.raises(ValueError):
+            project_axes((0, 1), (3,))
+
+
+class TestAggregateDense:
+    def test_drop_one_axis(self):
+        data = rand_dense((3, 4, 5), 1)
+        arr = DenseArray(data, (0, 1, 2))
+        out = aggregate_dense(arr, (0, 2))
+        assert out.dims == (0, 2)
+        assert np.allclose(out.data, data.sum(axis=1))
+
+    def test_drop_all(self):
+        data = rand_dense((3, 4), 2)
+        arr = DenseArray(data, (0, 1))
+        out = aggregate_dense(arr, ())
+        assert out.dims == ()
+        assert np.isclose(float(out.data), data.sum())
+
+    def test_keep_all_copies(self):
+        data = rand_dense((3, 4), 3)
+        arr = DenseArray(data, (0, 1))
+        out = aggregate_dense(arr, (0, 1))
+        assert np.array_equal(out.data, data)
+        out.data[0, 0] = 99
+        assert arr.data[0, 0] != 99
+
+    def test_on_subset_dims_array(self):
+        # Array whose axes are cube dims (1, 3) aggregated onto (3,).
+        data = rand_dense((4, 6), 4)
+        arr = DenseArray(data, (1, 3))
+        out = aggregate_dense(arr, (3,))
+        assert out.dims == (3,)
+        assert np.allclose(out.data, data.sum(axis=0))
+
+    def test_rejects_non_subset(self):
+        arr = DenseArray(rand_dense((3, 4), 5), (0, 1))
+        with pytest.raises(ValueError):
+            aggregate_dense(arr, (2,))
+
+
+class TestAggregateSparse:
+    @pytest.mark.parametrize("chunk_shape", [None, (3, 2, 4), (2, 2, 2)])
+    def test_matches_dense_reference(self, chunk_shape):
+        rng = np.random.default_rng(6)
+        dense = np.where(rng.uniform(size=(6, 4, 8)) < 0.3, rng.uniform(size=(6, 4, 8)), 0)
+        sp = SparseArray.from_dense(dense, chunk_shape=chunk_shape)
+        for target in [(0,), (1,), (2,), (0, 1), (0, 2), (1, 2), ()]:
+            out = aggregate_sparse_to_dense(sp, (0, 1, 2), target)
+            drop = tuple(i for i in range(3) if i not in target)
+            expected = dense.sum(axis=drop) if drop else dense
+            assert np.allclose(out.data, expected), target
+            assert out.dims == target
+
+    def test_empty_sparse(self):
+        sp = SparseArray.from_dense(np.zeros((3, 4)))
+        out = aggregate_sparse_to_dense(sp, (0, 1), (1,))
+        assert np.array_equal(out.data, np.zeros(4))
+
+    def test_output_sizes_override(self):
+        # Local block aggregation: output sized to the block, not global.
+        dense = np.ones((2, 3))
+        sp = SparseArray.from_dense(dense)
+        out = aggregate_sparse_to_dense(sp, (0, 1), (0,), dim_sizes=(2,))
+        assert out.shape == (2,)
+        assert np.allclose(out.data, [3.0, 3.0])
+
+    def test_subset_dims_identity(self):
+        # Sparse array whose axes are cube dims (1, 4).
+        dense = np.arange(12.0).reshape(3, 4)
+        sp = SparseArray.from_dense(dense)
+        out = aggregate_sparse_to_dense(sp, (1, 4), (4,))
+        assert out.dims == (4,)
+        assert np.allclose(out.data, dense.sum(axis=0))
+
+
+class TestAggregateSparseMulti:
+    def test_matches_individual(self):
+        rng = np.random.default_rng(7)
+        dense = np.where(rng.uniform(size=(5, 6, 4)) < 0.4, rng.uniform(size=(5, 6, 4)), 0)
+        sp = SparseArray.from_dense(dense, chunk_shape=(5, 3, 2))
+        targets = [(0, 1), (0, 2), (1, 2)]
+        outs = aggregate_sparse_multi(sp, (0, 1, 2), targets)
+        for t, out in zip(targets, outs):
+            single = aggregate_sparse_to_dense(sp, (0, 1, 2), t)
+            assert np.allclose(out.data, single.data)
+
+    def test_scalar_target(self):
+        dense = np.ones((2, 2))
+        sp = SparseArray.from_dense(dense)
+        outs = aggregate_sparse_multi(sp, (0, 1), [()])
+        assert float(outs[0].data) == 4.0
+
+    def test_no_targets(self):
+        sp = SparseArray.from_dense(np.ones((2, 2)))
+        assert aggregate_sparse_multi(sp, (0, 1), []) == []

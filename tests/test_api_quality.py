@@ -1,0 +1,113 @@
+"""Meta-tests on the public API: exports exist, are documented, and the
+package surface stays coherent."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.arrays",
+    "repro.arrays.aggregate",
+    "repro.arrays.chunking",
+    "repro.arrays.dataset",
+    "repro.arrays.dense",
+    "repro.arrays.measures",
+    "repro.arrays.persist",
+    "repro.arrays.sparse",
+    "repro.arrays.storage",
+    "repro.baselines",
+    "repro.baselines.level_sync",
+    "repro.baselines.naive_parallel",
+    "repro.baselines.partitions",
+    "repro.baselines.trees",
+    "repro.cli",
+    "repro.iceberg",
+    "repro.iceberg.buc",
+    "repro.cluster",
+    "repro.cluster.collectives",
+    "repro.cluster.machine",
+    "repro.cluster.metrics",
+    "repro.cluster.network",
+    "repro.cluster.runtime",
+    "repro.cluster.topology",
+    "repro.cluster.trace",
+    "repro.core",
+    "repro.core.aggregation_tree",
+    "repro.core.comm_model",
+    "repro.core.io_study",
+    "repro.core.lattice",
+    "repro.core.memory_model",
+    "repro.core.ordering",
+    "repro.core.parallel",
+    "repro.core.partial",
+    "repro.core.partition",
+    "repro.core.plan",
+    "repro.core.prefix_tree",
+    "repro.core.sequential",
+    "repro.core.spanning_tree",
+    "repro.olap",
+    "repro.olap.cube",
+    "repro.olap.granularity",
+    "repro.olap.maintenance",
+    "repro.olap.query",
+    "repro.olap.schema",
+    "repro.olap.view_selection",
+    "repro.olap.workload",
+    "repro.tiling",
+    "repro.tiling.parallel_tiled",
+    "repro.tiling.tiles",
+    "repro.util",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_documented(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{name} lacks a docstring"
+
+
+def test_module_list_is_complete():
+    found = {"repro"}
+    for pkg in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        found.add(pkg.name)
+    assert found == set(MODULES), (
+        f"update MODULES: missing={found - set(MODULES)}, "
+        f"stale={set(MODULES) - found}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["repro", "repro.arrays", "repro.cluster", "repro.core", "repro.olap",
+     "repro.tiling", "repro.baselines"],
+)
+def test_dunder_all_resolves(name):
+    mod = importlib.import_module(name)
+    for sym in mod.__all__:
+        assert hasattr(mod, sym), f"{name}.__all__ lists missing {sym!r}"
+
+
+def test_public_functions_have_docstrings():
+    undocumented = []
+    for name in MODULES:
+        mod = importlib.import_module(name)
+        for attr_name, attr in vars(mod).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isfunction(attr) and attr.__module__ == name:
+                if not (attr.__doc__ and attr.__doc__.strip()):
+                    undocumented.append(f"{name}.{attr_name}")
+            if inspect.isclass(attr) and attr.__module__ == name:
+                if not (attr.__doc__ and attr.__doc__.strip()):
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"

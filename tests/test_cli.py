@@ -1,0 +1,102 @@
+"""Unit tests for the repro-cube CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_shape_parsing_commas_and_x(self):
+        p = build_parser()
+        a = p.parse_args(["plan", "--shape", "8,4,2"])
+        assert a.shape == (8, 4, 2)
+        a = p.parse_args(["plan", "--shape", "8x4x2"])
+        assert a.shape == (8, 4, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--shape", "8,zero"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--shape", "0,4"])
+
+    def test_rejects_non_power_of_two_procs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["construct", "--shape", "8,8", "--procs", "6"]
+            )
+
+
+class TestPlan:
+    def test_outputs_table(self):
+        code, text = run_cli("plan", "--shape", "16,8,4", "--max-procs", "8")
+        assert code == 0
+        assert "ordering" in text
+        assert "2-dimensional" in text or "1-dimensional" in text
+
+    def test_unsorted_shape_reordered(self):
+        _code, text = run_cli("plan", "--shape", "4,16,8")
+        assert "(16, 8, 4)" in text
+
+
+class TestConstruct:
+    def test_reports_exact_match(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8,4", "--procs", "4",
+            "--sparsity", "0.3", "--verify",
+        )
+        assert code == 0
+        assert "exact match" in text
+        assert "verified" in text
+
+    def test_metrics_printed(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8", "--procs", "2", "--sparsity", "0.5"
+        )
+        assert code == 0
+        assert "simulated time" in text
+        assert "communication" in text
+
+
+class TestSweep:
+    def test_lists_all_choices(self):
+        code, text = run_cli("sweep", "--shape", "8,8,8,8", "--procs", "8")
+        assert code == 0
+        assert "3-dimensional" in text
+        assert "1-dimensional" in text
+
+
+class TestTree:
+    def test_renders_both_trees(self):
+        code, text = run_cli("tree", "--dims", "3")
+        assert code == 0
+        assert "prefix tree" in text
+        assert "aggregation tree" in text
+        assert "ABC" in text
+
+    def test_schedule_flag(self):
+        _code, text = run_cli("tree", "--dims", "2", "--schedule")
+        assert "write-back" in text
+
+    def test_shape_annotations(self):
+        _code, text = run_cli("tree", "--shape", "4,3")
+        assert "[12]" in text
+
+
+class TestViews:
+    def test_selection_output(self):
+        code, text = run_cli("views", "--shape", "16,8,4", "--budget", "200")
+        assert code == 0
+        assert "selected" in text
+        assert "workload cost" in text

@@ -1,0 +1,107 @@
+"""Unit tests for the CLI's build/query/delta subcommands."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestBuild:
+    def test_build_saves_cube(self, tmp_path):
+        cube = tmp_path / "cube.npz"
+        code, text = run_cli(
+            "build", "--shape", "8,6,4", "--procs", "4",
+            "--sparsity", "0.3", "--out", str(cube),
+        )
+        assert code == 0
+        assert cube.exists()
+        assert "aggregates" in text
+
+    def test_build_saves_facts(self, tmp_path):
+        cube = tmp_path / "cube.npz"
+        facts = tmp_path / "facts.npz"
+        code, _ = run_cli(
+            "build", "--shape", "6,4", "--out", str(cube),
+            "--facts-out", str(facts), "--procs", "2",
+        )
+        assert code == 0
+        assert facts.exists()
+
+    def test_build_skewed_and_measures(self, tmp_path):
+        cube = tmp_path / "cube.npz"
+        code, _ = run_cli(
+            "build", "--shape", "6,4", "--out", str(cube),
+            "--skew", "--measure", "count", "--procs", "1",
+        )
+        assert code == 0
+        from repro.arrays.persist import load_cube
+
+        _aggs, _shape, measure = load_cube(cube)
+        assert measure == "count"
+
+
+class TestQuery:
+    @pytest.fixture
+    def built(self, tmp_path):
+        cube = tmp_path / "cube.npz"
+        facts = tmp_path / "facts.npz"
+        run_cli(
+            "build", "--shape", "8,6,4", "--procs", "2", "--seed", "5",
+            "--sparsity", "0.4", "--out", str(cube), "--facts-out", str(facts),
+        )
+        return cube, facts
+
+    def test_grand_total(self, built):
+        cube, facts = built
+        code, text = run_cli("query", "--cube", str(cube))
+        assert code == 0
+        from repro.arrays.persist import load_sparse
+
+        total = load_sparse(facts).to_dense().sum()
+        assert f"{total:.4f}" in text
+
+    def test_group_by_dims(self, built):
+        cube, _facts = built
+        code, text = run_cli("query", "--cube", str(cube), "--dims", "0", "2")
+        assert code == 0
+        assert "shape=(8, 4)" in text
+
+    def test_out_of_range_dims(self, built):
+        cube, _facts = built
+        code, text = run_cli("query", "--cube", str(cube), "--dims", "9")
+        assert code == 2
+        assert "error" in text
+
+
+class TestDelta:
+    def test_refresh_roundtrip(self, tmp_path):
+        cube = tmp_path / "cube.npz"
+        facts = tmp_path / "facts.npz"
+        run_cli(
+            "build", "--shape", "6,4", "--procs", "2", "--sparsity", "0.3",
+            "--seed", "2", "--out", str(cube), "--facts-out", str(facts),
+        )
+        from repro.arrays.persist import load_sparse
+
+        before = load_sparse(facts).nnz
+        code, text = run_cli(
+            "delta", "--facts", str(facts), "--cube", str(cube),
+            "--procs", "2", "--sparsity", "0.2", "--seed", "9",
+        )
+        assert code == 0
+        assert "absorbed" in text
+        after = load_sparse(facts)
+        assert after.nnz > before
+        # The refreshed cube's grand total matches the merged facts.
+        from repro.arrays.persist import load_cube
+
+        aggs, _shape, _m = load_cube(cube)
+        assert np.isclose(float(aggs[()].data), after.to_dense().sum())

@@ -1,0 +1,107 @@
+"""Unit tests for the closed-form communication volume (Lemma 1 / Thm 3)."""
+
+import pytest
+
+from repro.core.comm_model import (
+    comm_coefficient,
+    edge_comm_volume,
+    first_level_comm_volume,
+    total_comm_volume,
+    total_comm_volume_by_edges,
+)
+
+
+class TestCoefficient:
+    def test_3d_values(self):
+        shape = (4, 3, 2)
+        # c_0 = |D1||D2| = 6; c_1 = |D2|(1+|D0|) = 10; c_2 = (1+4)(1+3) = 20.
+        assert comm_coefficient(0, shape) == 6
+        assert comm_coefficient(1, shape) == 10
+        assert comm_coefficient(2, shape) == 20
+
+    def test_coefficients_increase_for_sorted_shape(self):
+        # Under the canonical (non-increasing) ordering the coefficients are
+        # non-decreasing in j -- why the greedy partitions early dims first.
+        shape = (16, 8, 8, 4, 2)
+        cs = [comm_coefficient(j, shape) for j in range(5)]
+        assert cs == sorted(cs)
+
+    def test_coefficient_equals_edge_sum(self):
+        # c_j is the total size of all nodes aggregated along dim j.
+        from repro.core.aggregation_tree import AggregationTree
+        from repro.core.lattice import node_size
+
+        shape = (5, 4, 3, 2)
+        tree = AggregationTree(4)
+        per_dim = {j: 0 for j in range(4)}
+        for _parent, child in tree.iter_edges():
+            per_dim[tree.aggregated_dim(child)] += node_size(child, shape)
+        for j in range(4):
+            assert per_dim[j] == comm_coefficient(j, shape)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            comm_coefficient(3, (2, 2, 2))
+
+
+class TestEdgeVolume:
+    def test_lemma1(self):
+        shape = (8, 4, 2)
+        bits = (2, 1, 0)
+        # Finalizing child (0, 1) along dim 2 with 2**0 procs: free.
+        assert edge_comm_volume((0, 1), 2, shape, bits) == 0
+        # Finalizing child (1, 2) along dim 0 with 4 procs: 3 * |(1,2)| = 24.
+        assert edge_comm_volume((1, 2), 0, shape, bits) == 24
+
+    def test_rejects_oversplit(self):
+        with pytest.raises(ValueError):
+            edge_comm_volume((0,), 1, (8, 2), (0, 2))
+
+
+class TestTotalVolume:
+    @pytest.mark.parametrize(
+        "shape,bits",
+        [
+            ((4, 3, 2), (1, 1, 0)),
+            ((8, 8, 8), (2, 1, 0)),
+            ((8, 8, 4, 4), (1, 1, 1, 0)),
+            ((16, 8, 4, 2), (2, 2, 0, 0)),
+            ((5, 5, 5, 5, 4), (1, 1, 1, 1, 1)),
+            ((7, 3), (0, 0)),
+        ],
+    )
+    def test_closed_form_equals_edge_sum(self, shape, bits):
+        assert total_comm_volume(shape, bits) == total_comm_volume_by_edges(
+            shape, bits
+        )
+
+    def test_no_partition_no_volume(self):
+        assert total_comm_volume((8, 8, 8), (0, 0, 0)) == 0
+
+    def test_single_dim_partition_3d(self):
+        # Section 2: partitioning only dim j, first level moves
+        # (2^k - 1) * product of the other two sizes.
+        shape = (4, 3, 2)
+        assert first_level_comm_volume(shape, (1, 0, 0)) == 6
+        assert first_level_comm_volume(shape, (0, 1, 0)) == 8
+        assert first_level_comm_volume(shape, (0, 0, 1)) == 12
+
+    def test_first_level_less_than_total(self):
+        shape = (8, 8, 8)
+        bits = (1, 1, 1)
+        assert first_level_comm_volume(shape, bits) < total_comm_volume(shape, bits)
+
+    def test_volume_monotone_in_bits(self):
+        shape = (16, 16, 16)
+        v1 = total_comm_volume(shape, (1, 0, 0))
+        v2 = total_comm_volume(shape, (2, 0, 0))
+        v3 = total_comm_volume(shape, (2, 1, 0))
+        assert v1 < v2 < v3
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            total_comm_volume((4, 4), (1,))
+
+    def test_negative_bits(self):
+        with pytest.raises(ValueError):
+            total_comm_volume((4, 4), (-1, 1))

@@ -1,0 +1,87 @@
+"""Unit tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_dense, random_sparse, zipf_sparse
+
+
+class TestRandomSparse:
+    def test_exact_nnz(self):
+        arr = random_sparse((10, 10), 0.25, seed=1)
+        assert arr.nnz == 25
+
+    def test_sparsity_property(self):
+        arr = random_sparse((8, 8, 8), 0.1, seed=2)
+        # nnz is rounded to the nearest cell count.
+        assert abs(arr.sparsity - 0.1) <= 0.5 / arr.size
+
+    def test_deterministic(self):
+        a = random_sparse((6, 6), 0.3, seed=5)
+        b = random_sparse((6, 6), 0.3, seed=5)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_different_seeds_differ(self):
+        a = random_sparse((8, 8), 0.3, seed=1)
+        b = random_sparse((8, 8), 0.3, seed=2)
+        assert not np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_values_positive(self):
+        arr = random_sparse((10, 10), 0.5, seed=3)
+        _, values = arr.all_coords_values()
+        assert np.all(values > 0)
+
+    def test_full_density(self):
+        arr = random_sparse((4, 4), 1.0, seed=4)
+        assert arr.nnz == 16
+
+    def test_zero_density(self):
+        arr = random_sparse((4, 4), 0.0, seed=4)
+        assert arr.nnz == 0
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            random_sparse((4, 4), 1.5)
+        with pytest.raises(ValueError):
+            random_sparse((4, 4), -0.1)
+
+    def test_chunked(self):
+        arr = random_sparse((8, 8), 0.25, seed=6, chunk_shape=(4, 4))
+        assert len(arr.chunks) == 4
+        assert arr.nnz == 16
+
+
+class TestRandomDense:
+    def test_shape_and_range(self):
+        arr = random_dense((3, 4), seed=1, low=2.0, high=3.0)
+        assert arr.shape == (3, 4)
+        assert np.all((arr >= 2.0) & (arr <= 3.0))
+
+    def test_deterministic(self):
+        assert np.array_equal(random_dense((3, 3), 7), random_dense((3, 3), 7))
+
+
+class TestZipfSparse:
+    def test_shape_and_skew(self):
+        arr = zipf_sparse((50, 20), nnz=2000, seed=1)
+        dense = arr.to_dense()
+        # Hot members (rank 0) should dominate.
+        assert dense[0, :].sum() > dense[25, :].sum()
+
+    def test_coords_in_range(self):
+        arr = zipf_sparse((5, 5), nnz=500, seed=2)
+        coords, _ = arr.all_coords_values()
+        assert coords.max() < 5 and coords.min() >= 0
+
+    def test_deterministic(self):
+        a = zipf_sparse((10, 10), 100, seed=3)
+        b = zipf_sparse((10, 10), 100, seed=3)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_zero_nnz(self):
+        arr = zipf_sparse((4, 4), 0, seed=1)
+        assert arr.nnz == 0
+
+    def test_rejects_negative_nnz(self):
+        with pytest.raises(ValueError):
+            zipf_sparse((4, 4), -1)

@@ -1,0 +1,99 @@
+"""Unit tests for the DenseArray wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dense import DenseArray
+
+
+class TestConstruction:
+    def test_basic(self):
+        arr = DenseArray(np.zeros((3, 4)), (0, 2))
+        assert arr.shape == (3, 4)
+        assert arr.dims == (0, 2)
+
+    def test_zeros(self):
+        arr = DenseArray.zeros((2, 5), (1, 3))
+        assert arr.size == 10
+        assert np.all(arr.data == 0)
+
+    def test_full_cube_input(self):
+        arr = DenseArray.full_cube_input(np.ones((2, 3, 4)))
+        assert arr.dims == (0, 1, 2)
+
+    def test_scalar(self):
+        arr = DenseArray(np.array(5.0), ())
+        assert arr.ndim == 0
+        assert arr.size == 1
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            DenseArray(np.zeros((3, 4)), (0,))
+
+    def test_rejects_unsorted_dims(self):
+        with pytest.raises(ValueError):
+            DenseArray(np.zeros((3, 4)), (2, 0))
+
+    def test_rejects_duplicate_dims(self):
+        with pytest.raises(ValueError):
+            DenseArray(np.zeros((3, 4)), (1, 1))
+
+
+class TestProperties:
+    def test_nbytes(self):
+        arr = DenseArray.zeros((3, 4), (0, 1))
+        assert arr.nbytes == 12 * 8
+
+    def test_copy_is_independent(self):
+        arr = DenseArray(np.ones((2, 2)), (0, 1))
+        cp = arr.copy()
+        cp.data[0, 0] = 99
+        assert arr.data[0, 0] == 1
+
+
+class TestOps:
+    def test_accumulate(self):
+        a = DenseArray(np.ones((2, 3)), (0, 1))
+        b = DenseArray(np.full((2, 3), 2.0), (0, 1))
+        a.accumulate(b)
+        assert np.all(a.data == 3.0)
+
+    def test_accumulate_rejects_mismatch(self):
+        a = DenseArray(np.ones((2, 3)), (0, 1))
+        b = DenseArray(np.ones((2, 3)), (0, 2))
+        with pytest.raises(ValueError):
+            a.accumulate(b)
+
+    def test_axis_of_dim(self):
+        arr = DenseArray.zeros((2, 3, 4), (1, 4, 5))
+        assert arr.axis_of_dim(4) == 1
+
+    def test_axis_of_dim_missing(self):
+        arr = DenseArray.zeros((2,), (1,))
+        with pytest.raises(ValueError):
+            arr.axis_of_dim(0)
+
+    def test_sum_along_dim(self):
+        data = np.arange(24.0).reshape(2, 3, 4)
+        arr = DenseArray(data, (0, 2, 5))
+        out = arr.sum_along_dim(2)
+        assert out.dims == (0, 5)
+        assert np.array_equal(out.data, data.sum(axis=1))
+
+    def test_sum_along_dim_to_scalar(self):
+        arr = DenseArray(np.arange(4.0), (3,))
+        out = arr.sum_along_dim(3)
+        assert out.dims == ()
+        assert float(out.data) == 6.0
+
+    def test_equality(self):
+        a = DenseArray(np.ones((2,)), (0,))
+        b = DenseArray(np.ones((2,)), (0,))
+        c = DenseArray(np.ones((2,)), (1,))
+        assert a == b
+        assert a != c
+
+    def test_allclose(self):
+        a = DenseArray(np.ones((2,)), (0,))
+        b = DenseArray(np.ones((2,)) + 1e-12, (0,))
+        assert a.allclose(b)

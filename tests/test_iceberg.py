@@ -1,0 +1,102 @@
+"""Unit tests for BUC iceberg cubes."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse, zipf_sparse
+from repro.arrays.measures import MAX, MIN
+from repro.arrays.sparse import SparseArray
+from repro.iceberg import buc_iceberg, iceberg_from_full_cube
+from repro.iceberg.buc import pruning_ratio
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return random_sparse((8, 6, 5), 0.25, seed=88)
+
+
+class TestBucMatchesOracle:
+    @pytest.mark.parametrize("minsup", [1, 2, 4, 10])
+    def test_sum_measure(self, facts, minsup):
+        buc = buc_iceberg(facts, minsup)
+        oracle = iceberg_from_full_cube(facts, minsup)
+        assert set(buc.cells) == set(oracle.cells)
+        for node in oracle.cells:
+            assert set(buc.cells[node]) == set(oracle.cells[node]), node
+            for cell, (agg, sup) in oracle.cells[node].items():
+                b_agg, b_sup = buc.cells[node][cell]
+                assert b_sup == sup
+                assert np.isclose(b_agg, agg), (node, cell)
+
+    @pytest.mark.parametrize("measure", [MIN, MAX])
+    def test_other_measures(self, facts, measure):
+        buc = buc_iceberg(facts, 3, measure=measure)
+        oracle = iceberg_from_full_cube(facts, 3, measure=measure)
+        for node in oracle.cells:
+            for cell, (agg, sup) in oracle.cells[node].items():
+                b_agg, b_sup = buc.cells[node][cell]
+                assert b_sup == sup and np.isclose(b_agg, agg)
+
+    def test_skewed_data(self):
+        data = zipf_sparse((20, 10, 8), nnz=800, seed=89)
+        buc = buc_iceberg(data, 5)
+        oracle = iceberg_from_full_cube(data, 5)
+        assert set(buc.cells) == set(oracle.cells)
+        for node in oracle.cells:
+            assert buc.cells[node] == pytest.approx(oracle.cells[node])
+
+
+class TestSemantics:
+    def test_minsup_one_keeps_every_populated_cell(self, facts):
+        buc = buc_iceberg(facts, 1)
+        n = len(facts.shape)
+        full_dims = tuple(range(n))
+        # The finest group-by keeps exactly the facts.
+        assert len(buc.cells[full_dims]) == facts.nnz
+
+    def test_support_monotone_down_the_lattice(self, facts):
+        buc = buc_iceberg(facts, 2)
+        # Every emitted cell's coarser projection is also emitted (support
+        # can only grow when dimensions are dropped).
+        for node, cells in buc.cells.items():
+            for cell in cells:
+                for i in range(len(node)):
+                    coarser_node = node[:i] + node[i + 1:]
+                    coarser_cell = cell[:i] + cell[i + 1:]
+                    assert coarser_cell in buc.cells[coarser_node]
+
+    def test_all_cell_support_is_nnz(self, facts):
+        buc = buc_iceberg(facts, 1)
+        agg, sup = buc.get((), ())
+        assert sup == facts.nnz
+        assert np.isclose(agg, facts.to_dense().sum())
+
+    def test_high_minsup_prunes_everything_but_coarse(self, facts):
+        buc = buc_iceberg(facts, facts.nnz)
+        assert buc.nodes() == [()]
+
+    def test_minsup_above_nnz_empty(self, facts):
+        buc = buc_iceberg(facts, facts.nnz + 1)
+        assert buc.num_cells() == 0
+
+    def test_empty_input(self):
+        empty = SparseArray.from_dense(np.zeros((4, 4)))
+        assert buc_iceberg(empty, 1).num_cells() == 0
+
+    def test_rejects_bad_minsup(self, facts):
+        with pytest.raises(ValueError):
+            buc_iceberg(facts, 0)
+        with pytest.raises(ValueError):
+            iceberg_from_full_cube(facts, 0)
+
+
+class TestPruning:
+    def test_ratio_shrinks_with_minsup(self, facts):
+        ratios = [
+            pruning_ratio(buc_iceberg(facts, m)) for m in (1, 3, 8)
+        ]
+        assert ratios[0] > ratios[1] > ratios[2] or ratios[1] == 0
+
+    def test_cells_shrink_with_minsup(self, facts):
+        counts = [buc_iceberg(facts, m).num_cells() for m in (1, 2, 4, 8)]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,146 @@
+"""Cross-module integration tests: every path produces the same cube."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse, zipf_sparse
+from repro.arrays.sparse import SparseArray
+from repro.baselines.naive_parallel import construct_cube_naive_parallel
+from repro.baselines.trees import run_with_tree
+from repro.cluster.machine import MachineModel
+from repro.core.parallel import construct_cube_parallel
+from repro.core.plan import plan_cube
+from repro.core.sequential import construct_cube_sequential, cube_reference
+from repro.olap import DataCube, GroupByQuery, QueryEngine, Schema
+from repro.tiling import construct_cube_tiled
+
+
+class TestAllConstructorsAgree:
+    """Sequential, parallel (several partitions and reductions), naive,
+    alternative trees, and tiled construction all produce identical cubes."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        shape = (8, 6, 4, 4)
+        data = random_sparse(shape, 0.3, seed=99)
+        return shape, data, cube_reference(data)
+
+    def _check(self, results, ref):
+        assert set(results) == set(ref)
+        for node, arr in ref.items():
+            assert np.allclose(results[node].data, arr.data), node
+
+    def test_sequential(self, workload):
+        _shape, data, ref = workload
+        self._check(construct_cube_sequential(data).results, ref)
+
+    @pytest.mark.parametrize("bits", [(1, 1, 1, 0), (2, 1, 0, 0), (3, 0, 0, 0)])
+    def test_parallel_partitions(self, workload, bits):
+        _shape, data, ref = workload
+        self._check(construct_cube_parallel(data, bits).results, ref)
+
+    def test_parallel_binomial(self, workload):
+        _shape, data, ref = workload
+        self._check(
+            construct_cube_parallel(data, (1, 1, 1, 0), reduction="binomial").results,
+            ref,
+        )
+
+    def test_naive(self, workload):
+        _shape, data, ref = workload
+        self._check(construct_cube_naive_parallel(data, (1, 1, 0, 0)).results, ref)
+
+    @pytest.mark.parametrize("tree", ["minimal-parent", "left-deep"])
+    def test_alt_trees(self, workload, tree):
+        _shape, data, ref = workload
+        self._check(run_with_tree(data, (1, 1, 0, 0), tree).results, ref)
+
+    def test_tiled(self, workload):
+        shape, data, ref = workload
+        from repro.core.memory_model import sequential_memory_bound
+
+        cap = sequential_memory_bound(shape) // 3
+        self._check(construct_cube_tiled(data, capacity_elements=cap).results, ref)
+
+    def test_planned_unsorted_dims(self, workload):
+        # Scramble the dimension order; the plan must undo it transparently.
+        _shape, data, _ref = workload
+        coords, values = data.all_coords_values()
+        scrambled = SparseArray.from_coords(
+            (4, 8, 4, 6), coords[:, [2, 0, 3, 1]], values
+        )
+        ref = cube_reference(scrambled)
+        plan = plan_cube(scrambled.shape, num_processors=8)
+        run = plan.run_parallel(scrambled)
+        self._check(run.results, ref)
+
+
+class TestMachineModelInvariance:
+    """The cost model changes times, never results or volumes."""
+
+    def test_results_identical_across_machines(self):
+        data = random_sparse((8, 6, 4), 0.3, seed=5)
+        runs = [
+            construct_cube_parallel(data, (1, 1, 0), machine=m)
+            for m in (
+                MachineModel.paper_cluster(),
+                MachineModel.infinite_network(),
+                MachineModel.slow_network(5),
+                MachineModel.free_disk(),
+            )
+        ]
+        for other in runs[1:]:
+            for node in runs[0].results:
+                assert np.array_equal(
+                    runs[0].results[node].data, other.results[node].data
+                )
+            assert other.comm_volume_elements == runs[0].comm_volume_elements
+
+    def test_slow_network_slower(self):
+        data = random_sparse((8, 8, 8), 0.3, seed=6)
+        t_fast = construct_cube_parallel(
+            data, (1, 1, 1), machine=MachineModel.infinite_network(),
+            collect_results=False,
+        ).simulated_time_s
+        t_slow = construct_cube_parallel(
+            data, (1, 1, 1), machine=MachineModel.slow_network(10),
+            collect_results=False,
+        ).simulated_time_s
+        assert t_slow > t_fast
+
+
+class TestDeterminism:
+    """Same seed, same everything: results, volumes, simulated times."""
+
+    def test_bitwise_repeatable(self):
+        def run():
+            data = random_sparse((8, 6, 4), 0.25, seed=123)
+            return construct_cube_parallel(data, (1, 1, 1))
+
+        a, b = run(), run()
+        assert a.simulated_time_s == b.simulated_time_s
+        assert a.comm_volume_elements == b.comm_volume_elements
+        assert a.metrics.rank_clocks == b.metrics.rank_clocks
+        for node in a.results:
+            assert np.array_equal(a.results[node].data, b.results[node].data)
+
+
+class TestOlapOnParallelCube:
+    """The OLAP layer over a cluster-built cube answers like the base data."""
+
+    def test_query_roundtrip(self):
+        schema = Schema.simple(item=10, branch=6, quarter=8, channel=3)
+        data = zipf_sparse(schema.shape, nnz=3000, seed=9)
+        cube = DataCube.build(schema, data, num_processors=8)
+        dense = data.to_dense()
+        eng = QueryEngine(cube)
+
+        ans = eng.answer(GroupByQuery(group_by=("branch",), where={"item": 0}))
+        assert np.allclose(ans.values, dense[0].sum(axis=(1, 2)))
+
+        ans = eng.answer(
+            GroupByQuery(group_by=("quarter",), where={"channel": (0, 2)})
+        )
+        assert np.allclose(ans.values, dense[:, :, :, 0:2].sum(axis=(0, 1, 3)))
+
+        assert np.isclose(cube.grand_total, dense.sum())

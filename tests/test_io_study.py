@@ -1,0 +1,71 @@
+"""Unit tests for out-of-core construction (cache/memory reuse, section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.arrays.measures import COUNT, MIN
+from repro.core.io_study import construct_cube_out_of_core
+from repro.core.sequential import cube_reference
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_sparse((8, 6, 4), 0.3, seed=55, chunk_shape=(4, 3, 2))
+
+
+class TestCorrectness:
+    def test_single_pass_matches_reference(self, data):
+        res = construct_cube_out_of_core(data, single_pass=True)
+        ref = cube_reference(data)
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data), node
+
+    def test_multi_pass_matches_reference(self, data):
+        res = construct_cube_out_of_core(data, single_pass=False)
+        ref = cube_reference(data)
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data), node
+
+    def test_strategies_agree(self, data):
+        a = construct_cube_out_of_core(data, single_pass=True)
+        b = construct_cube_out_of_core(data, single_pass=False)
+        for node in a.results:
+            assert np.array_equal(a.results[node].data, b.results[node].data)
+
+    @pytest.mark.parametrize("measure", [COUNT, MIN])
+    def test_measures_supported(self, data, measure):
+        res = construct_cube_out_of_core(data, single_pass=True, measure=measure)
+        ref = cube_reference(data, measure=measure)
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data), node
+
+
+class TestIOAccounting:
+    def test_single_pass_reads_input_once(self, data):
+        res = construct_cube_out_of_core(data, single_pass=True)
+        assert res.input_passes == 1
+        assert res.disk.bytes_read == res.input_bytes
+
+    def test_multi_pass_reads_input_n_times(self, data):
+        n = len(data.shape)
+        res = construct_cube_out_of_core(data, single_pass=False)
+        assert res.input_passes == n
+        assert res.disk.bytes_read == n * res.input_bytes
+
+    def test_outputs_written_once_either_way(self, data):
+        n = len(data.shape)
+        for single in (True, False):
+            res = construct_cube_out_of_core(data, single_pass=single)
+            assert res.disk.write_ops == 2 ** n - 1
+
+    def test_single_pass_less_io_time(self, data):
+        fast = construct_cube_out_of_core(data, single_pass=True)
+        slow = construct_cube_out_of_core(data, single_pass=False)
+        assert fast.estimated_io_time_s < slow.estimated_io_time_s
+
+    def test_input_write_not_charged(self, data):
+        res = construct_cube_out_of_core(data, single_pass=True)
+        # Only the 2^n - 1 outputs count as writes.
+        expected = sum(a.size * 8 for a in res.results.values())
+        assert res.disk.bytes_written == expected

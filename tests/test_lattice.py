@@ -1,0 +1,137 @@
+"""Unit tests for the data-cube lattice and minimal parents."""
+
+import pytest
+
+from repro.core.lattice import (
+    CubeLattice,
+    all_nodes,
+    full_node,
+    lattice_children,
+    lattice_parents,
+    minimal_parent,
+    minimal_parents,
+    node_complement,
+    node_size,
+)
+
+
+class TestNodes:
+    def test_all_nodes_count(self):
+        for n in range(1, 6):
+            assert len(all_nodes(n)) == 2 ** n
+
+    def test_all_nodes_unique(self):
+        nodes = all_nodes(4)
+        assert len(set(nodes)) == len(nodes)
+
+    def test_ordered_by_decreasing_cardinality(self):
+        nodes = all_nodes(3)
+        sizes = [len(nd) for nd in nodes]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_full_node(self):
+        assert full_node(3) == (0, 1, 2)
+
+    def test_complement(self):
+        assert node_complement((0, 2), 4) == (1, 3)
+        assert node_complement((), 3) == (0, 1, 2)
+        assert node_complement((0, 1, 2), 3) == ()
+
+    def test_node_size(self):
+        assert node_size((0, 2), (5, 3, 7)) == 35
+        assert node_size((), (5, 3)) == 1
+
+
+class TestParentsChildren:
+    def test_parents_of_empty(self):
+        assert lattice_parents((), 3) == [(0,), (1,), (2,)]
+
+    def test_parents_of_one(self):
+        assert lattice_parents((1,), 3) == [(0, 1), (1, 2)]
+
+    def test_root_has_no_parents(self):
+        assert lattice_parents((0, 1, 2), 3) == []
+
+    def test_children(self):
+        assert lattice_children((0, 1, 2)) == [(1, 2), (0, 2), (0, 1)]
+
+    def test_children_of_singleton(self):
+        assert lattice_children((1,)) == [()]
+
+    def test_parent_child_duality(self):
+        n = 4
+        for node in all_nodes(n):
+            for parent in lattice_parents(node, n):
+                assert node in lattice_children(parent)
+
+    def test_rejects_bad_node(self):
+        with pytest.raises(ValueError):
+            lattice_parents((1, 0), 3)
+        with pytest.raises(ValueError):
+            lattice_parents((3,), 3)
+
+
+class TestMinimalParent:
+    def test_paper_example(self):
+        # |A|=2 <= |B|=3 <= |C|=5 (dims 0,1,2): minimal parent of A is AB.
+        shape = (2, 3, 5)
+        assert minimal_parent((0,), shape) == (0, 1)
+
+    def test_tie_break_prefers_larger_added_dim(self):
+        shape = (4, 4, 4)
+        # Both parents of (0,) have size 16; tie-break adds dim 2.
+        assert minimal_parent((0,), shape) == (0, 2)
+
+    def test_of_empty_node(self):
+        shape = (8, 4, 2)
+        assert minimal_parent((), shape) == (2,)
+
+    def test_root_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_parent((0, 1), (2, 3))
+
+    def test_minimal_parents_covers_all(self):
+        shape = (5, 4, 3, 2)
+        mp = minimal_parents(shape)
+        assert len(mp) == 2 ** 4 - 1
+
+    def test_minimal_parent_is_smallest(self):
+        shape = (7, 5, 3)
+        for node in all_nodes(3):
+            if len(node) == 3:
+                continue
+            best = minimal_parent(node, shape)
+            for p in lattice_parents(node, 3):
+                assert node_size(best, shape) <= node_size(p, shape)
+
+
+class TestCubeLattice:
+    def test_basic(self):
+        lat = CubeLattice((4, 3, 2))
+        assert lat.n == 3
+        assert lat.root == (0, 1, 2)
+        assert lat.num_nodes() == 8
+
+    def test_total_output_size_3d(self):
+        lat = CubeLattice((4, 3, 2))
+        # AB + AC + BC + A + B + C + all
+        assert lat.total_output_size() == 12 + 8 + 6 + 4 + 3 + 2 + 1
+
+    def test_edges_count(self):
+        lat = CubeLattice((2, 2, 2))
+        edges = list(lat.iter_edges())
+        # Each node with m dims has m children: sum over m of C(3,m)*m = 12.
+        assert len(edges) == 12
+
+    def test_to_networkx(self):
+        g = CubeLattice((2, 2)).to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 4
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            CubeLattice(())
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            CubeLattice((4, 0))

@@ -1,0 +1,78 @@
+"""Unit tests for the level-synchronous baseline."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.arrays.measures import COUNT, MIN
+from repro.baselines.level_sync import (
+    construct_cube_level_sync,
+    level_sync_comm_volume,
+)
+from repro.core.comm_model import total_comm_volume
+from repro.core.memory_model import parallel_memory_bound_exact
+from repro.core.parallel import construct_cube_parallel
+from repro.core.sequential import verify_cube
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "shape,bits",
+        [
+            ((8, 6, 4), (1, 1, 0)),
+            ((8, 6, 4), (1, 1, 1)),
+            ((8, 6, 4, 4), (2, 1, 0, 0)),
+            ((7, 5, 3), (1, 0, 1)),
+        ],
+    )
+    def test_matches_reference(self, shape, bits):
+        data = random_sparse(shape, 0.3, seed=61)
+        res = construct_cube_level_sync(data, bits)
+        verify_cube(res.results, data)
+
+    @pytest.mark.parametrize("measure", [COUNT, MIN])
+    def test_measures(self, measure):
+        data = random_sparse((6, 5, 4), 0.4, seed=62)
+        res = construct_cube_level_sync(data, (1, 1, 0), measure=measure)
+        verify_cube(res.results, data, measure=measure)
+
+    def test_dense_input(self):
+        rng = np.random.default_rng(63)
+        data = rng.uniform(size=(6, 4, 4))
+        res = construct_cube_level_sync(data, (1, 0, 1))
+        verify_cube(res.results, data)
+
+
+class TestComparison:
+    def test_volume_matches_aggregation_tree_under_canonical_order(self):
+        # Theorem 7: same tree, hence same volume.
+        shape, bits = (16, 8, 4), (1, 1, 1)
+        data = random_sparse(shape, 0.3, seed=64)
+        res = construct_cube_level_sync(data, bits, collect_results=False)
+        assert res.comm_volume_elements == level_sync_comm_volume(shape, bits)
+        assert res.comm_volume_elements == total_comm_volume(shape, bits)
+
+    def test_memory_exceeds_theorem4_bound(self):
+        # Two whole levels coexist: above the aggregation tree's bound.
+        shape, bits = (8, 8, 8, 8), (1, 1, 0, 0)
+        data = random_sparse(shape, 0.2, seed=65)
+        res = construct_cube_level_sync(data, bits, collect_results=False)
+        bound = parallel_memory_bound_exact(shape, bits)
+        assert max(res.metrics.rank_peak_memory_elements) > bound
+
+    def test_slower_than_aggregation_tree(self):
+        shape, bits = (16, 16, 8, 8), (1, 1, 1, 0)
+        data = random_sparse(shape, 0.15, seed=66)
+        t_level = construct_cube_level_sync(
+            data, bits, collect_results=False
+        ).simulated_time_s
+        t_tree = construct_cube_parallel(
+            data, bits, collect_results=False
+        ).simulated_time_s
+        assert t_tree < t_level
+
+    def test_single_processor(self):
+        data = random_sparse((6, 4), 0.5, seed=67)
+        res = construct_cube_level_sync(data, (0, 0))
+        assert res.comm_volume_elements == 0
+        verify_cube(res.results, data)

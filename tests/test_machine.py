@@ -1,0 +1,70 @@
+"""Unit tests for the machine cost model."""
+
+import pytest
+
+from repro.cluster.machine import MachineModel
+
+
+class TestComputeTime:
+    def test_linear_in_ops(self):
+        m = MachineModel(element_ops_per_second=1e6)
+        assert m.compute_time(1e6) == pytest.approx(1.0)
+        assert m.compute_time(2e6) == pytest.approx(2.0)
+
+    def test_sparse_factor(self):
+        m = MachineModel(element_ops_per_second=1e6, sparse_op_factor=3.0)
+        assert m.compute_time(1e6, sparse=True) == pytest.approx(3.0)
+
+    def test_zero_ops(self):
+        assert MachineModel().compute_time(0) == 0.0
+
+
+class TestMessageTime:
+    def test_hockney(self):
+        m = MachineModel(network_latency_s=1e-3, network_bandwidth_Bps=1e6)
+        assert m.message_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_empty_message_costs_latency(self):
+        m = MachineModel(network_latency_s=5e-6)
+        assert m.message_time(0) == pytest.approx(5e-6)
+
+
+class TestDiskTime:
+    def test_linear(self):
+        m = MachineModel(disk_latency_s=1e-3, disk_bandwidth_Bps=1e6)
+        assert m.disk_time(2e6) == pytest.approx(1e-3 + 2.0)
+
+
+class TestPresets:
+    def test_paper_cluster(self):
+        m = MachineModel.paper_cluster()
+        assert m.element_ops_per_second > 0
+
+    def test_infinite_network(self):
+        m = MachineModel.infinite_network()
+        assert m.message_time(10**9) == 0.0
+
+    def test_slow_network(self):
+        base = MachineModel.paper_cluster()
+        slow = MachineModel.slow_network(10)
+        assert slow.message_time(10**6) > base.message_time(10**6)
+        assert slow.compute_time(100) == base.compute_time(100)
+
+    def test_free_disk(self):
+        m = MachineModel.free_disk()
+        assert m.disk_time(10**9) == 0.0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            MachineModel(element_ops_per_second=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            MachineModel(network_latency_s=-1)
+
+    def test_frozen(self):
+        m = MachineModel()
+        with pytest.raises(AttributeError):
+            m.network_latency_s = 0.0  # type: ignore[misc]

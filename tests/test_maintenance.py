@@ -1,0 +1,151 @@
+"""Unit tests for incremental cube maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.arrays.measures import COUNT, MIN
+from repro.arrays.sparse import SparseArray
+from repro.olap import DataCube, Schema, apply_delta, merge_sparse, refresh_full
+
+
+@pytest.fixture
+def schema():
+    return Schema.simple(item=10, branch=6, time=4)
+
+
+def make_delta(schema, seed):
+    return random_sparse(schema.shape, 0.1, seed=seed)
+
+
+class TestMergeSparse:
+    def test_union(self):
+        a = SparseArray.from_coords((4, 4), np.array([[0, 0]]), np.array([1.0]))
+        b = SparseArray.from_coords((4, 4), np.array([[1, 1]]), np.array([2.0]))
+        m = merge_sparse(a, b)
+        assert m.nnz == 2
+        assert m.to_dense()[0, 0] == 1.0 and m.to_dense()[1, 1] == 2.0
+
+    def test_coinciding_cells_summed(self):
+        a = SparseArray.from_coords((4, 4), np.array([[2, 2]]), np.array([1.5]))
+        b = SparseArray.from_coords((4, 4), np.array([[2, 2]]), np.array([2.5]))
+        assert merge_sparse(a, b).to_dense()[2, 2] == 4.0
+
+    def test_shape_mismatch(self):
+        a = SparseArray.from_dense(np.ones((2, 2)))
+        b = SparseArray.from_dense(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            merge_sparse(a, b)
+
+
+class TestApplyDelta:
+    @pytest.mark.parametrize("procs", [1, 4])
+    def test_equals_rebuild_for_sum(self, schema, procs):
+        base = make_delta(schema, 1)
+        delta = make_delta(schema, 2)
+        cube = DataCube.build(schema, base, num_processors=procs)
+        stats = apply_delta(cube, delta)
+        rebuilt = DataCube.build(
+            schema, merge_sparse(base, delta), num_processors=procs
+        )
+        assert stats.facts_absorbed == delta.nnz
+        for node in rebuilt.aggregates:
+            assert np.allclose(
+                cube.aggregates[node].data, rebuilt.aggregates[node].data
+            ), node
+
+    def test_min_inserts(self, schema):
+        base = make_delta(schema, 3)
+        delta = make_delta(schema, 4)
+        cube = DataCube.build(schema, base, measure=MIN)
+        apply_delta(cube, delta)
+        rebuilt = DataCube.build(schema, merge_sparse(base, delta), measure=MIN)
+        for node in rebuilt.aggregates:
+            a = cube.aggregates[node].data
+            b = rebuilt.aggregates[node].data
+            # Cells where base and delta overlap may differ (merge sums
+            # coinciding values) -- restrict to non-overlapping facts.
+            overlap = (base.to_dense() != 0) & (delta.to_dense() != 0)
+            if not overlap.any():
+                assert np.array_equal(a, b), node
+
+    def test_count_inserts(self, schema):
+        base = make_delta(schema, 5)
+        delta = make_delta(schema, 6)
+        cube = DataCube.build(schema, base, measure=COUNT)
+        before = cube.grand_total
+        apply_delta(cube, delta, update_base=False)
+        assert cube.grand_total == before + delta.nnz
+
+    def test_partial_cube_updates_only_views(self, schema):
+        base = make_delta(schema, 7)
+        delta = make_delta(schema, 8)
+        cube = DataCube.build_partial(schema, base, views=[("item",), ()])
+        stats = apply_delta(cube, delta, update_base=False)
+        assert stats.nodes_updated == 2
+        dense = base.to_dense() + delta.to_dense()
+        assert np.allclose(cube.group_by("item").data, dense.sum(axis=(1, 2)))
+
+    def test_base_updated(self, schema):
+        base = make_delta(schema, 9)
+        delta = make_delta(schema, 10)
+        cube = DataCube.build(schema, base)
+        apply_delta(cube, delta)
+        assert np.allclose(
+            cube.base.to_dense(), base.to_dense() + delta.to_dense()
+        )
+
+    def test_queries_see_new_facts(self, schema):
+        from repro.olap import GroupByQuery, QueryEngine
+
+        base = make_delta(schema, 11)
+        delta = make_delta(schema, 12)
+        cube = DataCube.build(schema, base, num_processors=2)
+        apply_delta(cube, delta)
+        eng = QueryEngine(cube)
+        ans = eng.answer(GroupByQuery(group_by=("branch",)))
+        expected = (base.to_dense() + delta.to_dense()).sum(axis=(0, 2))
+        assert np.allclose(ans.values, expected)
+
+    def test_rejects_empty_delta(self, schema):
+        cube = DataCube.build(schema, make_delta(schema, 13))
+        empty = SparseArray.from_dense(np.zeros(schema.shape))
+        with pytest.raises(ValueError):
+            apply_delta(cube, empty)
+
+    def test_rejects_shape_mismatch(self, schema):
+        cube = DataCube.build(schema, make_delta(schema, 14))
+        with pytest.raises(ValueError):
+            apply_delta(cube, random_sparse((2, 2, 2), 0.5, seed=1))
+
+    def test_repeated_deltas_accumulate(self, schema):
+        base = make_delta(schema, 15)
+        cube = DataCube.build(schema, base)
+        total = base.to_dense().copy()
+        for seed in (16, 17, 18):
+            delta = make_delta(schema, seed)
+            apply_delta(cube, delta)
+            total += delta.to_dense()
+        assert np.isclose(cube.grand_total, total.sum())
+
+
+class TestRefreshFull:
+    def test_full_rebuild_matches(self, schema):
+        base = make_delta(schema, 19)
+        cube = DataCube.build(schema, base, num_processors=2)
+        fresh = refresh_full(cube)
+        for node in cube.aggregates:
+            assert np.allclose(
+                fresh.aggregates[node].data, cube.aggregates[node].data
+            )
+
+    def test_partial_rebuild_keeps_views(self, schema):
+        base = make_delta(schema, 20)
+        cube = DataCube.build_partial(schema, base, views=[("item", "branch")])
+        fresh = refresh_full(cube)
+        assert set(fresh.aggregates) == set(cube.aggregates)
+
+    def test_requires_base(self, schema):
+        cube = DataCube.build(schema, make_delta(schema, 21), keep_base=False)
+        with pytest.raises(ValueError):
+            refresh_full(cube)

@@ -1,0 +1,44 @@
+"""Tests for the EXPERIMENTS.md generator script."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+SCRIPT = ROOT / "benchmarks" / "make_experiments.py"
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location("make_experiments", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestGenerator:
+    def test_sections_cover_every_result_file(self):
+        mod = load_module()
+        section_names = {name for _t, _c, name in mod.SECTIONS}
+        results_dir = ROOT / "benchmarks" / "results"
+        if not results_dir.exists():
+            pytest.skip("no benchmark results yet")
+        on_disk = {p.stem for p in results_dir.glob("*.txt")}
+        assert on_disk <= section_names, (
+            f"results without an EXPERIMENTS section: {on_disk - section_names}"
+        )
+
+    def test_table_handles_missing_file(self):
+        mod = load_module()
+        out = mod.table("definitely_not_a_real_bench")
+        assert "missing" in out
+
+    def test_main_writes_experiments(self, tmp_path, monkeypatch):
+        mod = load_module()
+        monkeypatch.setattr(mod, "OUT", tmp_path / "EXPERIMENTS.md")
+        mod.main()
+        text = (tmp_path / "EXPERIMENTS.md").read_text()
+        assert text.startswith("# EXPERIMENTS")
+        for title, _c, _n in mod.SECTIONS:
+            assert title in text

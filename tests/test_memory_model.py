@@ -1,0 +1,93 @@
+"""Unit tests for the memory bounds (Theorems 1/2/4/5) and tiling math."""
+
+import pytest
+
+from repro.core.memory_model import (
+    fits_in_memory,
+    memory_bound_ratio,
+    parallel_memory_bound,
+    parallel_memory_bound_exact,
+    parallel_memory_lower_bound,
+    sequential_memory_bound,
+    sequential_memory_lower_bound,
+    tiles_required,
+)
+
+
+class TestSequentialBound:
+    def test_3d(self):
+        # |AB| + |AC| + |BC| for shape (4, 3, 2).
+        assert sequential_memory_bound((4, 3, 2)) == 12 + 8 + 6
+
+    def test_1d(self):
+        assert sequential_memory_bound((10,)) == 1
+
+    def test_2d(self):
+        assert sequential_memory_bound((5, 3)) == 8
+
+    def test_equals_lower_bound(self):
+        shape = (9, 7, 5, 3)
+        assert sequential_memory_bound(shape) == sequential_memory_lower_bound(shape)
+
+    def test_bound_below_total_output(self):
+        from repro.core.lattice import CubeLattice
+
+        shape = (8, 8, 8, 8)
+        assert sequential_memory_bound(shape) < CubeLattice(shape).total_output_size()
+
+    def test_ratio_diagnostic(self):
+        assert 0 < memory_bound_ratio((8, 8, 8)) < 1
+
+
+class TestParallelBound:
+    def test_divisible_case(self):
+        shape = (8, 4, 2)
+        bits = (1, 1, 0)
+        # Local sizes (4, 2, 2): bound = 4 + 8 + 8 = 20.
+        assert parallel_memory_bound(shape, bits) == pytest.approx(20.0)
+        assert parallel_memory_bound_exact(shape, bits) == 20
+
+    def test_exact_handles_uneven_blocks(self):
+        shape = (5, 3)
+        bits = (1, 0)
+        # Max block along dim 0 is 3 -> bound = 3 + 3 = 6.
+        assert parallel_memory_bound_exact(shape, bits) == 3 + 3
+
+    def test_exact_at_least_idealized(self):
+        for shape, bits in [((7, 5, 3), (1, 1, 0)), ((9, 9), (2, 1))]:
+            assert parallel_memory_bound_exact(shape, bits) >= parallel_memory_bound(
+                shape, bits
+            ) - 1e-9
+
+    def test_no_partition_reduces_to_sequential(self):
+        shape = (6, 5, 4)
+        assert parallel_memory_bound_exact(shape, (0, 0, 0)) == sequential_memory_bound(
+            shape
+        )
+
+    def test_lower_equals_upper(self):
+        shape = (8, 8)
+        bits = (1, 1)
+        assert parallel_memory_lower_bound(shape, bits) == parallel_memory_bound(
+            shape, bits
+        )
+
+
+class TestCapacityHelpers:
+    def test_fits(self):
+        shape = (4, 4)
+        assert fits_in_memory(shape, 8)
+        assert not fits_in_memory(shape, 7)
+
+    def test_tiles_required_one_when_fits(self):
+        assert tiles_required((4, 4), 100) == 1
+
+    def test_tiles_required_doubles(self):
+        shape = (8, 8)
+        bound = sequential_memory_bound(shape)  # 16
+        assert tiles_required(shape, bound // 2) == 2
+        assert tiles_required(shape, bound // 4) == 4
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            tiles_required((4, 4), 0)

@@ -1,0 +1,88 @@
+"""Unit tests for metrics containers and runtime failure behavior."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import CommStats, RunMetrics
+from repro.cluster.runtime import run_spmd
+
+
+class TestCommStats:
+    def test_record_accumulates(self):
+        s = CommStats()
+        s.record(0, 1, 100, 10)
+        s.record(0, 1, 50, 5)
+        s.record(1, 0, 25, 2)
+        assert s.total_bytes == 175
+        assert s.total_elements == 17
+        assert s.total_messages == 3
+        assert s.per_pair[(0, 1)] == 150
+        assert s.per_pair[(1, 0)] == 25
+
+
+class TestRunMetrics:
+    def _metrics(self):
+        return RunMetrics(
+            makespan_s=2.5,
+            rank_clocks=[1.0, 2.5],
+            comm=CommStats(),
+            rank_peak_memory_elements=[10, 20],
+            rank_compute_ops=[100.0, 200.0],
+            rank_disk_bytes_written=[8, 16],
+            rank_disk_bytes_read=[0, 0],
+            rank_results=[None, None],
+        )
+
+    def test_aggregates(self):
+        m = self._metrics()
+        assert m.num_ranks == 2
+        assert m.max_peak_memory_elements == 20
+        assert m.total_compute_ops == 300.0
+
+    def test_summary(self):
+        assert "makespan=2.5" in self._metrics().summary()
+
+
+class TestRuntimeFailures:
+    def test_program_exception_propagates(self):
+        class Boom(RuntimeError):
+            pass
+
+        def program(env):
+            yield env.compute(1)
+            raise Boom("rank exploded")
+
+        with pytest.raises(Boom):
+            run_spmd(2, program)
+
+    def test_partial_progress_before_exception(self):
+        # Rank 1's message is posted before rank 0 dies; no hang, clean raise.
+        def program(env):
+            if env.rank == 1:
+                yield env.send(0, np.ones(1), tag=0)
+                return "sent"
+            yield env.recv(1, tag=0)
+            raise ValueError("after recv")
+
+        with pytest.raises(ValueError):
+            run_spmd(2, program)
+
+    def test_messages_to_finished_rank_are_undelivered(self):
+        # A send to a rank that never receives completes the run (eager
+        # delivery); the message just sits in the mailbox.
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.ones(3), tag=9)
+            else:
+                yield env.compute(1)
+
+        metrics = run_spmd(2, program)
+        assert metrics.comm.total_messages == 1  # still counted as traffic
+
+    def test_zero_ranks_disallowed(self):
+        def program(env):
+            yield env.compute(1)
+
+        metrics = run_spmd(0, program)
+        assert metrics.num_ranks == 0
+        assert metrics.makespan_s == 0.0

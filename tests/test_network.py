@@ -1,0 +1,92 @@
+"""Unit tests for the message transport."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import Network, payload_elements, payload_nbytes
+
+
+class TestPayloadSizing:
+    def test_numpy(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+        assert payload_elements(np.zeros(10)) == 10
+
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_dense_array(self):
+        from repro.arrays.dense import DenseArray
+
+        arr = DenseArray.zeros((3, 4), (0, 1))
+        assert payload_nbytes(arr) == 96
+        assert payload_elements(arr) == 12
+
+    def test_sparse_array_counts_nnz(self):
+        from repro.arrays.sparse import SparseArray
+
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 1
+        sp = SparseArray.from_dense(dense)
+        assert payload_elements(sp) == 1
+
+    def test_rejects_unsized(self):
+        with pytest.raises(TypeError):
+            payload_nbytes("hello")
+
+
+class TestNetwork:
+    def test_post_and_match(self):
+        net = Network(2)
+        net.post(0, 1, tag=7, payload=np.ones(3), arrival_time=1.0)
+        msg = net.match(1, src=0, tag=7)
+        assert msg is not None
+        assert msg.arrival_time == 1.0
+        assert np.array_equal(msg.payload, np.ones(3))
+
+    def test_match_wrong_tag(self):
+        net = Network(2)
+        net.post(0, 1, tag=7, payload=np.ones(1), arrival_time=0.0)
+        assert net.match(1, src=0, tag=8) is None
+
+    def test_match_wrong_src(self):
+        net = Network(3)
+        net.post(0, 1, tag=0, payload=np.ones(1), arrival_time=0.0)
+        assert net.match(1, src=2, tag=0) is None
+
+    def test_fifo_per_src_tag(self):
+        net = Network(2)
+        net.post(0, 1, tag=0, payload=np.array([1.0]), arrival_time=0.0)
+        net.post(0, 1, tag=0, payload=np.array([2.0]), arrival_time=1.0)
+        first = net.match(1, 0, 0)
+        second = net.match(1, 0, 0)
+        assert float(first.payload[0]) == 1.0
+        assert float(second.payload[0]) == 2.0
+
+    def test_stats_accumulate(self):
+        net = Network(2)
+        net.post(0, 1, tag=0, payload=np.ones(10), arrival_time=0.0)
+        net.post(1, 0, tag=0, payload=np.ones(5), arrival_time=0.0)
+        assert net.stats.total_bytes == 120
+        assert net.stats.total_elements == 15
+        assert net.stats.total_messages == 2
+        assert net.stats.per_pair[(0, 1)] == 80
+
+    def test_rejects_self_send(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.post(1, 1, tag=0, payload=np.ones(1), arrival_time=0.0)
+
+    def test_rejects_bad_endpoints(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.post(0, 5, tag=0, payload=np.ones(1), arrival_time=0.0)
+
+    def test_drained_and_undelivered(self):
+        net = Network(2)
+        assert net.all_drained()
+        net.post(0, 1, tag=0, payload=np.ones(1), arrival_time=0.0)
+        assert not net.all_drained()
+        assert len(net.undelivered()) == 1
+        assert net.pending(1) == 1
+        net.match(1, 0, 0)
+        assert net.all_drained()

@@ -1,0 +1,123 @@
+"""Unit tests for dimension-ordering optimality (Theorems 6 and 7)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.ordering import (
+    apply_order,
+    best_order_bruteforce,
+    canonical_order,
+    invert_order,
+    is_sorted_nonincreasing,
+    ordering_comm_volume,
+    ordering_computation_cost,
+    ordering_uses_minimal_parents,
+    worst_order,
+)
+
+
+class TestPermutationHelpers:
+    def test_canonical_order(self):
+        assert canonical_order((2, 9, 5)) == (1, 2, 0)
+
+    def test_canonical_order_stable_on_ties(self):
+        assert canonical_order((4, 4, 4)) == (0, 1, 2)
+
+    def test_apply_order(self):
+        assert apply_order((2, 9, 5), (1, 2, 0)) == (9, 5, 2)
+
+    def test_apply_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            apply_order((1, 2, 3), (0, 0, 1))
+
+    def test_invert_order(self):
+        order = (2, 0, 1)
+        inv = invert_order(order)
+        assert inv == (1, 2, 0)
+        for pos, d in enumerate(order):
+            assert inv[d] == pos
+
+    def test_canonical_gives_nonincreasing(self):
+        for shape in [(3, 7, 7, 1), (5,), (2, 2), (9, 1, 8, 1)]:
+            ordered = apply_order(shape, canonical_order(shape))
+            assert is_sorted_nonincreasing(ordered)
+
+    def test_worst_order_is_nondecreasing(self):
+        ordered = apply_order((3, 7, 5), worst_order((3, 7, 5)))
+        assert list(ordered) == sorted(ordered)
+
+
+class TestTheorem7MinimalParents:
+    def test_canonical_ordering_uses_minimal_parents(self):
+        for shape in [(8, 4, 2), (9, 9, 3), (16, 8, 4, 2), (5, 4, 3, 2, 1)]:
+            assert ordering_uses_minimal_parents(shape)
+
+    def test_reversed_ordering_does_not(self):
+        # Strictly increasing sizes: aggregation tree picks non-minimal
+        # parents.
+        assert not ordering_uses_minimal_parents((2, 4, 8))
+
+    def test_iff_over_all_permutations(self):
+        # Theorem 7 is an iff (up to ties): among permutations of a shape
+        # with distinct sizes, exactly the non-increasing one has the
+        # minimal-parent property.
+        shape = (7, 4, 2)
+        good = []
+        for perm in permutations(range(3)):
+            if ordering_uses_minimal_parents(apply_order(shape, perm)):
+                good.append(perm)
+        assert good == [(0, 1, 2)]  # shape already sorted non-increasing
+
+    def test_ties_allow_multiple_orderings(self):
+        shape = (4, 4, 2)
+        ok = [
+            perm
+            for perm in permutations(range(3))
+            if ordering_uses_minimal_parents(apply_order(shape, perm))
+        ]
+        # Swapping the equal dims preserves minimality.
+        assert (0, 1, 2) in ok and (1, 0, 2) in ok
+        assert (2, 0, 1) not in ok
+
+
+class TestTheorem6CommVolume:
+    @pytest.mark.parametrize("shape", [(8, 4, 2), (9, 5, 3), (6, 6, 2)])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_canonical_is_bruteforce_best_3d(self, shape, k):
+        best_perm, best_vol = best_order_bruteforce(shape, k)
+        canon_vol = ordering_comm_volume(
+            apply_order(shape, canonical_order(shape)), k
+        )
+        assert canon_vol == best_vol
+
+    def test_canonical_is_bruteforce_best_4d(self):
+        shape = (12, 8, 6, 2)
+        for k in (2, 3):
+            _best_perm, best_vol = best_order_bruteforce(shape, k)
+            canon_vol = ordering_comm_volume(
+                apply_order(shape, canonical_order(shape)), k
+            )
+            assert canon_vol == best_vol
+
+    def test_worst_order_is_worse(self):
+        shape = (16, 8, 4)
+        k = 2
+        canon = ordering_comm_volume(apply_order(shape, canonical_order(shape)), k)
+        worst = ordering_comm_volume(apply_order(shape, worst_order(shape)), k)
+        assert worst > canon
+
+
+class TestComputationCost:
+    def test_canonical_minimizes_computation(self):
+        shape = (9, 6, 3)
+        canon_cost = ordering_computation_cost(
+            apply_order(shape, canonical_order(shape))
+        )
+        for perm in permutations(range(3)):
+            assert ordering_computation_cost(apply_order(shape, perm)) >= canon_cost
+
+    def test_cost_independent_of_equal_sizes_order(self):
+        assert ordering_computation_cost((4, 4, 2)) == ordering_computation_cost(
+            (4, 4, 2)
+        )

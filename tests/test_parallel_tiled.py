@@ -1,0 +1,131 @@
+"""Unit tests for parallel tiled construction."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.core.memory_model import parallel_memory_bound_exact
+from repro.core.sequential import cube_reference
+from repro.tiling import (
+    TilingPlan,
+    choose_parallel_tiling,
+    construct_cube_tiled_parallel,
+)
+
+SHAPE = (16, 12, 8, 8)
+BITS = (1, 1, 1, 0)
+
+
+class TestChooseParallelTiling:
+    def test_fits_capacity(self):
+        bound = parallel_memory_bound_exact(SHAPE, BITS)
+        for frac in (1.0, 0.5, 0.2):
+            cap = max(1, int(bound * frac))
+            plan = choose_parallel_tiling(SHAPE, BITS, cap)
+            tile_shape = plan.tile_shape_max()
+            assert parallel_memory_bound_exact(tile_shape, BITS) <= cap
+
+    def test_no_tiling_when_fits(self):
+        bound = parallel_memory_bound_exact(SHAPE, BITS)
+        plan = choose_parallel_tiling(SHAPE, BITS, bound)
+        assert plan.num_tiles == 1
+
+    def test_tiles_stay_splittable(self):
+        # Tiles never drop below the grid extent along any dimension.
+        plan = choose_parallel_tiling((8, 8), (2, 1), 10)
+        for extent, b in zip(plan.tile_shape_max(), (2, 1)):
+            assert extent >= 2 ** b
+
+    def test_raises_when_impossible(self):
+        with pytest.raises(ValueError):
+            choose_parallel_tiling((4, 4), (2, 2), 1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            choose_parallel_tiling(SHAPE, BITS, 0)
+
+
+class TestConstruction:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        data = random_sparse(SHAPE, 0.3, seed=77)
+        return data, cube_reference(data)
+
+    @pytest.mark.parametrize("frac", [1.0, 0.5, 0.25])
+    def test_matches_reference(self, workload, frac):
+        data, ref = workload
+        bound = parallel_memory_bound_exact(SHAPE, BITS)
+        cap = max(1, int(bound * frac))
+        res = construct_cube_tiled_parallel(
+            data, BITS, capacity_elements_per_rank=cap
+        )
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data), node
+
+    def test_rank_memory_under_cap(self, workload):
+        data, _ref = workload
+        bound = parallel_memory_bound_exact(SHAPE, BITS)
+        cap = bound // 2
+        res = construct_cube_tiled_parallel(
+            data, BITS, capacity_elements_per_rank=cap
+        )
+        assert res.max_rank_peak_memory_elements <= cap
+
+    def test_untiled_equals_plain_parallel(self, workload):
+        data, _ref = workload
+        from repro.core.parallel import construct_cube_parallel
+
+        bound = parallel_memory_bound_exact(SHAPE, BITS)
+        tiled = construct_cube_tiled_parallel(
+            data, BITS, capacity_elements_per_rank=bound
+        )
+        plain = construct_cube_parallel(data, BITS)
+        assert tiled.plan.num_tiles == 1
+        assert tiled.comm_volume_elements == plain.comm_volume_elements
+        for node in plain.results:
+            assert np.allclose(
+                tiled.results[node].data, plain.results[node].data
+            )
+
+    def test_more_tiles_more_comm_and_io(self, workload):
+        data, _ref = workload
+        r1 = construct_cube_tiled_parallel(
+            data, BITS, plan=TilingPlan(SHAPE, (0, 0, 0, 0))
+        )
+        r2 = construct_cube_tiled_parallel(
+            data, BITS, plan=TilingPlan(SHAPE, (1, 0, 0, 0))
+        )
+        # Accumulation I/O appears with tiling; communication volume does
+        # not decrease.
+        assert r2.accumulation_rewrites > r1.accumulation_rewrites == 0
+        assert r2.disk.bytes_read > 0
+
+    def test_per_tile_times_sum(self, workload):
+        data, _ref = workload
+        res = construct_cube_tiled_parallel(
+            data, BITS, plan=TilingPlan(SHAPE, (1, 1, 0, 0))
+        )
+        assert len(res.per_tile_times) == 4
+        assert res.simulated_time_s >= sum(res.per_tile_times)
+
+    def test_plan_shape_checked(self, workload):
+        data, _ref = workload
+        with pytest.raises(ValueError):
+            construct_cube_tiled_parallel(
+                data, BITS, plan=TilingPlan((8, 8, 8, 8), (1, 0, 0, 0))
+            )
+
+    def test_requires_cap_or_plan(self, workload):
+        data, _ref = workload
+        with pytest.raises(ValueError):
+            construct_cube_tiled_parallel(data, BITS)
+
+    def test_dense_input(self):
+        rng = np.random.default_rng(78)
+        data = rng.uniform(size=(8, 8, 4))
+        ref = cube_reference(data)
+        res = construct_cube_tiled_parallel(
+            data, (1, 1, 0), plan=TilingPlan((8, 8, 4), (1, 0, 0))
+        )
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data)

@@ -1,0 +1,107 @@
+"""Unit tests for the greedy partitioning algorithm (Fig 6 / Theorem 8)."""
+
+import math
+
+import pytest
+
+from repro.core.comm_model import total_comm_volume
+from repro.core.partition import (
+    bruteforce_partition,
+    describe_partition,
+    enumerate_partitions,
+    greedy_partition,
+    num_processors,
+    partition_comm_volume,
+)
+
+
+class TestEnumerate:
+    def test_counts_compositions(self):
+        # C(k + n - 1, n - 1) compositions.
+        for n, k in [(3, 2), (4, 3), (2, 5)]:
+            got = len(list(enumerate_partitions(n, k)))
+            assert got == math.comb(k + n - 1, n - 1)
+
+    def test_all_sum_to_k(self):
+        for bits in enumerate_partitions(4, 3):
+            assert sum(bits) == 3
+
+    def test_respects_shape_cap(self):
+        opts = list(enumerate_partitions(2, 3, shape=(4, 2)))
+        assert opts == [(2, 1)]
+
+    def test_zero_bits(self):
+        assert list(enumerate_partitions(3, 0)) == [(0, 0, 0)]
+
+
+class TestGreedy:
+    def test_zero_bits(self):
+        assert greedy_partition((8, 8), 0) == (0, 0)
+
+    def test_paper_8_procs_equal_dims(self):
+        # 4-d equal extents, 8 processors: three-dimensional partition wins
+        # (Figure 7's conclusion).
+        assert greedy_partition((64, 64, 64, 64), 3) == (1, 1, 1, 0)
+
+    def test_paper_16_procs_equal_dims(self):
+        # 16 processors: four-dimensional partition wins (Figure 9).
+        assert greedy_partition((64, 64, 64, 64), 4) == (1, 1, 1, 1)
+
+    def test_prefers_early_large_dims(self):
+        bits = greedy_partition((32, 4, 2), 3)
+        assert bits[0] >= bits[1] >= bits[2]
+
+    def test_respects_size_cap(self):
+        bits = greedy_partition((2, 2, 2), 3)
+        assert bits == (1, 1, 1)
+
+    def test_raises_when_unplaceable(self):
+        with pytest.raises(ValueError):
+            greedy_partition((2, 2), 3)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_partition((4, 4), -1)
+
+    @pytest.mark.parametrize(
+        "shape,k",
+        [
+            ((8, 4, 2), 1),
+            ((8, 4, 2), 2),
+            ((8, 4, 2), 3),
+            ((16, 16, 4), 3),
+            ((9, 7, 5, 3), 2),
+            ((64, 64, 64, 64), 4),
+            ((32, 16, 8, 4, 2), 4),
+        ],
+    )
+    def test_matches_bruteforce_optimum(self, shape, k):
+        # Theorem 8: greedy volume == exhaustive optimum volume.
+        greedy = greedy_partition(shape, k)
+        brute = bruteforce_partition(shape, k)
+        assert total_comm_volume(shape, greedy) == total_comm_volume(shape, brute)
+
+    def test_incremental_consistency(self):
+        # Greedy with k bits extends greedy with k-1 bits (matroid property
+        # of the marginal-cost greedy).
+        shape = (32, 16, 8, 8)
+        prev = greedy_partition(shape, 0)
+        for k in range(1, 6):
+            cur = greedy_partition(shape, k)
+            assert sum(c - p for c, p in zip(cur, prev)) == 1
+            assert all(c >= p for c, p in zip(cur, prev))
+            prev = cur
+
+
+class TestHelpers:
+    def test_partition_comm_volume_delegates(self):
+        shape, bits = (8, 4), (1, 1)
+        assert partition_comm_volume(shape, bits) == total_comm_volume(shape, bits)
+
+    def test_describe(self):
+        assert describe_partition((1, 1, 1, 0)) == "3-dimensional (2x2x2x1)"
+        assert describe_partition((3, 0, 0, 0)) == "1-dimensional (8x1x1x1)"
+        assert describe_partition((0, 0)) == "0-dimensional (1x1)"
+
+    def test_num_processors(self):
+        assert num_processors((2, 1, 0)) == 8

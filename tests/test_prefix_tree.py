@@ -1,0 +1,79 @@
+"""Unit tests for the prefix tree (Definition 2)."""
+
+import pytest
+
+from repro.core.prefix_tree import PrefixTree, prefix_children, prefix_parent
+
+
+class TestPrefixChildren:
+    def test_root_children(self):
+        assert prefix_children((), 3) == [(0,), (1,), (2,)]
+
+    def test_adds_larger_elements_only(self):
+        assert prefix_children((1,), 4) == [(1, 2), (1, 3)]
+
+    def test_max_element_is_leaf(self):
+        assert prefix_children((2,), 3) == []
+
+    def test_paper_fig2_structure(self):
+        # n=3 prefix tree (0-based): {0}->{0,1},{0,2}; {1}->{1,2}; {2}->leaf;
+        # {0,1}->{0,1,2}.
+        assert prefix_children((0,), 3) == [(0, 1), (0, 2)]
+        assert prefix_children((1,), 3) == [(1, 2)]
+        assert prefix_children((0, 1), 3) == [(0, 1, 2)]
+        assert prefix_children((0, 2), 3) == []
+
+
+class TestPrefixParent:
+    def test_drops_max(self):
+        assert prefix_parent((0, 2, 3)) == (0, 2)
+
+    def test_singleton(self):
+        assert prefix_parent((2,)) == ()
+
+    def test_root_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_parent(())
+
+    def test_parent_child_inverse(self):
+        n = 5
+        tree = PrefixTree(n)
+        for node in tree.nodes():
+            for child in tree.children(node):
+                assert prefix_parent(child) == node
+
+
+class TestPrefixTree:
+    def test_is_spanning(self):
+        tree = PrefixTree(4)
+        # Every node reachable from the root exactly once.
+        seen = list(tree.preorder())
+        assert len(seen) == 16
+        assert len(set(seen)) == 16
+        assert seen[0] == ()
+
+    def test_depth_equals_cardinality(self):
+        tree = PrefixTree(4)
+        for node in tree.nodes():
+            assert tree.depth(node) == len(node)
+
+    def test_leaves_contain_max_element(self):
+        tree = PrefixTree(4)
+        for node in tree.nodes():
+            if tree.is_leaf(node):
+                assert node and node[-1] == 3 or node == (3,)
+
+    def test_edge_count(self):
+        tree = PrefixTree(4)
+        assert len(list(tree.iter_edges())) == 15  # 2^4 - 1 non-root nodes
+
+    def test_children_ordered_left_to_right(self):
+        tree = PrefixTree(5)
+        for node in tree.nodes():
+            kids = tree.children(node)
+            added = [k[-1] for k in kids]
+            assert added == sorted(added)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            PrefixTree(0)

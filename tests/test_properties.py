@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.chunking import block_bounds, block_of_index, split_points
+from repro.arrays.sparse import SparseArray
+from repro.arrays.aggregate import aggregate_sparse_to_dense
+from repro.core.aggregation_tree import AggregationTree
+from repro.core.comm_model import total_comm_volume, total_comm_volume_by_edges
+from repro.core.lattice import all_nodes, node_complement, node_size
+from repro.core.memory_model import sequential_memory_bound
+from repro.core.ordering import apply_order, canonical_order, invert_order
+from repro.core.partition import (
+    bruteforce_partition,
+    enumerate_partitions,
+    greedy_partition,
+)
+from repro.core.prefix_tree import PrefixTree
+from repro.core.spanning_tree import SpanningTree, simulate_schedule_memory
+
+
+# -- strategies -------------------------------------------------------------------
+
+dims = st.integers(min_value=1, max_value=5)
+small_shape = st.lists(
+    st.integers(min_value=2, max_value=12), min_size=1, max_size=5
+).map(tuple)
+sorted_shape = small_shape.map(lambda s: tuple(sorted(s, reverse=True)))
+
+
+def bits_for(shape, k):
+    """A valid bit assignment for shape with total k (clamped)."""
+    bits = [0] * len(shape)
+    budget = k
+    for i, s in enumerate(shape):
+        while budget and 2 ** (bits[i] + 1) <= s:
+            bits[i] += 1
+            budget -= 1
+    return tuple(bits)
+
+
+# -- chunking ----------------------------------------------------------------------
+
+
+@given(
+    size=st.integers(min_value=1, max_value=200),
+    parts=st.integers(min_value=1, max_value=50),
+)
+def test_split_points_partition_the_range(size, parts):
+    if parts > size:
+        parts = size
+    pts = split_points(size, parts)
+    assert pts[0] == 0 and pts[-1] == size
+    assert all(b > a for a, b in zip(pts, pts[1:]))
+    # Balanced: block lengths differ by at most one.
+    lengths = [b - a for a, b in zip(pts, pts[1:])]
+    assert max(lengths) - min(lengths) <= 1
+
+
+@given(
+    size=st.integers(min_value=1, max_value=100),
+    parts=st.integers(min_value=1, max_value=100),
+    index=st.integers(min_value=0, max_value=99),
+)
+def test_block_of_index_consistent(size, parts, index):
+    if parts > size:
+        parts = size
+    index = index % size
+    b = block_of_index(size, parts, index)
+    lo, hi = block_bounds(size, parts, b)
+    assert lo <= index < hi
+
+
+# -- sparse arrays ------------------------------------------------------------------
+
+
+@st.composite
+def sparse_arrays(draw, max_dim=4, max_size=8):
+    ndim = draw(st.integers(min_value=1, max_value=max_dim))
+    shape = tuple(
+        draw(st.integers(min_value=1, max_value=max_size)) for _ in range(ndim)
+    )
+    size = int(np.prod(shape))
+    nnz = draw(st.integers(min_value=0, max_value=size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    flat = rng.choice(size, size=nnz, replace=False)
+    coords = np.stack(np.unravel_index(flat, shape), axis=1) if nnz else np.empty(
+        (0, ndim), dtype=np.int64
+    )
+    values = rng.uniform(0.1, 1.0, size=nnz)
+    return SparseArray.from_coords(shape, coords, values), shape
+
+
+@given(data=sparse_arrays())
+@settings(max_examples=50, deadline=None)
+def test_sparse_roundtrip_and_aggregation(data):
+    arr, shape = data
+    dense = arr.to_dense()
+    assert dense.shape == shape
+    assert np.count_nonzero(dense) == arr.nnz
+    n = len(shape)
+    # Aggregating onto each single dimension matches numpy.
+    for d in range(n):
+        out = aggregate_sparse_to_dense(arr, tuple(range(n)), (d,))
+        drop = tuple(i for i in range(n) if i != d)
+        expected = dense.sum(axis=drop) if drop else dense
+        assert np.allclose(out.data, expected)
+
+
+@given(data=sparse_arrays(max_dim=3, max_size=9), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_extract_block_partition_preserves_everything(data, seed):
+    arr, shape = data
+    rng = np.random.default_rng(seed)
+    # Random split point along dimension 0.
+    cut = int(rng.integers(0, shape[0] + 1))
+    full = [slice(0, s) for s in shape]
+    left = arr.extract_block([slice(0, cut)] + full[1:])
+    right = arr.extract_block([slice(cut, shape[0])] + full[1:])
+    dense = arr.to_dense()
+    assert np.array_equal(
+        np.concatenate([left.to_dense(), right.to_dense()], axis=0)
+        if cut not in (0, shape[0])
+        else dense,
+        dense,
+    )
+    assert left.nnz + right.nnz == arr.nnz
+
+
+# -- trees ---------------------------------------------------------------------------
+
+
+@given(n=dims)
+def test_aggregation_tree_is_spanning_tree(n):
+    tree = AggregationTree(n)
+    nodes = list(tree.preorder())
+    assert sorted(nodes) == sorted(all_nodes(n))
+    for node in nodes:
+        if node != tree.root:
+            parent = tree.parent(node)
+            assert set(node) < set(parent)
+            assert len(parent) == len(node) + 1
+
+
+@given(n=dims)
+def test_aggregation_tree_complements_prefix_tree(n):
+    agg = AggregationTree(n)
+    pre = PrefixTree(n)
+    for pnode in pre.nodes():
+        anode = node_complement(pnode, n)
+        assert sorted(agg.children(anode)) == sorted(
+            node_complement(k, n) for k in pre.children(pnode)
+        )
+
+
+@given(shape=sorted_shape)
+def test_theorem1_memory_bound_property(shape):
+    """The schedule's peak equals the first-level sum for ANY sorted shape."""
+    tree = SpanningTree.from_aggregation_tree(len(shape))
+    tl = simulate_schedule_memory(tree.schedule(), shape)
+    assert tl.peak == sequential_memory_bound(shape)
+
+
+@given(shape=small_shape)
+def test_memory_bound_holds_even_unsorted(shape):
+    """Theorem 1's proof never uses the ordering: the bound holds for any
+    instantiation of the aggregation tree."""
+    tree = SpanningTree.from_aggregation_tree(len(shape))
+    tl = simulate_schedule_memory(tree.schedule(), shape)
+    assert tl.peak <= sequential_memory_bound(shape)
+
+
+# -- closed forms ---------------------------------------------------------------------
+
+
+@given(shape=small_shape, k=st.integers(min_value=0, max_value=4))
+def test_theorem3_closed_form_equals_edge_sum(shape, k):
+    bits = bits_for(shape, k)
+    assert total_comm_volume(shape, bits) == total_comm_volume_by_edges(shape, bits)
+
+
+@given(shape=sorted_shape, k=st.integers(min_value=0, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_theorem8_greedy_is_optimal(shape, k):
+    max_k = sum(s.bit_length() - 1 for s in shape)
+    k = min(k, max_k)
+    greedy = greedy_partition(shape, k)
+    brute = bruteforce_partition(shape, k)
+    assert total_comm_volume(shape, greedy) == total_comm_volume(shape, brute)
+
+
+@given(shape=sorted_shape)
+def test_node_sizes_multiply(shape):
+    n = len(shape)
+    for node in all_nodes(n):
+        expected = 1
+        for d in node:
+            expected *= shape[d]
+        assert node_size(node, shape) == expected
+
+
+# -- permutations ------------------------------------------------------------------------
+
+
+@given(shape=small_shape)
+def test_canonical_order_invariants(shape):
+    order = canonical_order(shape)
+    ordered = apply_order(shape, order)
+    assert sorted(ordered, reverse=True) == list(ordered)
+    inv = invert_order(order)
+    assert apply_order(ordered, inv) == tuple(shape)
+
+
+@given(shape=small_shape, k=st.integers(0, 3))
+def test_partitions_enumeration_sound(shape, k):
+    max_k = sum(s.bit_length() - 1 for s in shape)
+    k = min(k, max_k)
+    for bits in enumerate_partitions(len(shape), k, shape):
+        assert sum(bits) == k
+        assert all(2 ** b <= s for b, s in zip(bits, shape))

@@ -1,0 +1,162 @@
+"""Second round of property-based tests: end-to-end equivalences.
+
+These go beyond the data-structure invariants in ``test_properties.py``:
+random workloads through the *full constructors*, asserting parallel ==
+sequential == oracle, measure correctness, and closure/pruning laws.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.dataset import random_sparse
+from repro.arrays.measures import COUNT, MAX, MIN, SUM
+from repro.core.lattice import all_nodes, node_size
+from repro.core.memory_model import sequential_memory_bound
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partial import (
+    partial_comm_volume,
+    required_closure,
+)
+from repro.core.comm_model import total_comm_volume
+from repro.core.plan import plan_cube
+from repro.core.sequential import construct_cube_sequential, cube_reference
+from repro.olap.view_selection import answering_cost, greedy_select_views
+
+
+@st.composite
+def workloads(draw):
+    """(shape, sparsity, seed) triples small enough for exhaustive checks."""
+    ndim = draw(st.integers(min_value=2, max_value=4))
+    shape = tuple(
+        draw(st.integers(min_value=2, max_value=8)) for _ in range(ndim)
+    )
+    sparsity = draw(st.sampled_from([0.1, 0.3, 0.6]))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return shape, sparsity, seed
+
+
+@st.composite
+def bit_assignments(draw, shape):
+    bits = []
+    for s in shape:
+        max_b = s.bit_length() - 1
+        bits.append(draw(st.integers(min_value=0, max_value=min(max_b, 2))))
+    return tuple(bits)
+
+
+@given(wl=workloads(), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_parallel_equals_sequential_equals_oracle(wl, data):
+    shape, sparsity, seed = wl
+    bits = data.draw(bit_assignments(shape))
+    arr = random_sparse(shape, sparsity, seed=seed)
+    seq = construct_cube_sequential(arr)
+    par = construct_cube_parallel(arr, bits)
+    ref = cube_reference(arr)
+    for node in ref:
+        assert np.allclose(seq.results[node].data, ref[node].data), node
+        assert np.allclose(par.results[node].data, ref[node].data), node
+    assert par.comm_volume_elements == total_comm_volume(shape, bits)
+    assert seq.peak_memory_elements <= sequential_memory_bound(shape)
+
+
+@given(wl=workloads(), measure=st.sampled_from([SUM, COUNT, MIN, MAX]))
+@settings(max_examples=25, deadline=None)
+def test_measures_end_to_end(wl, measure):
+    shape, sparsity, seed = wl
+    arr = random_sparse(shape, sparsity, seed=seed)
+    seq = construct_cube_sequential(arr, measure=measure)
+    ref = cube_reference(arr, measure=measure)
+    for node in ref:
+        a, b = seq.results[node].data, ref[node].data
+        # Identity-valued (infinite) cells compare by equality, not closeness.
+        assert np.array_equal(np.isfinite(a), np.isfinite(b)), node
+        finite = np.isfinite(a)
+        assert np.allclose(
+            np.asarray(a)[finite], np.asarray(b)[finite]
+        ), (node, measure.name)
+
+
+@given(wl=workloads(), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_plan_roundtrip_random_order(wl, data):
+    shape, sparsity, seed = wl
+    # Scramble so the planner must reorder.
+    arr = random_sparse(shape, sparsity, seed=seed)
+    procs = data.draw(st.sampled_from([1, 2, 4]))
+    plan = plan_cube(shape, num_processors=procs)
+    run = plan.run_parallel(arr)
+    ref = cube_reference(arr)
+    for node in ref:
+        assert np.allclose(run.results[node].data, ref[node].data), node
+
+
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_closure_laws(n, data):
+    # Random non-empty target set of proper subsets.
+    candidates = [nd for nd in all_nodes(n) if len(nd) < n]
+    targets = data.draw(
+        st.lists(st.sampled_from(candidates), min_size=1, max_size=4)
+    )
+    closure = required_closure(targets, n)
+    # Targets are inside; closure is ancestor-closed; root excluded.
+    assert set(map(tuple, targets)) <= closure
+    from repro.core.aggregation_tree import AggregationTree
+    from repro.core.lattice import full_node
+
+    tree = AggregationTree(n)
+    for node in closure:
+        parent = tree.parent(node)
+        assert parent == full_node(n) or parent in closure
+    # Monotone: adding a target never shrinks the closure.
+    bigger = required_closure(list(targets) + [candidates[0]], n)
+    assert closure <= bigger
+
+
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_partial_volume_monotone_and_bounded(n, data):
+    shape = tuple(
+        data.draw(st.integers(min_value=2, max_value=8)) for _ in range(n)
+    )
+    bits = data.draw(bit_assignments(shape))
+    candidates = [nd for nd in all_nodes(n) if len(nd) < n]
+    targets = data.draw(
+        st.lists(st.sampled_from(candidates), min_size=1, max_size=3)
+    )
+    v_partial = partial_comm_volume(shape, bits, targets)
+    v_full = total_comm_volume(shape, bits)
+    assert 0 <= v_partial <= v_full
+    # Full target set recovers the full-cube volume.
+    assert partial_comm_volume(shape, bits, candidates) == v_full
+
+
+@given(
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_view_selection_laws(data):
+    n = data.draw(st.integers(min_value=2, max_value=4))
+    shape = tuple(
+        data.draw(st.integers(min_value=2, max_value=10)) for _ in range(n)
+    )
+    budget = data.draw(st.integers(min_value=0, max_value=500))
+    sel = greedy_select_views(shape, budget)
+    assert sel.space_used_elements <= budget
+    assert sel.workload_cost_after <= sel.workload_cost_before
+    # Every selected view fits and helps some query.
+    for v in sel.views:
+        assert node_size(v, shape) <= budget
+    # Costs computed with the selection are consistent.
+    for v in sel.views:
+        assert answering_cost(v, set(sel.views), shape) <= node_size(
+            v, shape
+        )

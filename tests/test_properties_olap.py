@@ -1,0 +1,86 @@
+"""Property-based tests for the OLAP layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.dataset import random_sparse
+from repro.olap import (
+    DataCube,
+    Dimension,
+    GroupByQuery,
+    Hierarchy,
+    QueryEngine,
+    Schema,
+    apply_delta,
+)
+from repro.olap.granularity import GranularityEngine
+from repro.olap.maintenance import merge_sparse
+
+
+@st.composite
+def schemas(draw):
+    n = draw(st.integers(min_value=2, max_value=3))
+    dims = []
+    for i in range(n):
+        size = draw(st.integers(min_value=2, max_value=8))
+        hierarchies = ()
+        if draw(st.booleans()) and size >= 2:
+            groups = draw(st.integers(min_value=1, max_value=size))
+            mapping = tuple(
+                draw(st.integers(min_value=0, max_value=groups - 1))
+                for _ in range(size)
+            )
+            labels = tuple(f"g{k}" for k in range(groups))
+            hierarchies = (Hierarchy("h", mapping, labels),)
+        dims.append(Dimension(f"d{i}", size, hierarchies=hierarchies))
+    return Schema(tuple(dims))
+
+
+@given(schema=schemas(), seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_query_engine_matches_dense_recomputation(schema, seed):
+    data = random_sparse(schema.shape, 0.4, seed=seed)
+    cube = DataCube.build(schema, data)
+    dense = data.to_dense()
+    eng = QueryEngine(cube)
+    n = len(schema.dimensions)
+    # Every single-dimension group-by.
+    for d in range(n):
+        ans = eng.answer(GroupByQuery(group_by=(schema.names[d],)))
+        drop = tuple(i for i in range(n) if i != d)
+        assert np.allclose(ans.values, dense.sum(axis=drop))
+    # Grand total.
+    assert np.isclose(eng.answer(GroupByQuery()).values, dense.sum())
+
+
+@given(schema=schemas(), seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_rollup_views_preserve_total(schema, seed):
+    data = random_sparse(schema.shape, 0.4, seed=seed)
+    cube = DataCube.build(schema, data)
+    eng = GranularityEngine(cube)
+    total = data.to_dense().sum()
+    for dim in schema.dimensions:
+        for h in dim.hierarchies:
+            view = eng.view({dim.name: h.name})
+            assert np.isclose(view.sum(), total)
+            # Each group equals the sum of its members' base values.
+            base = cube.group_by(dim.name).data
+            for g in range(h.num_groups):
+                members = [m for m, grp in enumerate(h.mapping) if grp == g]
+                assert np.isclose(view[g], base[members].sum())
+
+
+@given(schema=schemas(), seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_delta_commutes_with_merge(schema, seed):
+    base = random_sparse(schema.shape, 0.3, seed=seed)
+    delta = random_sparse(schema.shape, 0.2, seed=seed + 1000)
+    incremental = DataCube.build(schema, base)
+    apply_delta(incremental, delta)
+    rebuilt = DataCube.build(schema, merge_sparse(base, delta))
+    for node in rebuilt.aggregates:
+        assert np.allclose(
+            incremental.aggregates[node].data, rebuilt.aggregates[node].data
+        )

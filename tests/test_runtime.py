@@ -1,0 +1,202 @@
+"""Unit tests for the SPMD scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import MachineModel
+from repro.cluster.runtime import DeadlockError, RankEnv, run_spmd
+
+
+def quiet_machine():
+    """Unit costs that make timing assertions easy."""
+    return MachineModel(
+        element_ops_per_second=1.0,
+        sparse_op_factor=2.0,
+        network_latency_s=1.0,
+        network_bandwidth_Bps=8.0,  # one float64 element per second
+        disk_bandwidth_Bps=8.0,
+        disk_latency_s=1.0,
+    )
+
+
+class TestBasicPrograms:
+    def test_return_values_collected(self):
+        def program(env):
+            return env.rank * 10
+            yield  # pragma: no cover
+
+        metrics = run_spmd(4, program)
+        assert metrics.rank_results == [0, 10, 20, 30]
+
+    def test_compute_advances_clock(self):
+        def program(env):
+            yield env.compute(5)
+
+        metrics = run_spmd(1, program, machine=quiet_machine())
+        assert metrics.rank_clocks[0] == pytest.approx(5.0)
+
+    def test_sparse_compute_uses_factor(self):
+        def program(env):
+            yield env.compute(5, sparse=True)
+
+        metrics = run_spmd(1, program, machine=quiet_machine())
+        assert metrics.rank_clocks[0] == pytest.approx(10.0)
+
+    def test_disk_ops_counted(self):
+        def program(env):
+            yield env.disk_write(16)
+            yield env.disk_read(8)
+
+        metrics = run_spmd(1, program, machine=quiet_machine())
+        assert metrics.rank_disk_bytes_written == [16]
+        assert metrics.rank_disk_bytes_read == [8]
+        # 1 + 2 write, 1 + 1 read.
+        assert metrics.rank_clocks[0] == pytest.approx(5.0)
+
+
+class TestMessaging:
+    def test_ping(self):
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.array([42.0]), tag=1)
+            else:
+                data = yield env.recv(0, tag=1)
+                return float(data[0])
+
+        metrics = run_spmd(2, program)
+        assert metrics.rank_results[1] == 42.0
+        assert metrics.comm.total_messages == 1
+
+    def test_recv_posted_after_recv_started(self):
+        # Rank 0 receives first (blocks), rank 1 sends later.
+        def program(env):
+            if env.rank == 0:
+                data = yield env.recv(1, tag=0)
+                return float(data[0])
+            yield env.compute(100)
+            yield env.send(0, np.array([7.0]), tag=0)
+
+        metrics = run_spmd(2, program, machine=quiet_machine())
+        assert metrics.rank_results[0] == 7.0
+        # Receiver waited for sender's compute + transfer.
+        assert metrics.rank_clocks[0] >= 100.0
+
+    def test_message_timing(self):
+        m = quiet_machine()
+
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(8), tag=0)  # 64 B -> 1 + 8 s
+            else:
+                yield env.recv(0, tag=0)
+
+        metrics = run_spmd(2, program, machine=m)
+        # Sender: 9 s.  Receiver: arrival 9 + recv occupancy 9 = 18 s.
+        assert metrics.rank_clocks[0] == pytest.approx(9.0)
+        assert metrics.rank_clocks[1] == pytest.approx(18.0)
+
+    def test_ring_exchange(self):
+        n = 4
+
+        def program(env):
+            right = (env.rank + 1) % n
+            left = (env.rank - 1) % n
+            yield env.send(right, np.array([float(env.rank)]), tag=0)
+            data = yield env.recv(left, tag=0)
+            return int(data[0])
+
+        metrics = run_spmd(n, program)
+        assert metrics.rank_results == [3, 0, 1, 2]
+
+    def test_tag_separation(self):
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.array([1.0]), tag=1)
+                yield env.send(1, np.array([2.0]), tag=2)
+            else:
+                b = yield env.recv(0, tag=2)
+                a = yield env.recv(0, tag=1)
+                return (float(a[0]), float(b[0]))
+
+        metrics = run_spmd(2, program)
+        assert metrics.rank_results[1] == (1.0, 2.0)
+
+    def test_deadlock_detected(self):
+        def program(env):
+            yield env.recv((env.rank + 1) % 2, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, program)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self):
+        def program(env):
+            yield env.compute(env.rank * 10)
+            yield env.barrier()
+            return env.clock
+
+        metrics = run_spmd(3, program, machine=quiet_machine())
+        assert metrics.rank_results == [20.0, 20.0, 20.0]
+
+    def test_barrier_with_messages_in_flight(self):
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.array([1.0]), tag=0)
+            yield env.barrier()
+            if env.rank == 1:
+                data = yield env.recv(0, tag=0)
+                return float(data[0])
+
+        metrics = run_spmd(2, program)
+        assert metrics.rank_results[1] == 1.0
+
+
+class TestMemoryAccounting:
+    def test_alloc_free_peaks(self):
+        def program(env):
+            env.alloc("a", 100)
+            env.alloc("b", 50)
+            env.free("a")
+            env.alloc("c", 10)
+            env.free("b")
+            env.free("c")
+            return None
+            yield  # pragma: no cover
+
+        metrics = run_spmd(1, program)
+        assert metrics.rank_peak_memory_elements == [150]
+
+    def test_double_alloc_rejected(self):
+        env = RankEnv(rank=0, num_ranks=1, machine=MachineModel())
+        env.alloc("x", 1)
+        with pytest.raises(ValueError):
+            env.alloc("x", 1)
+
+    def test_free_unknown_rejected(self):
+        env = RankEnv(rank=0, num_ranks=1, machine=MachineModel())
+        with pytest.raises(KeyError):
+            env.free("nope")
+
+
+class TestMetrics:
+    def test_makespan_is_max_clock(self):
+        def program(env):
+            yield env.compute((env.rank + 1) * 7)
+
+        metrics = run_spmd(3, program, machine=quiet_machine())
+        assert metrics.makespan_s == pytest.approx(21.0)
+
+    def test_summary_string(self):
+        def program(env):
+            yield env.compute(1)
+
+        metrics = run_spmd(2, program)
+        assert "ranks=2" in metrics.summary()
+
+    def test_unknown_op_rejected(self):
+        def program(env):
+            yield "bogus"
+
+        with pytest.raises(TypeError):
+            run_spmd(1, program)

@@ -1,0 +1,147 @@
+"""Unit tests for sequential cube construction (Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.arrays.dense import DenseArray
+from repro.arrays.sparse import SparseArray
+from repro.arrays.storage import SimulatedDisk
+from repro.core.lattice import all_nodes
+from repro.core.memory_model import sequential_memory_bound
+from repro.core.sequential import (
+    construct_cube_sequential,
+    cube_reference,
+    verify_cube,
+)
+from repro.util import node_name
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("shape", [(4,), (4, 3), (5, 4, 3), (4, 4, 3, 2)])
+    def test_sparse_input_matches_reference(self, shape):
+        data = random_sparse(shape, 0.3, seed=1)
+        res = construct_cube_sequential(data)
+        verify_cube(res.results, data)
+
+    def test_dense_input_matches_reference(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(size=(4, 3, 3))
+        res = construct_cube_sequential(data)
+        verify_cube(res.results, data)
+
+    def test_all_nodes_present(self):
+        data = random_sparse((3, 3, 3), 0.5, seed=3)
+        res = construct_cube_sequential(data)
+        expected = {nd for nd in all_nodes(3) if len(nd) < 3}
+        assert set(res.results) == expected
+
+    def test_scalar_all_node(self):
+        data = random_sparse((4, 4), 0.5, seed=4)
+        res = construct_cube_sequential(data)
+        assert res.results[()].shape == ()
+        assert np.isclose(float(res.results[()].data), data.to_dense().sum())
+
+    def test_empty_input(self):
+        data = SparseArray.from_dense(np.zeros((3, 3)))
+        res = construct_cube_sequential(data)
+        for arr in res.results.values():
+            assert np.all(arr.data == 0)
+
+    def test_chunked_input_same_results(self):
+        dense = random_sparse((6, 6, 4), 0.4, seed=5).to_dense()
+        whole = construct_cube_sequential(SparseArray.from_dense(dense))
+        chunked = construct_cube_sequential(
+            SparseArray.from_dense(dense, chunk_shape=(3, 2, 4))
+        )
+        for node in whole.results:
+            assert np.allclose(whole.results[node].data, chunked.results[node].data)
+
+
+class TestMemoryDiscipline:
+    @pytest.mark.parametrize(
+        "shape", [(8, 4, 2), (6, 6, 6), (8, 6, 4, 2), (4, 4, 4, 4)]
+    )
+    def test_peak_memory_exactly_at_theorem1_bound(self, shape):
+        data = random_sparse(shape, 0.2, seed=6)
+        res = construct_cube_sequential(data)
+        assert res.peak_memory_elements == sequential_memory_bound(shape)
+
+    def test_memory_bytes_consistent(self):
+        data = random_sparse((4, 4, 4), 0.2, seed=7)
+        res = construct_cube_sequential(data)
+        assert res.peak_memory_bytes == res.peak_memory_elements * 8
+
+
+class TestDiskDiscipline:
+    def test_each_output_written_exactly_once(self):
+        data = random_sparse((4, 4, 3), 0.3, seed=8)
+        disk = SimulatedDisk()
+        construct_cube_sequential(data, disk=disk)
+        assert sorted(disk.write_log) == sorted(set(disk.write_log))
+        assert len(disk.write_log) == 2 ** 3 - 1
+
+    def test_input_never_written(self):
+        data = random_sparse((3, 3, 3), 0.3, seed=9)
+        disk = SimulatedDisk()
+        construct_cube_sequential(data, disk=disk)
+        assert node_name((0, 1, 2)) not in disk.write_log
+
+    def test_no_reads_during_construction(self):
+        data = random_sparse((3, 3), 0.3, seed=10)
+        disk = SimulatedDisk()
+        res = construct_cube_sequential(data, disk=disk)
+        assert res.disk.bytes_read == 0
+
+    def test_write_bytes_equal_output_sizes(self):
+        data = random_sparse((4, 3, 2), 0.5, seed=11)
+        res = construct_cube_sequential(data)
+        expected = sum(a.size * 8 for a in res.results.values())
+        assert res.disk.bytes_written == expected
+
+    def test_write_order_matches_schedule(self):
+        data = random_sparse((3, 3, 3), 0.5, seed=12)
+        res = construct_cube_sequential(data)
+        # Paper walkthrough: the right-most first-level child retires first.
+        assert res.write_order[0] == (0, 1)
+
+
+class TestComputeAccounting:
+    def test_first_level_cost_counts_nnz(self):
+        data = random_sparse((4, 4), 0.25, seed=13)
+        res = construct_cube_sequential(data)
+        # First level: nnz * 2 children; then (0,)->(): 4 ops... actually
+        # node (0,) has child (); cost = 4.
+        assert res.compute_element_ops == data.nnz * 2 + 4
+
+    def test_dense_input_cost(self):
+        data = np.ones((3, 3))
+        res = construct_cube_sequential(data)
+        # Root scanned once per child (2 x 9) + (0,) -> () (3).
+        assert res.compute_element_ops == 18 + 3
+
+
+class TestReference:
+    def test_reference_covers_all_nodes(self):
+        data = random_sparse((3, 3), 0.5, seed=14)
+        ref = cube_reference(data)
+        assert set(ref) == {(0,), (1,), ()}
+
+    def test_verify_cube_detects_corruption(self):
+        data = random_sparse((3, 3), 0.5, seed=15)
+        res = construct_cube_sequential(data)
+        res.results[(0,)].data[0] += 1.0
+        with pytest.raises(AssertionError):
+            verify_cube(res.results, data)
+
+    def test_verify_cube_detects_missing_node(self):
+        data = random_sparse((3, 3), 0.5, seed=16)
+        res = construct_cube_sequential(data)
+        del res.results[(1,)]
+        with pytest.raises(AssertionError):
+            verify_cube(res.results, data)
+
+    def test_reference_accepts_plain_numpy(self):
+        data = np.ones((2, 2))
+        ref = cube_reference(data)
+        assert float(ref[()].data) == 4.0

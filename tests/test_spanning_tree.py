@@ -1,0 +1,159 @@
+"""Unit tests for generic spanning trees and the schedule memory simulator."""
+
+import pytest
+
+from repro.core.aggregation_tree import AggregationTree
+from repro.core.lattice import all_nodes, full_node, minimal_parent
+from repro.core.memory_model import sequential_memory_bound
+from repro.core.spanning_tree import (
+    SpanningTree,
+    left_deep_tree,
+    minimal_parent_tree,
+    simulate_schedule_memory,
+    tree_computation_cost,
+)
+
+
+class TestSpanningTreeValidation:
+    def test_from_aggregation_tree(self):
+        tree = SpanningTree.from_aggregation_tree(4)
+        agg = AggregationTree(4)
+        for node in all_nodes(4):
+            if len(node) < 4:
+                assert tree.parent(node) == agg.parent(node)
+
+    def test_rejects_missing_node(self):
+        pm = AggregationTree(3).parent_map()
+        del pm[(0,)]
+        with pytest.raises(ValueError):
+            SpanningTree(3, pm)
+
+    def test_rejects_non_parent_edge(self):
+        pm = AggregationTree(3).parent_map()
+        pm[(0,)] = (0, 1, 2)  # grandparent, not a lattice parent
+        with pytest.raises(ValueError):
+            SpanningTree(3, pm)
+
+    def test_children_inverse(self):
+        tree = SpanningTree.from_aggregation_tree(4)
+        for node in all_nodes(4):
+            for kid in tree.children(node):
+                assert tree.parent(kid) == node
+
+    def test_aggregated_dim(self):
+        tree = minimal_parent_tree((8, 4, 2))
+        for node in all_nodes(3):
+            if len(node) == 3:
+                continue
+            d = tree.aggregated_dim(node)
+            assert d not in node
+            assert d in tree.parent(node)
+
+
+class TestNamedTrees:
+    def test_minimal_parent_tree_matches_aggregation_under_canonical_order(self):
+        shape = (16, 8, 4, 2)  # strictly decreasing: no ties
+        mp = minimal_parent_tree(shape)
+        agg = AggregationTree(4)
+        for node in all_nodes(4):
+            if len(node) < 4:
+                assert mp.parent(node) == agg.parent(node)
+
+    def test_minimal_parent_tree_uses_minimal_parents(self):
+        shape = (3, 9, 5)  # arbitrary order
+        mp = minimal_parent_tree(shape)
+        for node in all_nodes(3):
+            if len(node) < 3:
+                assert mp.parent(node) == minimal_parent(node, shape)
+
+    def test_left_deep_tree_differs_from_aggregation(self):
+        ld = left_deep_tree(3)
+        assert ld.parent((2,)) == (0, 2)  # adds dim 0, not max-missing
+
+
+class TestScheduleMemory:
+    def test_aggregation_tree_hits_theorem1_bound(self):
+        for shape in [(8, 4, 2), (6, 6, 6), (10, 7, 4, 2), (5, 5, 5, 5, 5)]:
+            tree = SpanningTree.from_aggregation_tree(len(shape))
+            tl = simulate_schedule_memory(tree.schedule(), shape)
+            assert tl.peak == sequential_memory_bound(shape)
+            assert not tl.final_held
+
+    def test_peak_never_below_first_level(self):
+        # Theorem 2: any maximal-reuse schedule computes the whole first
+        # level simultaneously, so peak >= bound for every tree.
+        shape = (8, 5, 3)
+        for tree in [
+            SpanningTree.from_aggregation_tree(3),
+            minimal_parent_tree(shape),
+            left_deep_tree(3),
+        ]:
+            tl = simulate_schedule_memory(tree.schedule(), shape)
+            assert tl.peak >= sequential_memory_bound(shape)
+
+    def test_left_deep_tree_exceeds_bound(self):
+        shape = (16, 8, 4, 2)
+        tl = simulate_schedule_memory(left_deep_tree(4).schedule(), shape)
+        assert tl.peak > sequential_memory_bound(shape)
+
+    def test_left_to_right_traversal_exceeds_bound(self):
+        # The right-to-left order is essential to Theorem 1.
+        shape = (16, 8, 4, 2)
+        tree = SpanningTree.from_aggregation_tree(4)
+        rl = simulate_schedule_memory(tree.schedule(right_to_left=True), shape)
+        lr = simulate_schedule_memory(tree.schedule(right_to_left=False), shape)
+        assert rl.peak == sequential_memory_bound(shape)
+        assert lr.peak > rl.peak
+
+    def test_malformed_schedule_rejected(self):
+        from repro.core.aggregation_tree import ComputeChildren, WriteBack
+
+        shape = (4, 4)
+        # Writing back a node that was never computed.
+        with pytest.raises(ValueError):
+            simulate_schedule_memory([WriteBack((0,))], shape)
+        # Computing children of a node not in memory.
+        with pytest.raises(ValueError):
+            simulate_schedule_memory([ComputeChildren((0,), ((),))], shape)
+        # Computing a node twice.
+        root = full_node(2)
+        with pytest.raises(ValueError):
+            simulate_schedule_memory(
+                [
+                    ComputeChildren(root, ((0,), (1,))),
+                    ComputeChildren(root, ((0,),)),
+                ],
+                shape,
+            )
+
+    def test_custom_size_fn(self):
+        shape = (4, 4)
+        tree = SpanningTree.from_aggregation_tree(2)
+        tl = simulate_schedule_memory(tree.schedule(), shape, size_fn=lambda nd: 1)
+        # 3 nodes held at most two at a time under unit sizes.
+        assert tl.peak <= 3
+
+
+class TestComputationCost:
+    def test_aggregation_tree_cost_3d(self):
+        shape = (4, 3, 2)
+        tree = SpanningTree.from_aggregation_tree(3)
+        # Edges: root->3 children (3*24); (1,2)->(2,),(1,) (2*6);
+        # (0,2)->(0,) (8); (2,)->() (2).
+        assert tree_computation_cost(tree, shape) == 3 * 24 + 2 * 6 + 8 + 2
+
+    def test_minimal_parent_tree_is_cheapest(self):
+        import itertools
+
+        shape = (7, 5, 3)
+        best = tree_computation_cost(minimal_parent_tree(shape), shape)
+        # Sample alternative trees: perturb one node's parent choice.
+        base = minimal_parent_tree(shape).parent_map
+        from repro.core.lattice import lattice_parents
+
+        for node in base:
+            for alt in lattice_parents(node, 3):
+                pm = dict(base)
+                pm[node] = alt
+                cost = tree_computation_cost(SpanningTree(3, pm), shape)
+                assert cost >= best

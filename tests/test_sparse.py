@@ -1,0 +1,177 @@
+"""Unit tests for the chunk-offset compressed sparse format."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.sparse import SparseArray, SparseChunk
+
+
+def make_dense(shape, seed=0, density=0.4):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(1.0, 2.0, size=shape)
+    mask = rng.uniform(size=shape) < density
+    return np.where(mask, data, 0.0)
+
+
+class TestSparseChunk:
+    def test_local_coords_roundtrip(self):
+        dense = make_dense((4, 5), seed=1)
+        arr = SparseArray.from_dense(dense)
+        chunk = arr.chunks[0]
+        coords = chunk.local_coords()
+        rebuilt = np.zeros((4, 5))
+        rebuilt[coords[:, 0], coords[:, 1]] = chunk.values
+        assert np.array_equal(rebuilt, dense)
+
+    def test_global_coords_add_origin(self):
+        dense = make_dense((6, 4), seed=2)
+        arr = SparseArray.from_dense(dense, chunk_shape=(3, 2))
+        for chunk in arr.chunks:
+            g = chunk.global_coords()
+            l = chunk.local_coords()
+            assert np.array_equal(g, l + np.asarray(chunk.origin))
+
+    def test_to_dense(self):
+        dense = make_dense((3, 3), seed=3)
+        arr = SparseArray.from_dense(dense)
+        assert np.array_equal(arr.chunks[0].to_dense(), dense)
+
+    def test_nbytes_counts_offsets_and_values(self):
+        chunk = SparseChunk(
+            (0,), (10,), np.array([1, 5], dtype=np.int64), np.array([1.0, 2.0])
+        )
+        assert chunk.nbytes == 2 * 8 + 2 * 8
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SparseChunk((0,), (10,), np.array([1], dtype=np.int64), np.array([1.0, 2.0]))
+
+
+class TestFromDense:
+    def test_roundtrip_single_chunk(self):
+        dense = make_dense((5, 6, 3), seed=4)
+        arr = SparseArray.from_dense(dense)
+        assert np.array_equal(arr.to_dense(), dense)
+
+    def test_roundtrip_chunked(self):
+        dense = make_dense((8, 6), seed=5)
+        arr = SparseArray.from_dense(dense, chunk_shape=(3, 2))
+        assert np.array_equal(arr.to_dense(), dense)
+        assert len(arr.chunks) == 3 * 3
+
+    def test_nnz(self):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 1.0
+        dense[3, 2] = 2.0
+        arr = SparseArray.from_dense(dense, chunk_shape=(2, 2))
+        assert arr.nnz == 2
+
+    def test_sparsity(self):
+        dense = np.zeros((2, 5))
+        dense[0, :] = 1.0
+        arr = SparseArray.from_dense(dense)
+        assert arr.sparsity == 0.5
+
+    def test_all_zero(self):
+        arr = SparseArray.from_dense(np.zeros((3, 3)))
+        assert arr.nnz == 0
+        assert np.array_equal(arr.to_dense(), np.zeros((3, 3)))
+
+
+class TestFromCoords:
+    def test_basic(self):
+        arr = SparseArray.from_coords(
+            (4, 4), np.array([[0, 1], [2, 3]]), np.array([1.5, 2.5])
+        )
+        dense = arr.to_dense()
+        assert dense[0, 1] == 1.5 and dense[2, 3] == 2.5
+        assert arr.nnz == 2
+
+    def test_duplicates_summed(self):
+        arr = SparseArray.from_coords(
+            (3, 3), np.array([[1, 1], [1, 1], [0, 0]]), np.array([1.0, 2.0, 5.0])
+        )
+        assert arr.to_dense()[1, 1] == 3.0
+        assert arr.nnz == 2
+
+    def test_chunked_placement(self):
+        coords = np.array([[0, 0], [7, 7], [3, 4]])
+        arr = SparseArray.from_coords((8, 8), coords, np.ones(3), chunk_shape=(4, 4))
+        assert len(arr.chunks) == 4
+        assert arr.nnz == 3
+        dense = arr.to_dense()
+        assert dense[0, 0] == dense[7, 7] == dense[3, 4] == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SparseArray.from_coords((2, 2), np.array([[2, 0]]), np.array([1.0]))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SparseArray.from_coords((2, 2), np.array([[0, 0, 0]]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            SparseArray.from_coords((2, 2), np.array([[0, 0]]), np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        arr = SparseArray.from_coords(
+            (3, 3), np.empty((0, 2), dtype=np.int64), np.empty(0)
+        )
+        assert arr.nnz == 0
+
+
+class TestAllCoordsValues:
+    def test_matches_dense(self):
+        dense = make_dense((6, 5), seed=6)
+        arr = SparseArray.from_dense(dense, chunk_shape=(2, 5))
+        coords, values = arr.all_coords_values()
+        rebuilt = np.zeros((6, 5))
+        rebuilt[coords[:, 0], coords[:, 1]] = values
+        assert np.array_equal(rebuilt, dense)
+
+    def test_empty_array(self):
+        arr = SparseArray((3, 3), [])
+        coords, values = arr.all_coords_values()
+        assert coords.shape == (0, 2)
+        assert values.shape == (0,)
+
+
+class TestExtractBlock:
+    def test_matches_dense_slice(self):
+        dense = make_dense((8, 7, 5), seed=7)
+        arr = SparseArray.from_dense(dense, chunk_shape=(4, 4, 4))
+        sl = (slice(2, 6), slice(0, 7), slice(1, 4))
+        sub = arr.extract_block(sl)
+        assert np.array_equal(sub.to_dense(), dense[sl])
+
+    def test_empty_block(self):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 1.0
+        arr = SparseArray.from_dense(dense)
+        sub = arr.extract_block((slice(2, 4), slice(2, 4)))
+        assert sub.nnz == 0
+        assert sub.shape == (2, 2)
+
+    def test_full_block_is_identity(self):
+        dense = make_dense((5, 5), seed=8)
+        arr = SparseArray.from_dense(dense)
+        sub = arr.extract_block((slice(0, 5), slice(0, 5)))
+        assert np.array_equal(sub.to_dense(), dense)
+
+    def test_rejects_stepped_slice(self):
+        arr = SparseArray.from_dense(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            arr.extract_block((slice(0, 4, 2), slice(0, 4)))
+
+    def test_rejects_out_of_bounds(self):
+        arr = SparseArray.from_dense(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            arr.extract_block((slice(0, 5), slice(0, 4)))
+
+    def test_blocks_partition_nnz(self):
+        dense = make_dense((9, 6), seed=9)
+        arr = SparseArray.from_dense(dense, chunk_shape=(3, 3))
+        total = 0
+        for lo, hi in ((0, 3), (3, 9)):
+            sub = arr.extract_block((slice(lo, hi), slice(0, 6)))
+            total += sub.nnz
+        assert total == arr.nnz

@@ -1,0 +1,62 @@
+"""Unit tests for the simulated disk."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.storage import SimulatedDisk
+
+
+class TestSimulatedDisk:
+    def test_write_then_read(self):
+        disk = SimulatedDisk()
+        arr = np.ones(10)
+        disk.write("a", arr)
+        out = disk.read("a")
+        assert np.array_equal(out, arr)
+
+    def test_byte_accounting(self):
+        disk = SimulatedDisk()
+        disk.write("a", np.ones(10))  # 80 bytes
+        disk.write("b", np.ones(5))   # 40 bytes
+        disk.read("a")
+        assert disk.stats.bytes_written == 120
+        assert disk.stats.bytes_read == 80
+        assert disk.stats.write_ops == 2
+        assert disk.stats.read_ops == 1
+
+    def test_missing_read(self):
+        disk = SimulatedDisk()
+        with pytest.raises(KeyError):
+            disk.read("nope")
+
+    def test_peek_does_not_count(self):
+        disk = SimulatedDisk()
+        disk.write("a", np.ones(3))
+        disk.peek("a")
+        assert disk.stats.bytes_read == 0
+
+    def test_contains_and_names(self):
+        disk = SimulatedDisk()
+        disk.write("x", np.ones(1))
+        assert "x" in disk
+        assert "y" not in disk
+        assert disk.names() == ["x"]
+
+    def test_write_log_records_order(self):
+        disk = SimulatedDisk()
+        disk.write("a", np.ones(1))
+        disk.write("b", np.ones(1))
+        assert disk.write_log == ["a", "b"]
+
+    def test_rejects_object_without_nbytes(self):
+        disk = SimulatedDisk()
+        with pytest.raises(TypeError):
+            disk.write("bad", object())
+
+    def test_stats_copy_is_snapshot(self):
+        disk = SimulatedDisk()
+        disk.write("a", np.ones(1))
+        snap = disk.stats.copy()
+        disk.write("b", np.ones(1))
+        assert snap.write_ops == 1
+        assert disk.stats.write_ops == 2

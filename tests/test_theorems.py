@@ -1,0 +1,213 @@
+"""Explicit validation of every theorem in the paper, one class per claim.
+
+These tests are the reproduction's core: each maps a theorem's statement to
+a measurable property of the implementation and checks it on a spread of
+shapes and partitions (exhaustively where feasible).
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.core.aggregation_tree import AggregationTree
+from repro.core.comm_model import total_comm_volume
+from repro.core.lattice import all_nodes, minimal_parent, node_size
+from repro.core.memory_model import (
+    parallel_memory_bound_exact,
+    sequential_memory_bound,
+)
+from repro.core.ordering import apply_order, canonical_order
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import (
+    bruteforce_partition,
+    enumerate_partitions,
+    greedy_partition,
+)
+from repro.core.sequential import construct_cube_sequential
+from repro.core.spanning_tree import (
+    SpanningTree,
+    left_deep_tree,
+    simulate_schedule_memory,
+)
+
+SHAPES = [(8, 4, 2), (9, 9, 3), (16, 8, 4, 2), (6, 6, 6, 6), (8, 7, 6, 5, 4)]
+
+
+class TestTheorem1SequentialUpperBound:
+    """Right-to-left DFS of the aggregation tree holds at most
+    sum_i prod_{j != i} |D_j| result elements."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_schedule_peak_at_most_bound(self, shape):
+        tree = SpanningTree.from_aggregation_tree(len(shape))
+        tl = simulate_schedule_memory(tree.schedule(), shape)
+        assert tl.peak <= sequential_memory_bound(shape)
+
+    @pytest.mark.parametrize("shape", [(8, 4, 2), (6, 6, 6, 6)])
+    def test_real_construction_peak_at_most_bound(self, shape):
+        data = random_sparse(shape, 0.3, seed=1)
+        res = construct_cube_sequential(data)
+        assert res.peak_memory_elements <= sequential_memory_bound(shape)
+
+    def test_bound_is_tight(self):
+        # The first level alone occupies exactly the bound.
+        shape = (8, 4, 2)
+        data = random_sparse(shape, 0.3, seed=2)
+        res = construct_cube_sequential(data)
+        assert res.peak_memory_elements == sequential_memory_bound(shape)
+
+
+class TestTheorem2SequentialLowerBound:
+    """No spanning tree with maximal reuse and no partial write-back does
+    better: the first level is computed simultaneously in every such
+    schedule, so peak >= bound."""
+
+    @pytest.mark.parametrize("shape", [(8, 4, 2), (16, 8, 4, 2)])
+    def test_every_sampled_tree_at_least_bound(self, shape):
+        import random
+
+        n = len(shape)
+        bound = sequential_memory_bound(shape)
+        rng = random.Random(0)
+        from repro.core.lattice import lattice_parents
+
+        for _trial in range(20):
+            pm = {}
+            for node in all_nodes(n):
+                if len(node) == n:
+                    continue
+                pm[node] = rng.choice(lattice_parents(node, n))
+            tree = SpanningTree(n, pm)
+            tl = simulate_schedule_memory(tree.schedule(), shape)
+            assert tl.peak >= bound
+
+    def test_left_deep_strictly_exceeds(self):
+        shape = (16, 8, 4, 2)
+        tl = simulate_schedule_memory(left_deep_tree(4).schedule(), shape)
+        assert tl.peak > sequential_memory_bound(shape)
+
+
+class TestLemma1EdgeVolume:
+    """Finalizing a child along dim j moves (2^{k_j} - 1) * |child|."""
+
+    def test_single_edge_isolated(self):
+        # 2-d cube, dim 0 split 4 ways: finalizing (1,) moves 3 * |D_1|.
+        shape, bits = (8, 6), (2, 0)
+        data = random_sparse(shape, 0.5, seed=3)
+        res = construct_cube_parallel(data, bits, collect_results=False)
+        # Edges: (1,) along dim 0 [3 * 6 = 18]; (0,) along 1 [0]; () along 1 [0].
+        assert res.comm_volume_elements == 18
+
+
+class TestTheorem3TotalVolume:
+    """Measured volume equals the closed form exactly, for every partition."""
+
+    @pytest.mark.parametrize("shape", [(8, 4, 2), (8, 6, 4, 4)])
+    def test_exhaustive_over_partitions(self, shape):
+        data = random_sparse(shape, 0.3, seed=4)
+        k = 3
+        for bits in enumerate_partitions(len(shape), k, shape):
+            res = construct_cube_parallel(data, bits, collect_results=False)
+            assert res.comm_volume_elements == total_comm_volume(shape, bits), bits
+
+
+class TestTheorem4ParallelUpperBound:
+    """Per-processor held-results memory bounded by the partitioned sum."""
+
+    @pytest.mark.parametrize("shape", [(8, 4, 2), (8, 8, 4, 4)])
+    def test_all_ranks_within_bound(self, shape):
+        data = random_sparse(shape, 0.3, seed=5)
+        for bits in enumerate_partitions(len(shape), 2, shape):
+            res = construct_cube_parallel(data, bits, collect_results=False)
+            bound = parallel_memory_bound_exact(shape, bits)
+            assert max(res.metrics.rank_peak_memory_elements) <= bound, bits
+
+
+class TestTheorem5ParallelLowerBound:
+    """Rank 0 (holder of everything) reaches the bound: it computes the
+    full first level of its local sub-array simultaneously."""
+
+    def test_rank0_hits_bound_divisible(self):
+        shape, bits = (8, 4, 4), (1, 1, 1)
+        data = random_sparse(shape, 0.5, seed=6)
+        res = construct_cube_parallel(data, bits, collect_results=False)
+        assert res.metrics.rank_peak_memory_elements[0] == parallel_memory_bound_exact(
+            shape, bits
+        )
+
+
+class TestTheorem6OrderingMinimizesVolume:
+    """The non-increasing size ordering minimizes communication volume
+    (with the optimal partition for each ordering)."""
+
+    @pytest.mark.parametrize("shape", [(8, 4, 2), (9, 5, 3), (12, 8, 6, 2)])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exhaustive_over_orderings(self, shape, k):
+        canon = apply_order(shape, canonical_order(shape))
+        canon_vol = total_comm_volume(canon, greedy_partition(canon, k))
+        for perm in permutations(range(len(shape))):
+            ordered = apply_order(shape, perm)
+            vol = total_comm_volume(ordered, greedy_partition(ordered, k))
+            assert vol >= canon_vol, (perm, vol, canon_vol)
+
+
+class TestTheorem7OrderingMinimizesComputation:
+    """The same ordering makes every aggregation-tree parent minimal."""
+
+    @pytest.mark.parametrize("shape", [(8, 4, 2), (16, 8, 4, 2), (7, 7, 3)])
+    def test_all_parents_minimal(self, shape):
+        assert all(s >= t for s, t in zip(shape, shape[1:]))  # sanity
+        n = len(shape)
+        tree = AggregationTree(n)
+        for node in all_nodes(n):
+            if len(node) == n:
+                continue
+            assert node_size(tree.parent(node), shape) == node_size(
+                minimal_parent(node, shape), shape
+            )
+
+    def test_iff_direction(self):
+        # For a strictly increasing shape the property must fail somewhere.
+        shape = (2, 4, 8)
+        n = 3
+        tree = AggregationTree(n)
+        violated = any(
+            node_size(tree.parent(node), shape)
+            > node_size(minimal_parent(node, shape), shape)
+            for node in all_nodes(n)
+            if len(node) < n
+        )
+        assert violated
+
+
+class TestTheorem8GreedyPartitionOptimal:
+    """Fig 6's greedy equals the exhaustive optimum."""
+
+    @pytest.mark.parametrize(
+        "shape", [(8, 4, 2), (16, 16, 4), (64, 64, 64, 64), (32, 16, 8, 4, 2)]
+    )
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_greedy_equals_bruteforce(self, shape, k):
+        max_k = sum(s.bit_length() - 1 for s in shape)
+        if k > max_k:
+            pytest.skip("not enough splittable bits")
+        g = greedy_partition(shape, k)
+        b = bruteforce_partition(shape, k)
+        assert total_comm_volume(shape, g) == total_comm_volume(shape, b)
+
+    def test_end_to_end_greedy_is_fastest_partition(self):
+        # The greedy partition also wins on simulated wall-clock (Figure 7's
+        # experimental claim).
+        shape = (16, 16, 16, 16)
+        data = random_sparse(shape, 0.10, seed=7)
+        k = 3
+        greedy_bits = greedy_partition(shape, k)
+        t_greedy = construct_cube_parallel(
+            data, greedy_bits, collect_results=False
+        ).simulated_time_s
+        for bits in enumerate_partitions(4, k, shape):
+            t = construct_cube_parallel(
+                data, bits, collect_results=False
+            ).simulated_time_s
+            assert t_greedy <= t + 1e-12, bits

@@ -1,0 +1,112 @@
+"""Unit tests for tiled construction under a memory cap."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.core.memory_model import sequential_memory_bound
+from repro.core.sequential import cube_reference
+from repro.tiling import TilingPlan, choose_tiling, construct_cube_tiled
+
+
+class TestTilingPlan:
+    def test_num_tiles(self):
+        plan = TilingPlan((8, 8), (1, 2))
+        assert plan.tiles_per_dim == (2, 4)
+        assert plan.num_tiles == 8
+
+    def test_working_set_shrinks(self):
+        shape = (16, 16, 16)
+        untiled = TilingPlan(shape, (0, 0, 0)).working_set_elements()
+        tiled = TilingPlan(shape, (1, 1, 0)).working_set_elements()
+        assert tiled < untiled
+
+    def test_working_set_matches_theorem1_of_tile(self):
+        plan = TilingPlan((8, 8), (1, 0))
+        assert plan.working_set_elements() == sequential_memory_bound((4, 8))
+
+
+class TestChooseTiling:
+    def test_no_tiling_when_fits(self):
+        shape = (8, 8)
+        plan = choose_tiling(shape, sequential_memory_bound(shape))
+        assert plan.num_tiles == 1
+
+    def test_fits_capacity(self):
+        shape = (16, 12, 8)
+        for frac in (0.5, 0.2, 0.05):
+            cap = max(1, int(sequential_memory_bound(shape) * frac))
+            plan = choose_tiling(shape, cap)
+            assert plan.working_set_elements() <= cap
+
+    def test_raises_when_impossible(self):
+        with pytest.raises(ValueError):
+            choose_tiling((2, 2), 1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            choose_tiling((4, 4), 0)
+
+
+class TestTiledConstruction:
+    @pytest.mark.parametrize("frac", [1.0, 0.5, 0.25, 0.1])
+    def test_matches_reference(self, frac):
+        shape = (12, 8, 6)
+        data = random_sparse(shape, 0.3, seed=1)
+        cap = max(1, int(sequential_memory_bound(shape) * frac))
+        res = construct_cube_tiled(data, capacity_elements=cap)
+        ref = cube_reference(data)
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data), node
+
+    def test_peak_memory_under_cap(self):
+        shape = (12, 8, 6)
+        data = random_sparse(shape, 0.3, seed=2)
+        cap = sequential_memory_bound(shape) // 4
+        res = construct_cube_tiled(data, capacity_elements=cap)
+        assert res.peak_memory_elements <= cap
+
+    def test_untiled_has_no_rewrites(self):
+        data = random_sparse((8, 6), 0.3, seed=3)
+        res = construct_cube_tiled(
+            data, plan=TilingPlan((8, 6), (0, 0))
+        )
+        assert res.accumulation_rewrites == 0
+
+    def test_more_tiles_more_io(self):
+        shape = (12, 8, 6)
+        data = random_sparse(shape, 0.3, seed=4)
+        io = []
+        for bits in [(0, 0, 0), (1, 0, 0), (1, 1, 0), (2, 1, 0)]:
+            res = construct_cube_tiled(data, plan=TilingPlan(shape, bits))
+            io.append(res.disk.bytes_read)
+        assert io == sorted(io)
+        assert io[0] == 0 and io[-1] > 0
+
+    def test_dense_input(self):
+        rng = np.random.default_rng(5)
+        data = rng.uniform(size=(6, 6, 4))
+        res = construct_cube_tiled(data, plan=TilingPlan((6, 6, 4), (1, 0, 0)))
+        ref = cube_reference(data)
+        for node, arr in ref.items():
+            assert np.allclose(res.results[node].data, arr.data)
+
+    def test_explicit_plan_shape_checked(self):
+        data = random_sparse((4, 4), 0.5, seed=6)
+        with pytest.raises(ValueError):
+            construct_cube_tiled(data, plan=TilingPlan((8, 8), (1, 0)))
+
+    def test_requires_cap_or_plan(self):
+        data = random_sparse((4, 4), 0.5, seed=7)
+        with pytest.raises(ValueError):
+            construct_cube_tiled(data)
+
+    def test_rewrites_counted_per_region(self):
+        # 2 tiles along dim 0 only: node (1,) gets both tiles accumulated
+        # into the same region -> exactly the nodes without dim 0 rewrite.
+        shape = (8, 4)
+        data = random_sparse(shape, 0.5, seed=8)
+        res = construct_cube_tiled(data, plan=TilingPlan(shape, (1, 0)))
+        # Nodes not containing dim 0: (1,) and (); each rewritten once by
+        # the second tile.
+        assert res.accumulation_rewrites == 2

@@ -1,0 +1,123 @@
+"""Unit tests for the processor grid topology (paper, section 4)."""
+
+import pytest
+
+from repro.cluster.topology import ProcessorGrid
+
+
+class TestLabels:
+    def test_size(self):
+        assert ProcessorGrid((1, 1, 1)).size == 8
+        assert ProcessorGrid((2, 0, 1)).size == 8
+        assert ProcessorGrid((0, 0)).size == 1
+
+    def test_label_rank_roundtrip(self):
+        grid = ProcessorGrid((2, 1, 0, 1))
+        for r in grid.ranks():
+            assert grid.rank(grid.label(r)) == r
+
+    def test_labels_unique(self):
+        grid = ProcessorGrid((1, 2))
+        labels = {grid.label(r) for r in grid.ranks()}
+        assert len(labels) == grid.size
+
+    def test_label_ranges(self):
+        grid = ProcessorGrid((2, 1))
+        for r in grid.ranks():
+            lab = grid.label(r)
+            assert 0 <= lab[0] < 4 and 0 <= lab[1] < 2
+
+    def test_rank_zero_is_all_zero(self):
+        grid = ProcessorGrid((1, 1, 1))
+        assert grid.label(0) == (0, 0, 0)
+
+    def test_rejects_bad_rank(self):
+        grid = ProcessorGrid((1, 1))
+        with pytest.raises(ValueError):
+            grid.label(4)
+
+    def test_rejects_bad_label(self):
+        grid = ProcessorGrid((1, 1))
+        with pytest.raises(ValueError):
+            grid.rank((2, 0))
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid((1, -1))
+
+
+class TestLeads:
+    def test_is_lead(self):
+        grid = ProcessorGrid((1, 1))
+        assert grid.is_lead(0, 0) and grid.is_lead(0, 1)
+        assert grid.is_lead(1, 0) and not grid.is_lead(1, 1)
+
+    def test_lead_count_per_dim(self):
+        # Paper: p / 2^{k_i} lead processors along dimension i.
+        grid = ProcessorGrid((2, 1, 1))
+        for dim, b in enumerate(grid.bits):
+            leads = [r for r in grid.ranks() if grid.is_lead(r, dim)]
+            assert len(leads) == grid.size // (2 ** b)
+
+    def test_holders_of_root(self):
+        grid = ProcessorGrid((1, 1, 1))
+        assert grid.holders((0, 1, 2)) == list(range(8))
+
+    def test_holders_of_empty_node(self):
+        grid = ProcessorGrid((1, 1, 1))
+        assert grid.holders(()) == [0]
+
+    def test_holders_count(self):
+        grid = ProcessorGrid((2, 1, 1))
+        for node in [(0,), (1,), (0, 1), (0, 2), (1, 2)]:
+            assert len(grid.holders(node)) == grid.num_holders(node)
+
+    def test_holds_node(self):
+        grid = ProcessorGrid((1, 1))
+        # Node (0,): must be lead along dim 1.
+        assert grid.holds_node(grid.rank((1, 0)), (0,))
+        assert not grid.holds_node(grid.rank((1, 1)), (0,))
+
+
+class TestReductionGroups:
+    def test_group_members_vary_one_dim(self):
+        grid = ProcessorGrid((2, 1))
+        group = grid.reduction_group(grid.rank((3, 1)), 0)
+        labels = [grid.label(r) for r in group]
+        assert [l[1] for l in labels] == [1, 1, 1, 1]
+        assert [l[0] for l in labels] == [0, 1, 2, 3]
+
+    def test_group_lead_first(self):
+        grid = ProcessorGrid((1, 2))
+        group = grid.reduction_group(grid.rank((1, 3)), 1)
+        assert grid.label(group[0])[1] == 0
+
+    def test_lead_of(self):
+        grid = ProcessorGrid((1, 1))
+        assert grid.lead_of(grid.rank((1, 1)), 0) == grid.rank((0, 1))
+
+    def test_groups_partition_holders(self):
+        # Finalizing child T along dim j: the groups tile the holders of
+        # the parent exactly.
+        grid = ProcessorGrid((1, 2, 1))
+        child, dim = (1,), 0
+        parent = (0, 1)
+        seen = []
+        for group in grid.iter_reduction_groups(child, dim):
+            seen.extend(group)
+        assert sorted(seen) == grid.holders(parent)
+
+    def test_singleton_group_when_unpartitioned(self):
+        grid = ProcessorGrid((0, 1))
+        assert grid.reduction_group(0, 0) == [0]
+
+
+class TestBlocks:
+    def test_block_of(self):
+        grid = ProcessorGrid((1, 1))
+        r = grid.rank((1, 0))
+        assert grid.block_of(r) == (1, 0)
+        assert grid.block_of(r, dims=(1,)) == (0,)
+
+    def test_describe(self):
+        assert "8 processors" in ProcessorGrid((1, 1, 1)).describe()

@@ -1,0 +1,47 @@
+"""Unit tests for shared helpers."""
+
+import pytest
+
+from repro.util import (
+    human_bytes,
+    human_count,
+    node_letters,
+    node_name,
+    parse_node_name,
+)
+
+
+class TestNodeName:
+    def test_basic(self):
+        assert node_name((0, 2)) == "d0.d2"
+
+    def test_empty(self):
+        assert node_name(()) == "all"
+
+    def test_roundtrip(self):
+        for node in [(), (0,), (1, 3, 5), (0, 1, 2, 3)]:
+            assert parse_node_name(node_name(node)) == node
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_node_name("x1.d2")
+
+
+class TestNodeLetters:
+    def test_letters(self):
+        assert node_letters((0, 1, 2)) == "ABC"
+        assert node_letters((1, 3)) == "BD"
+        assert node_letters(()) == "all"
+
+
+class TestHumanFormat:
+    def test_bytes(self):
+        assert human_bytes(100) == "100 B"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert "MiB" in human_bytes(5 * 1024 * 1024)
+
+    def test_count(self):
+        assert human_count(950) == "950"
+        assert human_count(1500) == "1.50K"
+        assert human_count(2_500_000) == "2.50M"
+        assert human_count(3_000_000_000) == "3.00G"

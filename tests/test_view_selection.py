@@ -1,0 +1,193 @@
+"""Unit tests for greedy view selection and partial-cube OLAP."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.core.lattice import all_nodes, full_node, node_size
+from repro.olap import (
+    DataCube,
+    GroupByQuery,
+    QueryEngine,
+    Schema,
+    answering_cost,
+    closure_views,
+    greedy_select_views,
+    uniform_workload,
+    workload_cost,
+)
+from repro.olap.query import BASE
+
+SHAPE = (16, 8, 4)
+
+
+class TestCostModel:
+    def test_root_always_answers(self):
+        assert answering_cost((0,), set(), SHAPE) == node_size(
+            full_node(3), SHAPE
+        )
+
+    def test_cover_reduces_cost(self):
+        assert answering_cost((0,), {(0, 1)}, SHAPE) == 16 * 8
+
+    def test_exact_view_is_cheapest(self):
+        cost = answering_cost((0,), {(0, 1), (0,)}, SHAPE)
+        assert cost == 16
+
+    def test_non_cover_ignored(self):
+        assert answering_cost((0,), {(1, 2)}, SHAPE) == 16 * 8 * 4
+
+    def test_workload_cost_weighted(self):
+        wl = {(0,): 2.0, (1,): 1.0}
+        # Nothing materialized: both answered from the root.
+        assert workload_cost(wl, set(), SHAPE) == 3.0 * 512
+
+
+class TestUniformWorkload:
+    def test_covers_proper_subsets(self):
+        wl = uniform_workload(3)
+        assert len(wl) == 7
+        assert abs(sum(wl.values()) - 1.0) < 1e-12
+
+
+class TestGreedySelection:
+    def test_budget_respected(self):
+        sel = greedy_select_views(SHAPE, budget_elements=100)
+        assert sel.space_used_elements <= 100
+
+    def test_zero_budget_selects_nothing(self):
+        sel = greedy_select_views(SHAPE, budget_elements=0)
+        assert sel.views == []
+        assert sel.workload_cost_after == sel.workload_cost_before
+
+    def test_large_budget_materializes_everything_useful(self):
+        total = sum(
+            node_size(nd, SHAPE) for nd in all_nodes(3) if len(nd) < 3
+        )
+        sel = greedy_select_views(SHAPE, budget_elements=total)
+        # With room for everything, every query is answered exactly.
+        assert sel.workload_cost_after == workload_cost(
+            uniform_workload(3), set(sel.views), SHAPE
+        )
+        assert set(sel.views) == {nd for nd in all_nodes(3) if len(nd) < 3}
+
+    def test_cost_never_increases(self):
+        sel = greedy_select_views(SHAPE, budget_elements=200)
+        assert sel.workload_cost_after <= sel.workload_cost_before
+
+    def test_more_budget_never_worse(self):
+        costs = [
+            greedy_select_views(SHAPE, budget_elements=b).workload_cost_after
+            for b in (0, 50, 150, 400, 1000)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_trace_benefits_positive(self):
+        sel = greedy_select_views(SHAPE, budget_elements=300)
+        for _view, benefit in sel.trace:
+            assert benefit > 0
+
+    def test_skewed_workload_prefers_hot_views(self):
+        # Only (0,) is ever queried: the first pick must cover it cheaply.
+        wl = {(0,): 1.0}
+        sel = greedy_select_views(SHAPE, budget_elements=16)
+        sel = greedy_select_views(SHAPE, budget_elements=16, workload=wl)
+        assert sel.views == [(0,)]
+
+    def test_improvement_factor(self):
+        sel = greedy_select_views(SHAPE, budget_elements=500)
+        assert sel.improvement_factor >= 1.0
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            greedy_select_views(SHAPE, budget_elements=-1)
+
+    def test_rejects_bad_workload(self):
+        with pytest.raises(ValueError):
+            greedy_select_views(SHAPE, 100, workload={(0, 1, 2): 1.0})
+        with pytest.raises(ValueError):
+            greedy_select_views(SHAPE, 100, workload={(0,): -1.0})
+        with pytest.raises(ValueError):
+            greedy_select_views(SHAPE, 100, workload={})
+
+
+class TestClosureViews:
+    def test_includes_ancestors(self):
+        views = closure_views([(0,)], 3)
+        assert (0, 2) in views and (0,) in views
+
+
+class TestPartialCubeQueries:
+    @pytest.fixture
+    def setup(self):
+        schema = Schema.simple(item=16, branch=8, time=4)
+        data = random_sparse(schema.shape, 0.4, seed=11)
+        sel = greedy_select_views(schema.shape, budget_elements=16 * 8 + 16)
+        cube = DataCube.build_partial(
+            schema, data, views=sel.views, num_processors=4
+        )
+        return schema, data, sel, cube
+
+    def test_selected_views_materialized(self, setup):
+        _schema, _data, sel, cube = setup
+        for v in sel.views:
+            assert v in cube.aggregates
+
+    def test_query_on_materialized_view(self, setup):
+        _schema, data, sel, cube = setup
+        dense = data.to_dense()
+        eng = QueryEngine(cube)
+        ans = eng.answer(GroupByQuery(group_by=("item",)))
+        assert np.allclose(ans.values, dense.sum(axis=(1, 2)))
+
+    def test_query_answered_from_cover(self, setup):
+        schema, data, _sel, cube = setup
+        dense = data.to_dense()
+        eng = QueryEngine(cube)
+        # (branch,) may not be materialized; a cover or the base serves it.
+        ans = eng.answer(GroupByQuery(group_by=("branch",)))
+        assert np.allclose(ans.values, dense.sum(axis=(0, 2)))
+
+    def test_cover_has_extra_dims_aggregated(self):
+        schema = Schema.simple(a=8, b=6, c=4)
+        data = random_sparse(schema.shape, 0.5, seed=12)
+        cube = DataCube.build_partial(schema, data, views=[("a", "b")])
+        dense = data.to_dense()
+        eng = QueryEngine(cube)
+        ans = eng.answer(GroupByQuery(group_by=("a",)))
+        assert ans.served_from == ("a", "b")
+        assert np.allclose(ans.values, dense.sum(axis=(1, 2)))
+
+    def test_base_fallback(self):
+        schema = Schema.simple(a=8, b=6, c=4)
+        data = random_sparse(schema.shape, 0.5, seed=13)
+        cube = DataCube.build_partial(schema, data, views=[("a",)])
+        dense = data.to_dense()
+        eng = QueryEngine(cube)
+        ans = eng.answer(GroupByQuery(group_by=("c",)))
+        assert ans.served_from == BASE
+        assert np.allclose(ans.values, dense.sum(axis=(0, 1)))
+
+    def test_base_fallback_without_base_raises(self):
+        schema = Schema.simple(a=8, b=6, c=4)
+        data = random_sparse(schema.shape, 0.5, seed=14)
+        cube = DataCube.build_partial(
+            schema, data, views=[("a",)], keep_base=False
+        )
+        eng = QueryEngine(cube)
+        with pytest.raises(LookupError):
+            eng.answer(GroupByQuery(group_by=("c",)))
+
+    def test_partial_matches_full_on_materialized(self, setup):
+        schema, data, sel, cube = setup
+        full = DataCube.build(schema, data)
+        for v in sel.views:
+            assert np.allclose(
+                cube.aggregates[v].data, full.aggregates[v].data
+            )
+
+    def test_views_by_node_tuples(self):
+        schema = Schema.simple(a=8, b=6)
+        data = random_sparse(schema.shape, 0.5, seed=15)
+        cube = DataCube.build_partial(schema, data, views=[(0,), ()])
+        assert (0,) in cube.aggregates and () in cube.aggregates

@@ -1,0 +1,57 @@
+"""Unit tests for the ASCII renderers."""
+
+from repro.viz import (
+    render_aggregation_tree,
+    render_lattice_levels,
+    render_prefix_tree,
+    render_schedule,
+)
+
+
+class TestAggregationTree:
+    def test_3d_structure(self):
+        out = render_aggregation_tree(3)
+        lines = out.splitlines()
+        assert lines[0] == "ABC"
+        # All 8 nodes rendered.
+        assert len(lines) == 8
+        assert any("all" in ln for ln in lines)
+
+    def test_with_sizes(self):
+        out = render_aggregation_tree(2, shape=(4, 3))
+        assert "AB [12]" in out
+        assert "[1]" in out  # the scalar all node
+
+    def test_node_count_matches_power_set(self):
+        for n in (1, 2, 3, 4):
+            assert len(render_aggregation_tree(n).splitlines()) == 2 ** n
+
+
+class TestPrefixTree:
+    def test_root_is_empty_set(self):
+        assert render_prefix_tree(3).splitlines()[0] == "{}"
+
+    def test_all_subsets_rendered(self):
+        out = render_prefix_tree(3)
+        for subset in ("{0}", "{1}", "{2}", "{0,1}", "{0,1,2}"):
+            assert subset in out
+
+
+class TestLatticeLevels:
+    def test_levels_and_sizes(self):
+        out = render_lattice_levels((4, 3))
+        assert "level 2: AB(12)" in out
+        assert "level 0: all(1)" in out
+
+
+class TestSchedule:
+    def test_first_and_last_steps(self):
+        lines = render_schedule(3).splitlines()
+        assert lines[0].startswith("compute [BC, AC, AB] from ABC")
+        assert lines[-1] == "write-back BC"
+
+    def test_step_count(self):
+        # 2^n - 1 write-backs plus one compute per internal node.
+        lines = render_schedule(4).splitlines()
+        writes = [ln for ln in lines if ln.startswith("write-back")]
+        assert len(writes) == 15
