@@ -3,12 +3,33 @@
 Ensures ``benchmarks/`` is importable as a script directory (so the bench
 files can ``import _harness``) and gives pytest-benchmark sane defaults for
 one-shot, system-scale runs.
+
+``--quick`` switches the whole suite to the small smoke scale (equivalent
+to ``REPRO_BENCH_SCALE=small``) -- what CI runs.
 """
 
+import os
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the small smoke scale "
+             "(sets REPRO_BENCH_SCALE=small)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--quick"):
+        # _harness reads the scale at import time, which happens during
+        # collection -- after this hook.
+        os.environ["REPRO_BENCH_SCALE"] = "small"
 
 
 def pytest_benchmark_update_machine_info(config, machine_info):

@@ -153,6 +153,17 @@ caps: peaks stay under every cap, results stay exact, and the overheads
         "t_ptile",
     ),
     (
+        "T-faults — fault-injection and fault-tolerant execution",
+        """Robustness extension beyond the paper: a seeded fault plan can
+crash ranks, drop/duplicate messages, degrade NICs, and slow stragglers —
+deterministically.  Measured: an empty plan costs exactly zero (asserted to
+the bit); checkpointing first-level partials plus one heartbeat detection
+round is the insurance premium; a single-rank crash after checkpointing is
+survived through the victim's reduction-group buddy with bit-exact results
+(asserted element-for-element against the fault-free run).""",
+        "t_faults",
+    ),
+    (
         "T-iceberg — BUC support pruning (related-work extension)",
         """Iceberg cubes close the partial-materialization loop at cell
 granularity: BUC's monotone support pruning keeps a rapidly shrinking

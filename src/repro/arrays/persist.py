@@ -7,7 +7,10 @@ formats are versioned and validated on load.
 - a :class:`~repro.arrays.sparse.SparseArray` round-trips through its
   coordinate list plus shape;
 - a cube (any ``{node: DenseArray}`` mapping) stores one array per node
-  under the node's canonical name, plus a manifest of shape/measure.
+  under the node's canonical name, plus a manifest of shape/measure;
+- a per-rank *partial result* (one node's local portion) round-trips with
+  its owning rank, backing the fault-tolerant runtime's checkpoints
+  (:class:`CheckpointStore`).
 """
 
 from __future__ import annotations
@@ -94,6 +97,72 @@ def load_cube(
                 )
             aggregates[node] = DenseArray(data, node)
         return aggregates, shape, manifest["measure"]
+
+
+def save_partial(path: str | Path, rank: int, node: Node, arr: DenseArray) -> None:
+    """Write one rank's partial result for ``node`` to ``path`` (.npz).
+
+    Uncompressed on purpose: checkpoints are written on the hot path and
+    re-read only during recovery, so codec time matters more than bytes.
+    """
+    np.savez(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        kind=np.bytes_(b"partial"),
+        rank=np.int64(rank),
+        dims=np.asarray(tuple(node), dtype=np.int64),
+        data=arr.data,
+    )
+
+
+def load_partial(path: str | Path) -> tuple[int, Node, DenseArray]:
+    """Load a checkpoint written by :func:`save_partial`.
+
+    Returns ``(rank, node, array)``.
+    """
+    with np.load(path) as f:
+        _check_header(f, b"partial")
+        rank = int(f["rank"])
+        node = tuple(int(d) for d in f["dims"])
+        return rank, node, DenseArray(f["data"], node)
+
+
+class CheckpointStore:
+    """A directory of per-(rank, node) partial-result checkpoints.
+
+    Backs the fault-tolerant parallel construction: every rank persists its
+    first-level partials here, and a crashed rank's buddy re-reads them to
+    re-aggregate the lost partition.  Files are real ``.npz`` archives (via
+    :func:`save_partial`), so recovered data is bit-exact.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, rank: int, node: Node) -> Path:
+        return self.directory / f"ckpt-r{rank}-{node_name(tuple(node))}.npz"
+
+    def save(self, rank: int, node: Node, arr: DenseArray) -> Path:
+        path = self.path(rank, node)
+        save_partial(path, rank, tuple(node), arr)
+        return path
+
+    def has(self, rank: int, node: Node) -> bool:
+        return self.path(rank, node).exists()
+
+    def load(self, rank: int, node: Node) -> DenseArray | None:
+        """The checkpointed partial, or ``None`` if it was never written."""
+        path = self.path(rank, node)
+        if not path.exists():
+            return None
+        got_rank, got_node, arr = load_partial(path)
+        if got_rank != rank or got_node != tuple(node):
+            raise ValueError(
+                f"checkpoint {path} holds rank {got_rank} node {got_node}, "
+                f"expected rank {rank} node {tuple(node)}"
+            )
+        return arr
 
 
 def _check_header(f, kind: bytes) -> None:

@@ -18,12 +18,21 @@ which a deterministic simulator measures directly.
 - :mod:`repro.cluster.collectives` -- reduce-to-lead / gather / bcast /
   barrier built on point-to-point sends.
 - :mod:`repro.cluster.metrics` -- per-run measurement containers.
+- :mod:`repro.cluster.faults` -- deterministic fault injection
+  (crashes, drops/duplications, NIC degradation, stragglers).
 """
 
 from repro.cluster.machine import MachineModel
 from repro.cluster.topology import ProcessorGrid
-from repro.cluster.network import Network, Message
-from repro.cluster.runtime import RankEnv, TraceEvent, run_spmd, DeadlockError
+from repro.cluster.network import Network, Message, Control
+from repro.cluster.runtime import (
+    RankEnv,
+    TraceEvent,
+    run_spmd,
+    DeadlockError,
+    RECV_TIMEOUT,
+)
+from repro.cluster.faults import FaultPlan, FaultStats
 from repro.cluster.trace import ascii_gantt, breakdown, summarize, utilization
 from repro.cluster.metrics import RunMetrics, CommStats
 from repro.cluster import collectives
@@ -33,10 +42,14 @@ __all__ = [
     "ProcessorGrid",
     "Network",
     "Message",
+    "Control",
     "RankEnv",
     "TraceEvent",
     "run_spmd",
     "DeadlockError",
+    "RECV_TIMEOUT",
+    "FaultPlan",
+    "FaultStats",
     "ascii_gantt",
     "breakdown",
     "summarize",

@@ -19,7 +19,12 @@ from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
-from repro.cluster.runtime import Op, RankEnv
+from repro.cluster.network import Control
+from repro.cluster.runtime import Op, RankEnv, RecvOp, RECV_TIMEOUT
+
+
+class DeliveryError(RuntimeError):
+    """A reliable collective exhausted its retry budget."""
 
 
 def _default_combine(acc: Any, other: Any) -> Any:
@@ -51,6 +56,82 @@ def reduce_to_lead(
     acc = value
     for src in group[1:]:
         other = yield env.recv(src, tag)
+        ops = element_ops if element_ops is not None else getattr(other, "size", 0)
+        if ops:
+            yield env.compute(ops)
+        acc = combine(acc, other)
+    return acc
+
+
+# Ack tags live far above the data-tag space used by the cube schedules
+# (step indices and the chunked-reduction namespace both stay well below).
+_ACK_TAG_BASE = 900_000_000
+
+
+def reduce_to_lead_reliable(
+    env: RankEnv,
+    group: Sequence[int],
+    value: Any,
+    tag: int,
+    combine: Callable[[Any, Any], Any] = _default_combine,
+    element_ops: float | None = None,
+    timeout: float = 1e-3,
+    max_retries: int = 3,
+    backoff: float = 2.0,
+) -> Generator[Op, Any, Any]:
+    """Flat reduction with per-message acks, bounded retries, and
+    exponential backoff -- survives dropped (and duplicated) payloads.
+
+    Protocol: every non-lead sends its partial to the lead and waits for a
+    :class:`~repro.cluster.network.Control` ack; if the ack does not arrive
+    within ``timeout * backoff**attempt`` simulated seconds, the partial is
+    resent (up to ``max_retries`` resends).  The lead symmetrically
+    re-arms its receive with the same growing windows.  Duplicate payloads
+    (from a retry that crossed a late ack) are left unmatched and are
+    harmless: each (src, attempt-independent) payload is combined once.
+
+    Raises :class:`DeliveryError` when the retry budget is exhausted -- a
+    lost *ack* on the final attempt is indistinguishable from a lost
+    payload, so acks must be at least as reliable as the configured retry
+    budget assumes.  Returns the combined value on the lead and ``None``
+    elsewhere; retry attempts are recorded in ``RunMetrics.faults``.
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if timeout <= 0 or backoff < 1.0:
+        raise ValueError("timeout must be positive and backoff >= 1")
+    group = list(group)
+    if env.rank not in group:
+        raise ValueError(f"rank {env.rank} not in group {group}")
+    lead = group[0]
+    ack_tag = _ACK_TAG_BASE + tag
+    if env.rank != lead:
+        for attempt in range(max_retries + 1):
+            yield env.send(lead, value, tag)
+            ack = yield RecvOp(src=lead, tag=ack_tag,
+                               timeout=timeout * backoff ** attempt)
+            if ack is not RECV_TIMEOUT:
+                return None
+            env.note_retry(f"resend to lead {lead} (attempt {attempt + 1})")
+        raise DeliveryError(
+            f"rank {env.rank}: no ack from lead {lead} after "
+            f"{max_retries + 1} attempts (tag {tag})"
+        )
+    acc = value
+    for src in group[1:]:
+        other = RECV_TIMEOUT
+        for attempt in range(max_retries + 1):
+            other = yield RecvOp(src=src, tag=tag,
+                                 timeout=timeout * backoff ** attempt)
+            if other is not RECV_TIMEOUT:
+                break
+            env.note_retry(f"re-arm recv from {src} (attempt {attempt + 1})")
+        if other is RECV_TIMEOUT:
+            raise DeliveryError(
+                f"lead {env.rank}: no payload from rank {src} after "
+                f"{max_retries + 1} attempts (tag {tag})"
+            )
+        yield env.send(src, Control("ack", (tag,)), ack_tag)
         ops = element_ops if element_ops is not None else getattr(other, "size", 0)
         if ops:
             yield env.compute(ops)

@@ -1,0 +1,374 @@
+"""Deterministic fault injection for the SPMD simulator.
+
+A :class:`FaultPlan` describes *what goes wrong* in a simulated run: rank
+crashes at a given simulated time, message drops and duplications, transient
+NIC degradation windows, and stragglers (per-rank compute slowdown).  The
+plan is pure data plus a seed; :func:`run_spmd` builds one
+:class:`FaultController` per run, so the same plan replayed against the same
+program yields bit-identical metrics -- probabilistic faults draw from a
+``random.Random(seed)`` stream in the scheduler's (deterministic) order.
+
+Everything that actually happened is recorded in a :class:`FaultStats` block
+on :class:`~repro.cluster.metrics.RunMetrics`, and (with tracing on) as
+zero-width ``fault`` events on the timeline.
+
+This module is standalone on purpose: :mod:`repro.cluster.runtime` and
+:mod:`repro.cluster.metrics` import it, never the other way round.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+# -- injected-fault descriptions (plan side) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class MessageFaultRule:
+    """Drop or duplicate posted messages with ``probability``.
+
+    ``src``/``dst`` restrict the rule to one direction (``None`` = any);
+    ``max_events`` bounds how many times the rule may fire.
+    """
+
+    probability: float
+    src: int | None = None
+    dst: int | None = None
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True)
+class NicDegradation:
+    """Multiply ``rank``'s per-message transfer time by ``factor`` during
+    the simulated-time window ``[start, end)``."""
+
+    rank: int
+    factor: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {self.factor}")
+        if self.end <= self.start:
+            raise ValueError("degradation window must have end > start")
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+# -- what actually happened (metrics side) --------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected or observed fault occurrence on the simulated timeline.
+
+    ``kind`` is one of ``crash``, ``drop``, ``duplicate``, ``timeout``,
+    ``retry``, ``recovery``.
+    """
+
+    kind: str
+    time: float
+    rank: int
+    detail: str = ""
+
+
+@dataclass
+class FaultStats:
+    """Fault counters and event log for one simulated run."""
+
+    crashed_ranks: list[int] = field(default_factory=list)
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    timeouts_fired: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def note(self, kind: str, time: float, rank: int, detail: str = "") -> None:
+        self.events.append(FaultEvent(kind, time, rank, detail))
+        if kind == "crash":
+            self.crashed_ranks.append(rank)
+        elif kind == "drop":
+            self.messages_dropped += 1
+        elif kind == "duplicate":
+            self.messages_duplicated += 1
+        elif kind == "timeout":
+            self.timeouts_fired += 1
+        elif kind == "retry":
+            self.retries += 1
+        elif kind == "recovery":
+            self.recoveries += 1
+
+    @property
+    def any(self) -> bool:
+        return bool(self.events)
+
+    def summary(self) -> str:
+        return (
+            f"crashes={sorted(self.crashed_ranks)} "
+            f"dropped={self.messages_dropped} dup={self.messages_duplicated} "
+            f"timeouts={self.timeouts_fired} retries={self.retries} "
+            f"recoveries={self.recoveries}"
+        )
+
+
+# -- the plan --------------------------------------------------------------------------
+
+
+class FaultPlan:
+    """A seeded, declarative description of the faults to inject.
+
+    Builder methods return ``self`` so plans chain::
+
+        plan = (FaultPlan(seed=7)
+                .crash(3, at_time=0.5)
+                .straggler(1, factor=4.0)
+                .drop_messages(0.05, dst=0))
+
+    The plan itself is immutable during a run; per-run randomness lives in
+    the :class:`FaultController` that :func:`run_spmd` derives from it.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.crashes: dict[int, float] = {}
+        self.stragglers: dict[int, float] = {}
+        self.nic_degradations: list[NicDegradation] = []
+        self.drops: list[MessageFaultRule] = []
+        self.duplicates: list[MessageFaultRule] = []
+
+    # -- builders ----------------------------------------------------------------
+
+    def crash(self, rank: int, at_time: float) -> "FaultPlan":
+        """Kill ``rank`` the first time its clock reaches ``at_time``."""
+        if at_time < 0:
+            raise ValueError(f"crash time must be non-negative, got {at_time}")
+        if rank in self.crashes:
+            raise ValueError(f"rank {rank} already has a crash scheduled")
+        self.crashes[rank] = float(at_time)
+        return self
+
+    def straggler(self, rank: int, factor: float) -> "FaultPlan":
+        """Multiply ``rank``'s compute time by ``factor`` for the whole run."""
+        if factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {factor}")
+        self.stragglers[rank] = float(factor)
+        return self
+
+    def degrade_nic(
+        self, rank: int, factor: float, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        """Slow ``rank``'s sends and receives by ``factor`` during [start, end)."""
+        self.nic_degradations.append(NicDegradation(rank, factor, start, end))
+        return self
+
+    def drop_messages(
+        self,
+        probability: float,
+        src: int | None = None,
+        dst: int | None = None,
+        max_events: int | None = None,
+    ) -> "FaultPlan":
+        """Drop posted messages with ``probability`` (sender still pays)."""
+        self.drops.append(MessageFaultRule(probability, src, dst, max_events))
+        return self
+
+    def duplicate_messages(
+        self,
+        probability: float,
+        src: int | None = None,
+        dst: int | None = None,
+        max_events: int | None = None,
+    ) -> "FaultPlan":
+        """Deliver a second copy of posted messages with ``probability``."""
+        self.duplicates.append(MessageFaultRule(probability, src, dst, max_events))
+        return self
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.crashes
+            or self.stragglers
+            or self.nic_degradations
+            or self.drops
+            or self.duplicates
+        )
+
+    def describe(self) -> str:
+        parts = []
+        for rank, t in sorted(self.crashes.items()):
+            parts.append(f"crash rank {rank} @ {t:g}s")
+        for rank, f in sorted(self.stragglers.items()):
+            parts.append(f"straggler rank {rank} x{f:g}")
+        for d in self.nic_degradations:
+            end = "inf" if math.isinf(d.end) else f"{d.end:g}"
+            parts.append(f"nic rank {d.rank} x{d.factor:g} [{d.start:g}, {end})")
+        for r in self.drops:
+            parts.append(f"drop p={r.probability:g} {_rule_dir(r)}")
+        for r in self.duplicates:
+            parts.append(f"dup p={r.probability:g} {_rule_dir(r)}")
+        body = "; ".join(parts) if parts else "no faults"
+        return f"FaultPlan(seed={self.seed}): {body}"
+
+    def controller(self) -> "FaultController":
+        """Fresh per-run state (RNG + rule counters) for this plan."""
+        return FaultController(self)
+
+    # -- CLI spec parsing --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        Semicolon-separated clauses::
+
+            seed=SEED
+            crash:RANK@TIME
+            straggler:RANK@FACTOR
+            nic:RANK@FACTOR[:START-END]
+            drop:PROB[@SRC->DST]
+            dup:PROB[@SRC->DST]
+
+        ``SRC``/``DST`` may each be ``*`` (any).  Example::
+
+            crash:3@0.5;straggler:1@4;drop:0.05@*->0;seed=7
+        """
+        plan = cls()
+        for raw in spec.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            try:
+                plan._parse_clause(clause)
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"bad fault clause {clause!r}: {exc}") from None
+        return plan
+
+    def _parse_clause(self, clause: str) -> None:
+        if clause.startswith("seed="):
+            self.seed = int(clause[len("seed="):])
+            return
+        kind, _, rest = clause.partition(":")
+        if kind == "crash":
+            rank, _, t = rest.partition("@")
+            self.crash(int(rank), float(t))
+        elif kind == "straggler":
+            rank, _, f = rest.partition("@")
+            self.straggler(int(rank), float(f))
+        elif kind == "nic":
+            rank, _, tail = rest.partition("@")
+            factor, _, window = tail.partition(":")
+            if window:
+                lo, _, hi = window.partition("-")
+                self.degrade_nic(int(rank), float(factor), float(lo), float(hi))
+            else:
+                self.degrade_nic(int(rank), float(factor))
+        elif kind in ("drop", "dup"):
+            prob, _, direction = rest.partition("@")
+            src = dst = None
+            if direction:
+                s, _, d = direction.partition("->")
+                src = None if s in ("", "*") else int(s)
+                dst = None if d in ("", "*") else int(d)
+            if kind == "drop":
+                self.drop_messages(float(prob), src, dst)
+            else:
+                self.duplicate_messages(float(prob), src, dst)
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def _rule_dir(rule: MessageFaultRule) -> str:
+    src = "*" if rule.src is None else rule.src
+    dst = "*" if rule.dst is None else rule.dst
+    return f"{src}->{dst}"
+
+
+# -- per-run state ---------------------------------------------------------------------
+
+
+class FaultController:
+    """Mutable per-run view of a :class:`FaultPlan`.
+
+    Owns the RNG stream and the per-rule firing counters; queried by the
+    scheduler at every op.  A fresh controller per run is what makes a plan
+    replayable: identical program + plan -> identical draws -> identical
+    metrics.
+    """
+
+    DELIVER, DROP, DUPLICATE = "deliver", "drop", "duplicate"
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._rule_fires: dict[int, int] = {}
+
+    def crash_time(self, rank: int) -> float | None:
+        return self.plan.crashes.get(rank)
+
+    def compute_factor(self, rank: int) -> float:
+        return self.plan.stragglers.get(rank, 1.0)
+
+    def net_factor(self, rank: int, t: float) -> float:
+        factor = 1.0
+        for d in self.plan.nic_degradations:
+            if d.rank == rank and d.active(t):
+                factor *= d.factor
+        return factor
+
+    def message_action(self, src: int, dst: int) -> str:
+        """Fate of a message posted ``src -> dst``: deliver/drop/duplicate.
+
+        Every matching rule consumes exactly one RNG draw whether or not it
+        fires, so adding a never-firing rule elsewhere does not perturb the
+        stream consumed by this pair.
+        """
+        for rules, action in ((self.plan.drops, self.DROP),
+                              (self.plan.duplicates, self.DUPLICATE)):
+            for rule in rules:
+                if not rule.matches(src, dst):
+                    continue
+                draw = self._rng.random()
+                key = id(rule)
+                fired = self._rule_fires.get(key, 0)
+                if rule.max_events is not None and fired >= rule.max_events:
+                    continue
+                if draw < rule.probability:
+                    self._rule_fires[key] = fired + 1
+                    return action
+        return self.DELIVER
+
+
+class _NullController:
+    """Zero-cost stand-in when no fault plan is given."""
+
+    def crash_time(self, rank: int) -> None:
+        return None
+
+    def compute_factor(self, rank: int) -> float:
+        return 1.0
+
+    def net_factor(self, rank: int, t: float) -> float:
+        return 1.0
+
+    def message_action(self, src: int, dst: int) -> str:
+        return FaultController.DELIVER
+
+
+NULL_CONTROLLER = _NullController()

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cluster.faults import FaultStats
+
 
 @dataclass
 class CommStats:
@@ -36,6 +38,7 @@ class RunMetrics:
     rank_disk_bytes_read: list[int]
     rank_results: list[Any]
     trace: list[Any] = field(default_factory=list)
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def num_ranks(self) -> int:
@@ -50,8 +53,11 @@ class RunMetrics:
         return sum(self.rank_compute_ops)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"ranks={self.num_ranks} makespan={self.makespan_s:.4f}s "
             f"comm={self.comm.total_bytes}B/{self.comm.total_messages}msgs "
             f"peak_mem={self.max_peak_memory_elements}el"
         )
+        if self.faults.any:
+            text += f" faults[{self.faults.summary()}]"
+        return text

@@ -5,18 +5,45 @@ to the destination's mailbox with an arrival timestamp); a receive blocks
 until a matching message has been *posted* -- the scheduler then advances
 the receiver's clock to ``max(receiver_clock, arrival_time)``.
 
+Mailboxes are indexed by ``(src, tag)`` deques, so matching a receive is
+O(1) instead of a linear scan of everything pending at the destination,
+while FIFO order within each ``(src, dst, tag)`` channel (MPI's
+non-overtaking guarantee) is preserved by construction.
+
 Payload sizes: a payload's logical size is taken from its ``nbytes``
-attribute (numpy arrays, DenseArray, SparseArray); element counts come from
-``size``/``nnz`` when available.  Every message is recorded in
-:class:`repro.cluster.metrics.CommStats`.
+attribute (numpy arrays, DenseArray, SparseArray, :class:`Control`);
+element counts come from ``size``/``nnz`` when available.  Every delivered
+message is recorded in :class:`repro.cluster.metrics.CommStats`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster.metrics import CommStats
+
+#: Nominal wire size of a control message (header-sized; the exact value
+#: only matters for time charges, not correctness).
+CONTROL_NBYTES = 64
+
+
+@dataclass(frozen=True)
+class Control:
+    """A small control-plane payload (ack, heartbeat, token).
+
+    Carries a ``kind`` string and an optional tuple of plain data, and
+    reports a fixed nominal ``nbytes`` so callers don't have to wrap
+    control data in numpy arrays just to satisfy byte accounting.
+    """
+
+    kind: str
+    data: tuple = ()
+
+    @property
+    def nbytes(self) -> int:
+        return CONTROL_NBYTES
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -28,7 +55,7 @@ def payload_nbytes(payload: Any) -> int:
         return 0
     raise TypeError(
         f"payload of type {type(payload).__name__} has no nbytes; "
-        "wrap control messages in numpy arrays or None"
+        "use numpy arrays, Control, or None for messages"
     )
 
 
@@ -53,12 +80,15 @@ class Message:
 
 
 class Network:
-    """Mailbox-per-destination transport with FIFO (src, tag) matching."""
+    """Per-destination transport, indexed by (src, tag), FIFO per channel."""
 
     def __init__(self, num_ranks: int):
         self.num_ranks = num_ranks
         self.stats = CommStats()
-        self._mailboxes: list[list[Message]] = [[] for _ in range(num_ranks)]
+        self._mailboxes: list[dict[tuple[int, int], deque[Message]]] = [
+            {} for _ in range(num_ranks)
+        ]
+        self._pending: list[int] = [0] * num_ranks
         self._seq = 0
 
     def post(self, src: int, dst: int, tag: int, payload: Any, arrival_time: float) -> Message:
@@ -78,26 +108,40 @@ class Network:
             seq=self._seq,
         )
         self._seq += 1
-        self._mailboxes[dst].append(msg)
+        box = self._mailboxes[dst]
+        key = (src, tag)
+        q = box.get(key)
+        if q is None:
+            q = box[key] = deque()
+        q.append(msg)
+        self._pending[dst] += 1
         self.stats.record(src, dst, nbytes, payload_elements(payload))
         return msg
+
+    def peek(self, dst: int, src: int, tag: int) -> Message | None:
+        """The oldest message for ``dst`` matching ``(src, tag)``, not removed."""
+        q = self._mailboxes[dst].get((src, tag))
+        return q[0] if q else None
 
     def match(self, dst: int, src: int, tag: int) -> Message | None:
         """Pop the oldest message for ``dst`` matching ``(src, tag)``.
 
         FIFO per (src, dst, tag) -- MPI's non-overtaking guarantee.
         """
-        box = self._mailboxes[dst]
-        for i, msg in enumerate(box):
-            if msg.src == src and msg.tag == tag:
-                return box.pop(i)
-        return None
+        q = self._mailboxes[dst].get((src, tag))
+        if not q:
+            return None
+        self._pending[dst] -= 1
+        return q.popleft()
 
     def pending(self, dst: int) -> int:
-        return len(self._mailboxes[dst])
+        return self._pending[dst]
 
     def all_drained(self) -> bool:
-        return all(not box for box in self._mailboxes)
+        return not any(self._pending)
 
     def undelivered(self) -> list[Message]:
-        return [m for box in self._mailboxes for m in box]
+        """All pending messages, in posting order."""
+        msgs = [m for box in self._mailboxes for q in box.values() for m in q]
+        msgs.sort(key=lambda m: m.seq)
+        return msgs

@@ -2,11 +2,12 @@
 
 Rank programs are Python *generator functions*: ``program(env)`` yields
 operation objects (:class:`SendOp`, :class:`RecvOp`, :class:`ComputeOp`,
-:class:`DiskWriteOp`, :class:`DiskReadOp`, :class:`BarrierOp`) and is resumed
-with the operation's result (the payload, for receives).  The scheduler
-advances ranks round-robin; a rank blocks only on a receive with no matching
-message, so progress is guaranteed unless the program genuinely deadlocks
-(reported as :class:`DeadlockError`).
+:class:`DiskWriteOp`, :class:`DiskReadOp`, :class:`SleepOp`,
+:class:`BarrierOp`) and is resumed with the operation's result (the
+payload, for receives).  The scheduler advances ranks round-robin; a rank
+blocks only on a receive with no matching message, so progress is
+guaranteed unless the program genuinely deadlocks (reported as
+:class:`DeadlockError` with the blocked ops and pending messages).
 
 Timing model (LogGP-lite, deterministic):
 
@@ -19,6 +20,20 @@ Timing model (LogGP-lite, deterministic):
 - compute and disk operations simply advance the local clock.
 
 The simulated makespan is the maximum rank clock at termination.
+
+Robustness layer (all optional, zero simulated cost when unused):
+
+- ``RecvOp(timeout=...)`` resumes the program with the :data:`RECV_TIMEOUT`
+  sentinel instead of deadlocking when no matching message with
+  ``arrival_time <= block_start + timeout`` ever becomes available.
+- a :class:`~repro.cluster.faults.FaultPlan` passed as ``faults=`` injects
+  rank crashes, message drops/duplications, NIC degradation windows, and
+  compute stragglers; everything injected or observed lands in
+  ``RunMetrics.faults`` (and, with tracing, as zero-width ``fault`` trace
+  events).  A crashed rank stops executing at its crash time: in-flight
+  sends it already posted stand, everything after is gone, and partners
+  discover the loss through timeouts (or a :class:`DeadlockError` naming
+  the crashed ranks).
 """
 
 from __future__ import annotations
@@ -26,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
+from repro.cluster.faults import FaultPlan, FaultStats, NULL_CONTROLLER
 from repro.cluster.machine import MachineModel
 from repro.cluster.metrics import RunMetrics
 from repro.cluster.network import Network, payload_nbytes
@@ -35,12 +51,29 @@ class DeadlockError(RuntimeError):
     """All unfinished ranks are blocked on receives that can never match."""
 
 
+class _RecvTimeoutType:
+    """Singleton sentinel returned by a timed-out receive."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "RECV_TIMEOUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Resume value of a ``RecvOp`` whose timeout fired before a timely match.
+RECV_TIMEOUT = _RecvTimeoutType()
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One interval of a rank's simulated timeline.
 
     ``kind`` is one of ``compute``, ``send``, ``wait`` (idle, blocked on a
-    receive), ``recv`` (receiver-side transfer), ``disk``, ``barrier``.
+    receive), ``recv`` (receiver-side transfer), ``disk``, ``barrier``, or
+    the zero-width ``fault`` (crash / drop / timeout marker).
     """
 
     rank: int
@@ -61,6 +94,7 @@ class SendOp:
 class RecvOp:
     src: int
     tag: int
+    timeout: float | None = None
 
 
 @dataclass(frozen=True)
@@ -80,11 +114,18 @@ class DiskReadOp:
 
 
 @dataclass(frozen=True)
+class SleepOp:
+    """Advance the local clock by ``seconds`` (retry backoff, lease waits)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
 class BarrierOp:
-    """Global barrier over all ranks."""
+    """Global barrier over all live ranks."""
 
 
-Op = SendOp | RecvOp | ComputeOp | DiskWriteOp | DiskReadOp | BarrierOp
+Op = SendOp | RecvOp | ComputeOp | DiskWriteOp | DiskReadOp | SleepOp | BarrierOp
 
 
 @dataclass
@@ -106,14 +147,15 @@ class RankEnv:
     _held: dict[Any, int] = field(default_factory=dict)
     current_memory_elements: int = 0
     peak_memory_elements: int = 0
+    _fault_stats: FaultStats | None = None
 
     # -- op constructors (for readability at call sites) ---------------------------
 
     def send(self, dst: int, payload: Any, tag: int = 0) -> SendOp:
         return SendOp(dst=dst, tag=tag, payload=payload)
 
-    def recv(self, src: int, tag: int = 0) -> RecvOp:
-        return RecvOp(src=src, tag=tag)
+    def recv(self, src: int, tag: int = 0, timeout: float | None = None) -> RecvOp:
+        return RecvOp(src=src, tag=tag, timeout=timeout)
 
     def compute(self, element_ops: float, sparse: bool = False) -> ComputeOp:
         return ComputeOp(element_ops=element_ops, sparse=sparse)
@@ -124,8 +166,25 @@ class RankEnv:
     def disk_read(self, nbytes: int) -> DiskReadOp:
         return DiskReadOp(nbytes=nbytes)
 
+    def sleep(self, seconds: float) -> SleepOp:
+        if seconds < 0:
+            raise ValueError(f"sleep duration must be non-negative, got {seconds}")
+        return SleepOp(seconds=seconds)
+
     def barrier(self) -> BarrierOp:
         return BarrierOp()
+
+    # -- fault bookkeeping (immediate, no yield) -------------------------------------
+
+    def note_retry(self, detail: str = "") -> None:
+        """Record one retry attempt (ack/retry collectives, recovery loops)."""
+        if self._fault_stats is not None:
+            self._fault_stats.note("retry", self.clock, self.rank, detail)
+
+    def note_recovery(self, detail: str = "") -> None:
+        """Record one successful recovery action (lost partition re-read)."""
+        if self._fault_stats is not None:
+            self._fault_stats.note("recovery", self.clock, self.rank, detail)
 
     # -- memory accounting (immediate, no yield) ------------------------------------
 
@@ -140,13 +199,18 @@ class RankEnv:
         )
 
     def free(self, key: Any) -> None:
+        if key not in self._held:
+            raise ValueError(
+                f"rank {self.rank}: free of unknown allocation key {key!r}; "
+                f"currently held: {sorted(map(repr, self._held))}"
+            )
         self.current_memory_elements -= self._held.pop(key)
 
     def held_keys(self) -> list[Any]:
         return list(self._held)
 
 
-_READY, _BLOCKED, _BARRIER, _DONE = range(4)
+_READY, _BLOCKED, _BARRIER, _DONE, _DEAD = range(5)
 
 
 def run_spmd(
@@ -155,18 +219,24 @@ def run_spmd(
     machine: MachineModel | None = None,
     record_trace: bool = False,
     machines: "list[MachineModel] | None" = None,
+    faults: FaultPlan | None = None,
 ) -> RunMetrics:
     """Run one SPMD program on ``num_ranks`` virtual processors.
 
     ``program_factory(env)`` must return a fresh generator per rank.  The
-    generator's return value is collected into ``RunMetrics.rank_results``.
-    With ``record_trace=True``, every rank's simulated timeline is captured
-    as :class:`TraceEvent` intervals in ``RunMetrics.trace``.
+    generator's return value is collected into ``RunMetrics.rank_results``
+    (``None`` for ranks that crashed).  With ``record_trace=True``, every
+    rank's simulated timeline is captured as :class:`TraceEvent` intervals
+    in ``RunMetrics.trace``.
 
     ``machines`` gives each rank its own cost model (heterogeneous cluster /
     straggler studies); it overrides ``machine`` and must have one entry per
     rank.  Per-message transfer charges use each side's own model (a slow
     NIC hurts both its sends and its receives).
+
+    ``faults`` injects a :class:`~repro.cluster.faults.FaultPlan`; the run
+    is deterministic given the plan's seed, and everything injected is
+    reported in ``RunMetrics.faults``.
     """
     if machines is not None:
         if len(machines) != num_ranks:
@@ -176,14 +246,23 @@ def run_spmd(
         rank_machines = list(machines)
     else:
         rank_machines = [machine or MachineModel.paper_cluster()] * num_ranks
+    ctl = faults.controller() if faults is not None else NULL_CONTROLLER
+    fstats = FaultStats()
     network = Network(num_ranks)
     envs = [
-        RankEnv(rank=r, num_ranks=num_ranks, machine=rank_machines[r])
+        RankEnv(
+            rank=r,
+            num_ranks=num_ranks,
+            machine=rank_machines[r],
+            _fault_stats=fstats,
+        )
         for r in range(num_ranks)
     ]
     gens = [program_factory(env) for env in envs]
     state = [_READY] * num_ranks
     blocked_on: list[RecvOp | None] = [None] * num_ranks
+    blocked_deadline: list[float | None] = [None] * num_ranks
+    crash_at = [ctl.crash_time(r) for r in range(num_ranks)]
     results: list[Any] = [None] * num_ranks
     trace: list[TraceEvent] = []
 
@@ -191,17 +270,56 @@ def run_spmd(
         if record_trace and end > start:
             trace.append(TraceEvent(rank, kind, start, end, detail))
 
-    def complete_recv(r: int, msg) -> None:
-        """Advance rank ``r``'s clock through a matched receive."""
+    def record_fault(rank: int, t: float, detail: str) -> None:
+        if record_trace:
+            trace.append(TraceEvent(rank, "fault", t, t, detail))
+
+    def kill(r: int, t: float) -> None:
+        """Rank ``r`` dies at simulated time ``t``; its generator is closed."""
         env = envs[r]
+        env.clock = max(env.clock, t)
+        state[r] = _DEAD
+        blocked_on[r] = None
+        blocked_deadline[r] = None
+        fstats.note("crash", env.clock, r, f"rank {r} crashed")
+        record_fault(r, env.clock, "crash")
+        gens[r].close()
+
+    def crashes_by(r: int, end: float) -> bool:
+        """Whether rank ``r``'s scheduled crash lands at or before ``end``."""
+        return crash_at[r] is not None and crash_at[r] <= end
+
+    def fire_timeout(r: int, deadline: float, op: RecvOp) -> Any:
+        """Resume a timed-out receive at its deadline with the sentinel."""
+        env = envs[r]
+        record(r, "wait", env.clock, deadline, f"timeout (from {op.src} tag {op.tag})")
+        env.clock = max(env.clock, deadline)
+        fstats.note("timeout", env.clock, r, f"recv from {op.src} tag {op.tag}")
+        record_fault(r, env.clock, f"timeout from {op.src}")
+        return RECV_TIMEOUT
+
+    def receive(r: int, op: RecvOp) -> Any:
+        """Complete a matched, timely receive; returns the payload.
+
+        If the rank's scheduled crash lands during the transfer, the rank
+        dies instead, the message stays posted, and ``None`` is returned
+        (callers must check ``state[r]`` before resuming the program)."""
+        env = envs[r]
+        msg = network.peek(r, op.src, op.tag)
         t0 = env.clock
         arrived = max(t0, msg.arrival_time)
+        end = arrived + env.machine.message_time(msg.nbytes) * ctl.net_factor(r, arrived)
+        if crashes_by(r, end):
+            kill(r, max(t0, crash_at[r]))
+            return None
         record(r, "wait", t0, arrived, f"from {msg.src}")
-        env.clock = arrived + env.machine.message_time(msg.nbytes)
-        record(r, "recv", arrived, env.clock, f"from {msg.src} ({msg.nbytes}B)")
+        env.clock = end
+        record(r, "recv", arrived, end, f"from {msg.src} ({msg.nbytes}B)")
+        network.match(r, op.src, op.tag)
+        return msg.payload
 
     def advance(r: int, resume_value: Any) -> None:
-        """Run rank ``r`` until it blocks or finishes."""
+        """Run rank ``r`` until it blocks, finishes, or dies."""
         env, gen = envs[r], gens[r]
         while True:
             try:
@@ -213,33 +331,82 @@ def run_spmd(
             resume_value = None
             if isinstance(op, ComputeOp):
                 t0 = env.clock
-                env.clock += env.machine.compute_time(op.element_ops, sparse=op.sparse)
+                dur = env.machine.compute_time(
+                    op.element_ops, sparse=op.sparse
+                ) * ctl.compute_factor(r)
+                if crashes_by(r, t0 + dur):
+                    kill(r, max(t0, crash_at[r]))
+                    return
+                env.clock = t0 + dur
                 env.compute_ops += op.element_ops
                 record(r, "compute", t0, env.clock)
             elif isinstance(op, SendOp):
                 nbytes = payload_nbytes(op.payload)
                 t0 = env.clock
-                env.clock += env.machine.message_time(nbytes)
+                dur = env.machine.message_time(nbytes) * ctl.net_factor(r, t0)
+                if crashes_by(r, t0 + dur):
+                    kill(r, max(t0, crash_at[r]))
+                    return
+                env.clock = t0 + dur
                 record(r, "send", t0, env.clock, f"to {op.dst} ({nbytes}B)")
-                network.post(r, op.dst, op.tag, op.payload, arrival_time=env.clock)
+                action = ctl.message_action(r, op.dst)
+                if action == "drop":
+                    fstats.note(
+                        "drop", env.clock, r,
+                        f"{r}->{op.dst} tag {op.tag} ({nbytes}B)",
+                    )
+                    record_fault(r, env.clock, f"drop to {op.dst}")
+                else:
+                    network.post(r, op.dst, op.tag, op.payload, arrival_time=env.clock)
+                    if action == "duplicate":
+                        fstats.note(
+                            "duplicate", env.clock, r,
+                            f"{r}->{op.dst} tag {op.tag} ({nbytes}B)",
+                        )
+                        record_fault(r, env.clock, f"duplicate to {op.dst}")
+                        network.post(
+                            r, op.dst, op.tag, op.payload, arrival_time=env.clock
+                        )
             elif isinstance(op, RecvOp):
-                msg = network.match(r, op.src, op.tag)
+                msg = network.peek(r, op.src, op.tag)
                 if msg is None:
                     state[r] = _BLOCKED
                     blocked_on[r] = op
+                    blocked_deadline[r] = (
+                        env.clock + op.timeout if op.timeout is not None else None
+                    )
                     return
-                complete_recv(r, msg)
-                resume_value = msg.payload
+                if op.timeout is not None and msg.arrival_time > env.clock + op.timeout:
+                    resume_value = fire_timeout(r, env.clock + op.timeout, op)
+                    continue
+                resume_value = receive(r, op)
+                if state[r] == _DEAD:
+                    return
             elif isinstance(op, DiskWriteOp):
                 t0 = env.clock
-                env.clock += env.machine.disk_time(op.nbytes)
+                dur = env.machine.disk_time(op.nbytes)
+                if crashes_by(r, t0 + dur):
+                    kill(r, max(t0, crash_at[r]))
+                    return
+                env.clock = t0 + dur
                 env.disk_bytes_written += op.nbytes
                 record(r, "disk", t0, env.clock, "write")
             elif isinstance(op, DiskReadOp):
                 t0 = env.clock
-                env.clock += env.machine.disk_time(op.nbytes)
+                dur = env.machine.disk_time(op.nbytes)
+                if crashes_by(r, t0 + dur):
+                    kill(r, max(t0, crash_at[r]))
+                    return
+                env.clock = t0 + dur
                 env.disk_bytes_read += op.nbytes
                 record(r, "disk", t0, env.clock, "read")
+            elif isinstance(op, SleepOp):
+                t0 = env.clock
+                if crashes_by(r, t0 + op.seconds):
+                    kill(r, max(t0, crash_at[r]))
+                    return
+                env.clock = t0 + op.seconds
+                record(r, "wait", t0, env.clock, "sleep")
             elif isinstance(op, BarrierOp):
                 state[r] = _BARRIER
                 return
@@ -249,26 +416,36 @@ def run_spmd(
     while True:
         progressed = False
         for r in range(num_ranks):
-            if state[r] == _DONE or state[r] == _BARRIER:
+            if state[r] in (_DONE, _BARRIER, _DEAD):
                 continue
             if state[r] == _BLOCKED:
                 op = blocked_on[r]
                 assert op is not None
-                msg = network.match(r, op.src, op.tag)
+                msg = network.peek(r, op.src, op.tag)
                 if msg is None:
                     continue
-                complete_recv(r, msg)
+                deadline = blocked_deadline[r]
+                progressed = True
                 state[r] = _READY
                 blocked_on[r] = None
-                progressed = True
-                advance(r, msg.payload)
+                blocked_deadline[r] = None
+                if deadline is not None and msg.arrival_time > deadline:
+                    # The match exists but arrives too late: time out instead
+                    # (the message stays posted for any later receive).
+                    advance(r, fire_timeout(r, deadline, op))
+                else:
+                    payload = receive(r, op)
+                    if state[r] != _DEAD:
+                        advance(r, payload)
             else:
                 progressed = True
                 advance(r, None)
-        # Release a completed barrier: every unfinished rank must be waiting.
+        # Release a completed barrier: every live unfinished rank must wait.
         waiting = [r for r in range(num_ranks) if state[r] == _BARRIER]
         if waiting:
-            unfinished = [r for r in range(num_ranks) if state[r] != _DONE]
+            unfinished = [
+                r for r in range(num_ranks) if state[r] not in (_DONE, _DEAD)
+            ]
             if len(waiting) == len(unfinished):
                 sync = max(envs[r].clock for r in waiting)
                 for r in waiting:
@@ -279,16 +456,32 @@ def run_spmd(
                 for r in waiting:
                     if state[r] == _READY:
                         advance(r, None)
-        if all(s == _DONE for s in state):
+        if all(s in (_DONE, _DEAD) for s in state):
             break
         if not progressed:
-            stuck = [
-                (r, blocked_on[r]) for r in range(num_ranks) if state[r] == _BLOCKED
-            ]
-            barr = [r for r in range(num_ranks) if state[r] == _BARRIER]
+            # The run is stalled in scheduler terms; the earliest pending
+            # simulated-time event (a stalled rank's crash or a receive
+            # timeout) fires now.  Crashes win ties so partners observe the
+            # death rather than racing it.
+            events: list[tuple[float, int, int, str]] = []
+            for r in range(num_ranks):
+                if state[r] in (_BLOCKED, _BARRIER) and crash_at[r] is not None:
+                    events.append((max(envs[r].clock, crash_at[r]), 0, r, "crash"))
+                if state[r] == _BLOCKED and blocked_deadline[r] is not None:
+                    events.append((blocked_deadline[r], 1, r, "timeout"))
+            if events:
+                t, _, r, what = min(events)
+                if what == "crash":
+                    kill(r, t)
+                else:
+                    op = blocked_on[r]
+                    state[r] = _READY
+                    blocked_on[r] = None
+                    blocked_deadline[r] = None
+                    advance(r, fire_timeout(r, t, op))
+                continue
             raise DeadlockError(
-                f"no progress: blocked={stuck} at_barrier={barr} "
-                f"undelivered={len(network.undelivered())}"
+                _deadlock_report(num_ranks, state, blocked_on, envs, network, fstats)
             )
 
     return RunMetrics(
@@ -301,4 +494,45 @@ def run_spmd(
         rank_disk_bytes_read=[env.disk_bytes_read for env in envs],
         rank_results=results,
         trace=trace,
+        faults=fstats,
     )
+
+
+def _deadlock_report(
+    num_ranks: int,
+    state: list[int],
+    blocked_on: list[RecvOp | None],
+    envs: list[RankEnv],
+    network: Network,
+    fstats: FaultStats,
+) -> str:
+    """Human-debuggable deadlock description: who waits on what, and which
+    messages are sitting undelivered."""
+    lines = ["no progress is possible:"]
+    for r in range(num_ranks):
+        if state[r] == _BLOCKED:
+            op = blocked_on[r]
+            timeout = "" if op.timeout is None else f", timeout={op.timeout:g}"
+            lines.append(
+                f"  rank {r} blocked on recv(src={op.src}, tag={op.tag}{timeout}) "
+                f"at t={envs[r].clock:.6g}"
+            )
+    barr = [r for r in range(num_ranks) if state[r] == _BARRIER]
+    if barr:
+        lines.append(f"  ranks at barrier: {barr}")
+    if fstats.crashed_ranks:
+        lines.append(f"  crashed ranks: {sorted(fstats.crashed_ranks)}")
+    pending = network.undelivered()
+    if pending:
+        shown = pending[:10]
+        lines.append(
+            f"  {len(pending)} undelivered message(s)"
+            + ("" if len(pending) <= 10 else f" (first {len(shown)})")
+            + ":"
+        )
+        for m in shown:
+            lines.append(
+                f"    {m.src}->{m.dst} tag={m.tag} {m.nbytes}B "
+                f"arrival={m.arrival_time:.6g}"
+            )
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ _GLYPH = {
     "wait": ".",
     "disk": "D",
     "barrier": "|",
+    "fault": "X",
 }
 
 
@@ -63,7 +64,11 @@ def breakdown(metrics: RunMetrics) -> list[TimeBreakdown]:
         r: {k: 0.0 for k in KINDS} for r in range(metrics.num_ranks)
     }
     for ev in metrics.trace:
-        per_rank[ev.rank][ev.kind] += ev.end - ev.start
+        # Unknown kinds (e.g. zero-width "fault" markers) accumulate too,
+        # but only the canonical KINDS are tabulated by summarize().
+        per_rank[ev.rank][ev.kind] = (
+            per_rank[ev.rank].get(ev.kind, 0.0) + ev.end - ev.start
+        )
     return [
         TimeBreakdown(rank=r, seconds=per_rank[r], makespan=metrics.makespan_s)
         for r in range(metrics.num_ranks)

@@ -21,11 +21,24 @@ partitioned across ``2**bits[j]`` of them.  Mirroring the paper:
 The run measures communication volume exactly (tests check it equals the
 Theorem 3 closed form), per-rank held-results memory (Theorem 4), and a
 simulated makespan under the machine cost model.
+
+Fault tolerance (``checkpoint=True``): every rank persists its first-level
+partials to a :class:`~repro.arrays.persist.CheckpointStore` right after the
+root scan, then the cluster runs one failure-detection round (barrier +
+all-to-all heartbeats with receive timeouts).  Each surviving rank derives
+the same dead set and the same dead->buddy substitution map; a dead rank's
+reduction-group buddy re-reads the lost partials from the checkpoint (or
+re-aggregates them from the dead rank's input block if it died before
+checkpointing) and executes the dead rank's remaining schedule alongside its
+own.  The cube that comes out is bit-exact identical to the fault-free run
+under any single-rank crash occurring before the detection round completes.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Generator, Sequence
 
 import numpy as np
@@ -40,9 +53,11 @@ from repro.cluster.collectives import (
     reduce_to_lead,
     reduce_to_lead_chunked,
 )
+from repro.cluster.faults import FaultPlan
 from repro.cluster.machine import MachineModel
 from repro.cluster.metrics import RunMetrics
-from repro.cluster.runtime import Op, RankEnv, run_spmd
+from repro.cluster.network import CONTROL_NBYTES, Control
+from repro.cluster.runtime import Op, RankEnv, RECV_TIMEOUT, run_spmd
 from repro.cluster.topology import ProcessorGrid
 from repro.core.aggregation_tree import AggregationTree
 from repro.core.comm_model import total_comm_volume
@@ -141,6 +156,11 @@ class ParallelResult:
     @property
     def max_peak_memory_elements(self) -> int:
         return self.metrics.max_peak_memory_elements
+
+    @property
+    def fault_stats(self):
+        """Fault events observed during the run (``RunMetrics.faults``)."""
+        return self.metrics.faults
 
     def __getitem__(self, node: Sequence[int]) -> DenseArray:
         if self.results is None:
@@ -267,6 +287,228 @@ def _make_program(
     return program
 
 
+# -- fault-tolerant rank program ---------------------------------------------------------
+
+
+#: Tag of the failure-detection heartbeats (data tags start at 2 * grid.size).
+_HB_TAG = 1
+
+
+def _buddy(grid: ProcessorGrid, dead: int, live: set[int]) -> int:
+    """The surviving rank that adopts ``dead``'s role.
+
+    The first live member of the dead rank's reduction group, scanning
+    dimensions in order -- its closest peer in the topology, which is also
+    the rank whose reduction work the dead rank would have fed.  Every
+    survivor computes this identically from the (identical) dead set.
+    """
+    for dim in range(grid.ndim):
+        if grid.parts[dim] == 1:
+            continue
+        for member in grid.reduction_group(dead, dim):
+            if member != dead and member in live:
+                return member
+    live_others = live - {dead}
+    if not live_others:
+        raise ValueError("no surviving rank left to adopt the crashed rank")
+    return min(live_others)
+
+
+def _make_program_ft(
+    schedule: list[PStep],
+    grid: ProcessorGrid,
+    local_inputs: list[SparseArray | DenseArray],
+    n: int,
+    measure: Measure,
+    store: CheckpointStore,
+    recv_timeout: float | None,
+):
+    """Fault-tolerant variant of :func:`_make_program` (flat reduction only).
+
+    Differences from the paper's fragile program:
+
+    1. first-level partials are checkpointed (real ``.npz`` files plus the
+       simulated :class:`DiskWriteOp` charge);
+    2. one detection round (barrier + all-to-all ``Control`` heartbeats with
+       receive timeouts) gives every survivor the same dead set and the same
+       dead->buddy map;
+    3. the rest of the schedule runs over *virtual* ranks: each physical
+       rank executes every virtual rank it embodies, recovering a dead
+       rank's partials from the checkpoint store (or by re-aggregating its
+       input block) and rerouting that rank's messages to itself.  Message
+       tags encode the virtual sender, so adopted traffic can share a
+       physical channel without breaking FIFO pairing.
+    """
+    combine = _make_combiner(measure)
+    all_dims = tuple(range(n))
+    root = full_node(n)
+    num_v = grid.size
+    root_step = schedule[0]
+    if not isinstance(root_step, PLocalAggregate) or root_step.node != root:
+        raise ValueError(
+            "checkpointed construction requires a schedule that starts with "
+            "the root local aggregation"
+        )
+
+    def vtag(step_idx: int, vsrc: int) -> int:
+        return (step_idx + 2) * num_v + vsrc
+
+    def first_level(block):
+        """One rank's first-level partials plus their compute charge.
+
+        Returns ``(outs, element_ops, sparse)`` with ``outs`` aligned with
+        the root step's children.
+        """
+        if isinstance(block, SparseArray):
+            outs = aggregate_sparse_multi(
+                block, all_dims, root_step.children, measure=measure
+            )
+            return outs, block.nnz * len(root_step.children), True
+        outs = [
+            aggregate_dense(block, c, measure=measure)
+            for c in root_step.children
+        ]
+        return outs, block.size * len(root_step.children), False
+
+    def program(env: RankEnv) -> Generator[Op, Any, dict[int, dict[Node, DenseArray]]]:
+        me = env.rank
+        timeout = (
+            recv_timeout
+            if recv_timeout is not None
+            else 1000.0 * env.machine.message_time(CONTROL_NBYTES)
+        )
+        block = local_inputs[me]
+        vlocal: dict[int, dict[Node, DenseArray]] = {me: {}}
+        written: dict[int, dict[Node, DenseArray]] = {me: {}}
+
+        yield env.disk_read(block.nbytes)
+
+        # 1. First-level local aggregation + checkpoint.
+        outs, ops, sparse = first_level(block)
+        yield env.compute(ops, sparse=sparse)
+        for child, out in zip(root_step.children, outs):
+            vlocal[me][child] = out
+            env.alloc((me, child), out.size)
+        for child in root_step.children:
+            arr = vlocal[me][child]
+            store.save(me, child, arr)
+            yield env.disk_write(arr.nbytes)
+
+        # 2. Failure detection: barrier, then all-to-all heartbeats.  The
+        # barrier aligns clocks so a live peer's heartbeat always lands
+        # within the window; a rank that died earlier never sends one.
+        yield env.barrier()
+        for dst in range(num_v):
+            if dst != me:
+                yield env.send(dst, Control("hb", (me,)), _HB_TAG)
+        dead: list[int] = []
+        for src in range(num_v):
+            if src == me:
+                continue
+            beat = yield env.recv(src, _HB_TAG, timeout=timeout)
+            if beat is RECV_TIMEOUT:
+                dead.append(src)
+        live = set(range(num_v)) - set(dead)
+        pmap = {v: (v if v in live else _buddy(grid, v, live)) for v in range(num_v)}
+        myv = sorted(v for v in range(num_v) if pmap[v] == me)
+
+        # 3. Adopt dead ranks: recover their first-level partials from the
+        # checkpoint store, falling back to re-aggregating their input
+        # block when they died before checkpointing.
+        for d in myv:
+            if d == me:
+                continue
+            vlocal[d] = {}
+            written[d] = {}
+            recovered = {c: store.load(d, c) for c in root_step.children}
+            if all(arr is not None for arr in recovered.values()):
+                for child, arr in recovered.items():
+                    yield env.disk_read(arr.nbytes)
+                    vlocal[d][child] = arr
+                env.note_recovery(f"re-read rank {d} partials from checkpoint")
+            else:
+                dblock = local_inputs[d]
+                yield env.disk_read(dblock.nbytes)
+                douts, dops, dsparse = first_level(dblock)
+                yield env.compute(dops, sparse=dsparse)
+                for child, out in zip(root_step.children, douts):
+                    vlocal[d][child] = out
+                env.note_recovery(f"re-aggregated rank {d} partials from its block")
+            for child in root_step.children:
+                env.alloc((d, child), vlocal[d][child].size)
+
+        # 4. The remaining schedule, executed per embodied virtual rank.
+        inbox: dict[tuple[int, int, int], DenseArray] = {}
+        for step_idx, step in enumerate(schedule[1:], start=1):
+            if isinstance(step, PLocalAggregate):
+                for v in myv:
+                    if not grid.holds_node(v, step.node):
+                        continue
+                    parent = vlocal[v][step.node]
+                    outs = [
+                        aggregate_dense(parent, c, measure=measure.rollup)
+                        for c in step.children
+                    ]
+                    yield env.compute(parent.size * len(step.children))
+                    for child, out in zip(step.children, outs):
+                        vlocal[v][child] = out
+                        env.alloc((v, child), out.size)
+            elif isinstance(step, PFinalize):
+                parent = tuple(sorted(step.child + (step.dim,)))
+                participants = [
+                    v for v in myv if grid.holds_node(v, parent)
+                ]
+                # Phase 1: every embodied non-lead ships its partial (a
+                # local handoff when the lead lives on this physical rank).
+                for v in participants:
+                    group = grid.reduction_group(v, step.dim)
+                    if len(group) == 1 or v == group[0]:
+                        continue
+                    payload = vlocal[v].pop(step.child)
+                    env.free((v, step.child))
+                    lead_p = pmap[group[0]]
+                    if lead_p == me:
+                        inbox[(v, group[0], step_idx)] = payload
+                    else:
+                        yield env.send(lead_p, payload, vtag(step_idx, v))
+                # Phase 2: every embodied lead combines, in group order, so
+                # the float accumulation order matches the fault-free run.
+                for v in participants:
+                    group = grid.reduction_group(v, step.dim)
+                    if len(group) == 1 or v != group[0]:
+                        continue
+                    acc = vlocal[v][step.child]
+                    for vsrc in group[1:]:
+                        if pmap[vsrc] == me:
+                            other = inbox.pop((vsrc, v, step_idx))
+                        else:
+                            other = yield env.recv(
+                                pmap[vsrc], vtag(step_idx, vsrc)
+                            )
+                        yield env.compute(other.size)
+                        combine(acc, other)
+            elif isinstance(step, PWriteBack):
+                for v in myv:
+                    if not grid.holds_node(v, step.node):
+                        continue
+                    out = vlocal[v].pop(step.node)
+                    env.free((v, step.node))
+                    if not step.discard:
+                        yield env.disk_write(out.nbytes)
+                        written[v][step.node] = out
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown step {step!r}")
+
+        leftovers = {v: sorted(vlocal[v]) for v in myv if vlocal[v]}
+        if leftovers:
+            raise AssertionError(
+                f"rank {me} finished with nodes still in memory: {leftovers}"
+            )
+        return written
+
+    return program
+
+
 # -- host-side driver ------------------------------------------------------------------------
 
 
@@ -324,6 +566,10 @@ def construct_cube_parallel(
     max_message_elements: int | None = None,
     trace: bool = False,
     machines: list[MachineModel] | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    recv_timeout: float | None = None,
 ) -> ParallelResult:
     """Construct the full data cube on a simulated cluster (Fig 5).
 
@@ -359,6 +605,22 @@ def construct_cube_parallel(
         Record per-rank timelines (see :mod:`repro.cluster.trace`).
     machines:
         Per-rank cost models (straggler studies); overrides ``machine``.
+    fault_plan:
+        Deterministic :class:`~repro.cluster.faults.FaultPlan` to inject
+        (crashes, drops, stragglers, NIC degradation).  Without
+        ``checkpoint``, a crash surfaces as a diagnosable
+        :class:`~repro.cluster.runtime.DeadlockError` naming the dead rank.
+    checkpoint:
+        Run the fault-tolerant program: checkpoint first-level partials,
+        detect failures via heartbeats, and recover any single crashed
+        rank's work through its reduction-group buddy.  Requires the flat
+        reduction and whole-partial messages.
+    checkpoint_dir:
+        Where checkpoint ``.npz`` files live (default: a temporary
+        directory deleted after the run).
+    recv_timeout:
+        Failure-detection receive timeout in simulated seconds (default:
+        1000 control-message times on the rank's own machine model).
     """
     measure = get_measure(measure)
     if isinstance(array, np.ndarray):
@@ -379,17 +641,58 @@ def construct_cube_parallel(
         raise ValueError("pass either tree or schedule, not both")
     if schedule is None:
         schedule = parallel_schedule(n, tree=tree)
-    program = _make_program(
-        schedule, grid, local_inputs, n, reduction, measure, max_message_elements
-    )
-    metrics = run_spmd(
-        grid.size, program, machine=machine, record_trace=trace,
-        machines=machines,
-    )
+
+    tmpdir = None
+    try:
+        if checkpoint:
+            if reduction != "flat":
+                raise ValueError(
+                    "checkpointed construction supports only the flat reduction"
+                )
+            if max_message_elements is not None:
+                raise ValueError(
+                    "checkpointed construction does not support "
+                    "max_message_elements"
+                )
+            if checkpoint_dir is None:
+                tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+                checkpoint_dir = tmpdir.name
+            # Imported here, not at module top: persist itself imports
+            # repro.core for Node, so a top-level import would be circular.
+            from repro.arrays.persist import CheckpointStore
+
+            store = CheckpointStore(checkpoint_dir)
+            program = _make_program_ft(
+                schedule, grid, local_inputs, n, measure, store, recv_timeout
+            )
+        else:
+            program = _make_program(
+                schedule, grid, local_inputs, n, reduction, measure,
+                max_message_elements,
+            )
+        metrics = run_spmd(
+            grid.size, program, machine=machine, record_trace=trace,
+            machines=machines, faults=fault_plan,
+        )
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    if checkpoint:
+        # Flatten {virtual rank: written} maps (a buddy returns its own
+        # nodes plus the adopted rank's) back onto per-label results.
+        vres: list[dict[Node, DenseArray]] = [{} for _ in range(grid.size)]
+        for rr in metrics.rank_results:
+            if rr:
+                for vrank, written in rr.items():
+                    vres[vrank] = written
+        rank_results: Sequence[dict[Node, DenseArray]] = vres
+    else:
+        rank_results = metrics.rank_results
 
     results = None
     if collect_results:
-        results = assemble_results(metrics.rank_results, grid, shape)
+        results = assemble_results(rank_results, grid, shape)
 
     return ParallelResult(
         results=results,

@@ -149,8 +149,18 @@ class CubePlan:
         reduction: str = "flat",
         collect_results: bool = True,
         measure: Measure | str = SUM,
+        fault_plan=None,
+        checkpoint: bool = False,
+        checkpoint_dir=None,
+        recv_timeout: float | None = None,
     ):
-        """Construct the cube on the simulated cluster; results re-keyed."""
+        """Construct the cube on the simulated cluster; results re-keyed.
+
+        ``fault_plan``/``checkpoint``/``checkpoint_dir``/``recv_timeout``
+        pass straight through to
+        :func:`~repro.core.parallel.construct_cube_parallel` (fault
+        injection and fault-tolerant execution).
+        """
         from repro.core.parallel import construct_cube_parallel
 
         ordered = self.transpose_input(array)
@@ -161,6 +171,10 @@ class CubePlan:
             reduction=reduction,
             collect_results=collect_results,
             measure=measure,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+            checkpoint_dir=checkpoint_dir,
+            recv_timeout=recv_timeout,
         )
         if result.results is not None:
             result.results = self.translate_results(result.results)

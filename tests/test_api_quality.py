@@ -30,6 +30,7 @@ MODULES = [
     "repro.iceberg.buc",
     "repro.cluster",
     "repro.cluster.collectives",
+    "repro.cluster.faults",
     "repro.cluster.machine",
     "repro.cluster.metrics",
     "repro.cluster.network",

@@ -69,6 +69,54 @@ class TestConstruct:
         assert "communication" in text
 
 
+class TestConstructFaults:
+    def test_fault_plan_described_and_summarized(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8", "--procs", "2",
+            "--fault-plan", "straggler:1@3;seed=5",
+        )
+        assert code == 0
+        assert "straggler rank 1 x3" in text
+        assert "Theorem 3 check: skipped" in text
+
+    def test_crash_without_checkpoint_reports_stall(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8,4", "--procs", "8",
+            "--fault-plan", "crash:3@0.000001",
+        )
+        assert code == 1
+        assert "construction stalled" in text
+        assert "crashed ranks: [3]" in text
+        assert "--checkpoint" in text
+
+    def test_crash_with_checkpoint_recovers_and_verifies(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8,4", "--procs", "8",
+            "--fault-plan", "crash:3@0.000001", "--checkpoint", "--verify",
+        )
+        assert code == 0
+        assert "faults: crashes=[3]" in text
+        assert "recoveries=1" in text
+        assert "verified" in text
+
+    def test_bad_fault_spec_rejected(self):
+        # Argparse-level validation: clean usage error, not a traceback.
+        with pytest.raises(SystemExit):
+            run_cli("construct", "--shape", "8,8", "--procs", "2",
+                    "--fault-plan", "crash:nope")
+
+    def test_checkpoint_stall_hint_differs(self):
+        # Heavy message loss can defeat detection even with --checkpoint;
+        # the hint must not tell the user to add a flag they already passed.
+        code, text = run_cli(
+            "construct", "--shape", "8,8,4", "--procs", "8", "--checkpoint",
+            "--fault-plan", "drop:0.3;seed=13",
+        )
+        assert code == 1
+        assert "construction stalled" in text
+        assert "--checkpoint" not in text.split("hint:")[1]
+
+
 class TestSweep:
     def test_lists_all_choices(self):
         code, text = run_cli("sweep", "--shape", "8,8,8,8", "--procs", "8")

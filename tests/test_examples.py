@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "sales_statistics.py",
     "warehouse_lifecycle.py",
     "timeline_anatomy.py",
+    "fault_tolerance.py",
 ]
 
 

@@ -74,6 +74,38 @@ class TestPerRankMachines:
         # Receiver pays its own 0.5 s latency on the copy.
         assert metrics.rank_clocks[1] >= 0.5
 
+    def test_each_side_charges_its_own_nic(self):
+        # A transfer costs the sender its own latency+bandwidth charge and
+        # the receiver its own -- never a mix of the two models.
+        fast_net = MachineModel(
+            element_ops_per_second=1e6, network_latency_s=1.0,
+            network_bandwidth_Bps=64.0, disk_latency_s=0,
+            disk_bandwidth_Bps=1e9,
+        )
+        slow_net = MachineModel(
+            element_ops_per_second=1e6, network_latency_s=4.0,
+            network_bandwidth_Bps=16.0, disk_latency_s=0,
+            disk_bandwidth_Bps=1e9,
+        )
+
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(8), tag=0)  # 64 B
+            else:
+                yield env.recv(0, tag=0)
+
+        metrics = run_spmd(2, program, machines=[fast_net, slow_net])
+        # Sender: 1 + 64/64 = 2 s.  Receiver: arrival at 2 s, then its own
+        # 4 + 64/16 = 8 s copy charge -> 10 s.
+        assert metrics.rank_clocks[0] == pytest.approx(2.0)
+        assert metrics.rank_clocks[1] == pytest.approx(10.0)
+
+        # Swapped placement: the slow sender delays arrival; the fast
+        # receiver's copy is cheap.
+        metrics = run_spmd(2, program, machines=[slow_net, fast_net])
+        assert metrics.rank_clocks[0] == pytest.approx(8.0)
+        assert metrics.rank_clocks[1] == pytest.approx(10.0)
+
     def test_results_unaffected_by_heterogeneity(self):
         from repro.arrays.dataset import random_sparse
         from repro.core.parallel import construct_cube_parallel

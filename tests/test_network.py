@@ -62,6 +62,28 @@ class TestNetwork:
         assert float(first.payload[0]) == 1.0
         assert float(second.payload[0]) == 2.0
 
+    def test_fifo_survives_interleaved_tags(self):
+        # Regression for the O(1) per-(src, tag) mailbox: draining one tag
+        # must not disturb FIFO order on another.
+        net = Network(2)
+        for i in range(4):
+            net.post(0, 1, tag=i % 2, payload=np.array([float(i)]),
+                     arrival_time=float(i))
+        assert float(net.match(1, 0, 1).payload[0]) == 1.0
+        assert float(net.match(1, 0, 0).payload[0]) == 0.0
+        assert float(net.match(1, 0, 0).payload[0]) == 2.0
+        assert float(net.match(1, 0, 1).payload[0]) == 3.0
+
+    def test_peek_does_not_consume(self):
+        net = Network(2)
+        net.post(0, 1, tag=3, payload=np.ones(2), arrival_time=0.5)
+        first = net.peek(1, src=0, tag=3)
+        assert first is not None and first.arrival_time == 0.5
+        again = net.peek(1, src=0, tag=3)
+        assert again is first
+        assert net.match(1, 0, 3) is first
+        assert net.peek(1, 0, 3) is None
+
     def test_stats_accumulate(self):
         net = Network(2)
         net.post(0, 1, tag=0, payload=np.ones(10), arrival_time=0.0)

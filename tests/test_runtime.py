@@ -128,6 +128,52 @@ class TestMessaging:
         with pytest.raises(DeadlockError):
             run_spmd(2, program)
 
+    def test_deadlock_report_names_blocked_and_undelivered(self):
+        # Rank 0 sends on tag 1 but rank 1 waits on tag 2: the report must
+        # identify both the blocked receive and the stranded message.
+        def program(env):
+            if env.rank == 0:
+                yield env.send(1, np.zeros(4), tag=1)
+                yield env.recv(1, tag=3)
+            else:
+                yield env.recv(0, tag=2)
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, program)
+        text = str(err.value)
+        assert "rank 0 blocked on recv(src=1, tag=3)" in text
+        assert "rank 1 blocked on recv(src=0, tag=2)" in text
+        assert "0->1 tag=1 32B" in text
+
+    def test_deadlock_report_caps_undelivered_at_ten(self):
+        def program(env):
+            if env.rank == 0:
+                for i in range(15):
+                    yield env.send(1, np.zeros(1), tag=100 + i)
+            yield env.recv((env.rank + 1) % 2, tag=0)
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, program)
+        text = str(err.value)
+        assert "15 undelivered message(s) (first 10):" in text
+        assert text.count("tag=1") == 10  # only the first 10 are listed
+
+    def test_recv_while_others_at_barrier_is_deadlock_not_hang(self):
+        # Rank 0 waits for a message nobody will send while every other
+        # rank sits at a barrier that rank 0 can never reach.
+        def program(env):
+            if env.rank == 0:
+                yield env.recv(1, tag=9)
+                yield env.barrier()
+            else:
+                yield env.barrier()
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(4, program)
+        text = str(err.value)
+        assert "rank 0 blocked on recv(src=1, tag=9)" in text
+        assert "at barrier" in text
+
 
 class TestBarrier:
     def test_barrier_synchronizes_clocks(self):
@@ -175,7 +221,8 @@ class TestMemoryAccounting:
 
     def test_free_unknown_rejected(self):
         env = RankEnv(rank=0, num_ranks=1, machine=MachineModel())
-        with pytest.raises(KeyError):
+        env.alloc("held", 1)
+        with pytest.raises(ValueError, match=r"nope.*held"):
             env.free("nope")
 
 
