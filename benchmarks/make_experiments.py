@@ -164,6 +164,17 @@ survived through the victim's reduction-group buddy with bit-exact results
         "t_faults",
     ),
     (
+        "T-serving — batched + cached query serving (extension)",
+        """Serving extension beyond the paper: a Zipf-skewed group-by
+workload replayed through the bare per-query engine, the batched service
+(dedup + shared reduction passes + vectorized point gathers), and the full
+service with the LRU result cache.  Asserted: the batched path is at least
+5x the per-query loop at paper scale while scanning fewer cube cells, a
+warm cache serves repeats with zero additional cells scanned, and all
+three modes return bit-identical values, provenance, and costs.""",
+        "t_serving",
+    ),
+    (
         "T-iceberg — BUC support pruning (related-work extension)",
         """Iceberg cubes close the partial-materialization loop at cell
 granularity: BUC's monotone support pruning keeps a rapidly shrinking

@@ -62,17 +62,17 @@ def main() -> None:
 
     # "Sales of one item at one branch over the whole duration."
     q1 = GroupByQuery(group_by=("quarter",), where={"item": "item-001", "branch": "oslo"})
-    a1 = engine.answer(q1)
+    a1 = engine.execute(q1)
     print("\nitem-001 at oslo, by quarter (served from group-by "
-          f"{a1.served_from}, {a1.cells_scanned} cells scanned):")
+          f"{a1.served_by}, {a1.cells_scanned} cells scanned):")
     for qi, v in enumerate(np.atleast_1d(a1.values)):
         print(f"  {schema.dimension('quarter').label_of(qi):>8}: {v:8.2f}")
 
     # "All sales of all items at all branches for a given time period."
     q2 = GroupByQuery(where={"quarter": "Q3-2001"})
-    a2 = engine.answer(q2)
+    a2 = engine.execute(q2)
     print(f"\ntotal sales in Q3-2001: {a2.values:.2f} "
-          f"(served from {a2.served_from})")
+          f"(served from {a2.served_by})")
 
     # Roll-up: quarters -> years, by branch.
     yearly = cube.rollup("quarter", "year", "branch")

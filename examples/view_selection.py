@@ -60,10 +60,10 @@ def main() -> None:
         GroupByQuery(group_by=("channel",), where={"quarter": (0, 4)}),
         GroupByQuery(where={"item": 0}),
     ]:
-        ans = engine.answer(q)
+        ans = engine.execute(q)
         label = "+".join(q.group_by) or "total"
         print(f"  query[{label:>16}] served from "
-              f"{'.'.join(ans.served_from):>22}, "
+              f"{'.'.join(ans.served_by):>22}, "
               f"{human_count(ans.cells_scanned)} cells scanned")
     print(f"\n{engine.queries_answered} queries, "
           f"{human_count(engine.total_cells_scanned)} cells total")

@@ -61,8 +61,8 @@ def main() -> None:
     # --- 3. serve queries -----------------------------------------------------
     engine = QueryEngine(reloaded)
     q = GroupByQuery(group_by=("branch",), where={"day": (0, 7)})
-    week1 = engine.answer(q)
-    print(f"week-1 sales by branch (from {week1.served_from}): "
+    week1 = engine.execute(q)
+    print(f"week-1 sales by branch (from {week1.served_by}): "
           f"{np.asarray(week1.values).round(1)[:4]} ...")
 
     # --- 4. nightly delta ------------------------------------------------------

@@ -9,7 +9,12 @@ optimality results (Theorems 6-7), the greedy partitioning algorithm
 and the substrates they need: a chunk-offset sparse array format and a
 deterministic distributed-memory cluster simulator.
 
-Quickstart::
+On top of the construction algorithms sits the warehouse stack: named
+schemas and materialized cubes (:mod:`repro.olap`) and a high-throughput
+serving layer with result caching and batched execution
+(:mod:`repro.serve`).
+
+Quickstart (construction)::
 
     import repro
     data = repro.random_sparse((16, 12, 8, 8), sparsity=0.25, seed=1)
@@ -17,6 +22,14 @@ Quickstart::
     run = plan.run_parallel(data)
     ab = run.results[(0, 1)]            # the aggregate over dims 2 and 3
     print(run.simulated_time_s, run.comm_volume_elements)
+
+Quickstart (serving)::
+
+    schema = repro.Schema.simple(item=16, branch=12, time=8)
+    cube = repro.DataCube.build(schema, data)
+    service = repro.CubeService(cube)
+    r = service.execute(repro.GroupByQuery(group_by=("item",)))
+    print(r.values, r.served_by, r.cells_scanned)
 """
 
 from repro.arrays import (
@@ -29,6 +42,7 @@ from repro.arrays import (
 from repro.cluster import MachineModel, ProcessorGrid
 from repro.core import (
     AggregationTree,
+    BuildConfig,
     CubeLattice,
     CubePlan,
     PrefixTree,
@@ -40,8 +54,17 @@ from repro.core import (
     total_comm_volume,
 )
 from repro.core.sequential import cube_reference, verify_cube
+from repro.olap import (
+    DataCube,
+    Dimension,
+    GroupByQuery,
+    QueryEngine,
+    QueryResult,
+    Schema,
+)
+from repro.serve import CubeService, ServiceStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DenseArray",
@@ -52,6 +75,7 @@ __all__ = [
     "MachineModel",
     "ProcessorGrid",
     "AggregationTree",
+    "BuildConfig",
     "CubeLattice",
     "CubePlan",
     "PrefixTree",
@@ -63,5 +87,13 @@ __all__ = [
     "total_comm_volume",
     "cube_reference",
     "verify_cube",
+    "DataCube",
+    "Dimension",
+    "GroupByQuery",
+    "QueryEngine",
+    "QueryResult",
+    "Schema",
+    "CubeService",
+    "ServiceStats",
     "__version__",
 ]

@@ -9,7 +9,9 @@ Installed as ``repro-cube`` (see ``pyproject.toml``); also runnable as
                  report measured metrics against the theory;
 - ``sweep``      compare every partition choice at one cluster size;
 - ``tree``       render the prefix/aggregation trees and the schedule;
-- ``views``      greedy view selection under a space budget.
+- ``views``      greedy view selection under a space budget;
+- ``serve-replay`` replay a query workload through the serving layer and
+                 compare per-query / batched / cached throughput.
 
 All output is plain text; every command is deterministic given ``--seed``.
 """
@@ -317,6 +319,62 @@ def cmd_delta(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve_replay(args: argparse.Namespace, out) -> int:
+    """``serve-replay``: replay a workload through the serving modes."""
+    import numpy as np
+
+    from repro.olap.schema import Schema
+    from repro.olap.cube import DataCube
+    from repro.olap.workload import WorkloadSpec, generate_workload
+    from repro.serve import MODES, replay
+
+    schema = Schema.simple(
+        **{f"d{i}": s for i, s in enumerate(args.shape)}
+    )
+    rng = np.random.default_rng(args.seed)
+    data = rng.random(schema.shape)
+    cube = DataCube.build(schema, data)
+    spec = WorkloadSpec(
+        num_queries=args.queries,
+        zipf_exponent=args.zipf,
+        filter_probability=args.filter_probability,
+    )
+    queries = generate_workload(schema, spec, seed=args.seed)
+    modes = [args.mode] if args.mode else list(MODES)
+    print(
+        f"replaying {len(queries)} queries over shape {schema.shape} "
+        f"(zipf={args.zipf}, filter p={args.filter_probability})",
+        file=out,
+    )
+    baseline = None
+    header = (
+        f"{'mode':>10} {'queries/s':>12} {'p50 ms':>9} {'p95 ms':>9} "
+        f"{'p99 ms':>9} {'cells':>12} {'hit rate':>9} {'speedup':>8}"
+    )
+    print(header, file=out)
+    for mode in modes:
+        stats = replay(
+            cube,
+            queries,
+            mode=mode,
+            batch_size=args.batch_size,
+            cache_size=args.cache_size,
+        )
+        if mode == "per-query":
+            baseline = stats.throughput_qps
+        speedup = (
+            f"{stats.throughput_qps / baseline:.2f}x" if baseline else "-"
+        )
+        print(
+            f"{mode:>10} {stats.throughput_qps:>12,.0f} "
+            f"{stats.latency_p50_ms:>9.3f} {stats.latency_p95_ms:>9.3f} "
+            f"{stats.latency_p99_ms:>9.3f} {stats.cells_scanned:>12,} "
+            f"{stats.cache_hit_rate:>8.1%} {speedup:>8}",
+            file=out,
+        )
+    return 0
+
+
 # -- parser ------------------------------------------------------------------------------
 
 
@@ -384,6 +442,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--facts-out", default=None,
                    help="also save the generated facts (.npz)")
     p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser(
+        "serve-replay",
+        help="replay a query workload through the serving layer",
+    )
+    p.add_argument("--shape", type=_shape, default=(6, 6, 5, 5, 4, 4))
+    p.add_argument("--queries", type=int, default=2000)
+    p.add_argument("--zipf", type=float, default=2.0,
+                   help="group-by popularity skew (must exceed 1.0)")
+    p.add_argument("--filter-probability", type=float, default=0.2,
+                   help="chance each unmentioned dimension gets a filter")
+    p.add_argument("--batch-size", type=int, default=1024)
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="LRU result-cache entries for cached mode")
+    p.add_argument("--mode", choices=["per-query", "batched", "cached"],
+                   default=None, help="run one mode (default: all three)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve_replay)
 
     p = sub.add_parser("query", help="answer a group-by from a saved cube")
     p.add_argument("--cube", required=True, help="cube path (.npz)")

@@ -72,6 +72,7 @@ from repro.core.partition import (
     partition_comm_volume,
     describe_partition,
 )
+from repro.core.config import BuildConfig
 from repro.core.sequential import construct_cube_sequential, SequentialResult
 from repro.core.parallel import construct_cube_parallel, ParallelResult
 from repro.core.partial import (
@@ -123,6 +124,7 @@ __all__ = [
     "bruteforce_partition",
     "partition_comm_volume",
     "describe_partition",
+    "BuildConfig",
     "construct_cube_sequential",
     "SequentialResult",
     "construct_cube_parallel",

@@ -1,0 +1,101 @@
+"""Consolidated options for the parallel cube constructor.
+
+:func:`repro.core.parallel.construct_cube_parallel` grew a long tail of
+keyword arguments (machine models, reduction strategy, fault injection,
+checkpointing, tracing, ...).  :class:`BuildConfig` gathers them into one
+immutable value that can be stored, compared, and passed around as
+``config=``.  The old keywords keep working -- they are funneled through a
+config instance, with explicitly passed keywords overriding the config's
+fields -- so existing call sites need not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.arrays.measures import Measure, SUM
+from repro.cluster.faults import FaultPlan
+from repro.cluster.machine import MachineModel
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<UNSET>"
+
+
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Every knob of a parallel cube construction, in one place.
+
+    Attributes
+    ----------
+    machine:
+        Cost model for every rank (default: the paper-cluster preset).
+    reduction:
+        ``"flat"`` (the paper's gather-to-lead) or ``"binomial"``.
+    collect_results:
+        Assemble global result arrays from the per-rank portions.
+    tree:
+        Alternative spanning tree (baselines); default aggregation tree.
+    schedule:
+        Explicit step list overriding the tree-derived one (partial
+        materialization); mutually exclusive with ``tree``.
+    measure:
+        Any distributive measure (default SUM).
+    max_message_elements:
+        Cap reduction messages at this many elements (section 4 tradeoff).
+    trace:
+        Record per-rank timelines.
+    machines:
+        Per-rank cost models (straggler studies); overrides ``machine``.
+    fault_plan:
+        Deterministic fault injection plan (crashes, drops, stragglers).
+    checkpoint:
+        Run the fault-tolerant program (checkpoint + heartbeat detection +
+        buddy recovery).
+    checkpoint_dir:
+        Where checkpoint ``.npz`` files live (default: temporary).
+    recv_timeout:
+        Failure-detection receive timeout in simulated seconds.
+    """
+
+    machine: MachineModel | None = None
+    reduction: str = "flat"
+    collect_results: bool = True
+    tree: object | None = None
+    schedule: Sequence[object] | None = None
+    measure: Measure | str = SUM
+    max_message_elements: int | None = None
+    trace: bool = False
+    machines: Sequence[MachineModel] | None = field(default=None)
+    fault_plan: FaultPlan | None = None
+    checkpoint: bool = False
+    checkpoint_dir: str | Path | None = None
+    recv_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.reduction not in ("flat", "binomial"):
+            raise ValueError(f"unknown reduction {self.reduction!r}")
+        if self.max_message_elements is not None and self.max_message_elements <= 0:
+            raise ValueError("max_message_elements must be positive")
+        if self.tree is not None and self.schedule is not None:
+            raise ValueError("pass either tree or schedule, not both")
+
+    def merged_with(self, **overrides: object) -> "BuildConfig":
+        """Copy of this config with every non-UNSET override applied.
+
+        This is the funnel that keeps the legacy keyword surface of
+        :func:`~repro.core.parallel.construct_cube_parallel` working:
+        explicitly passed keywords win over the config's fields.
+        """
+        kwargs = {k: v for k, v in overrides.items() if not isinstance(v, _Unset)}
+        return replace(self, **kwargs) if kwargs else self

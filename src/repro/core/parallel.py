@@ -61,6 +61,7 @@ from repro.cluster.runtime import Op, RankEnv, RECV_TIMEOUT, run_spmd
 from repro.cluster.topology import ProcessorGrid
 from repro.core.aggregation_tree import AggregationTree
 from repro.core.comm_model import total_comm_volume
+from repro.core.config import BuildConfig, UNSET
 from repro.core.lattice import Node, full_node, node_size
 
 
@@ -557,21 +558,26 @@ def assemble_results(
 def construct_cube_parallel(
     array: SparseArray | DenseArray | np.ndarray,
     bits: Sequence[int],
-    machine: MachineModel | None = None,
-    reduction: str = "flat",
-    collect_results: bool = True,
-    tree=None,
-    schedule: list[PStep] | None = None,
-    measure: Measure | str = SUM,
-    max_message_elements: int | None = None,
-    trace: bool = False,
-    machines: list[MachineModel] | None = None,
-    fault_plan: FaultPlan | None = None,
-    checkpoint: bool = False,
-    checkpoint_dir: str | Path | None = None,
-    recv_timeout: float | None = None,
+    machine: MachineModel | None = UNSET,
+    reduction: str = UNSET,
+    collect_results: bool = UNSET,
+    tree=UNSET,
+    schedule: list[PStep] | None = UNSET,
+    measure: Measure | str = UNSET,
+    max_message_elements: int | None = UNSET,
+    trace: bool = UNSET,
+    machines: list[MachineModel] | None = UNSET,
+    fault_plan: FaultPlan | None = UNSET,
+    checkpoint: bool = UNSET,
+    checkpoint_dir: str | Path | None = UNSET,
+    recv_timeout: float | None = UNSET,
+    config: BuildConfig | None = None,
 ) -> ParallelResult:
     """Construct the full data cube on a simulated cluster (Fig 5).
+
+    All options live on :class:`~repro.core.config.BuildConfig` and may be
+    passed either as ``config=BuildConfig(...)`` or as the individual
+    keywords below; explicit keywords override the config's fields.
 
     Parameters
     ----------
@@ -621,8 +627,38 @@ def construct_cube_parallel(
     recv_timeout:
         Failure-detection receive timeout in simulated seconds (default:
         1000 control-message times on the rank's own machine model).
+    config:
+        A :class:`~repro.core.config.BuildConfig` carrying any/all of the
+        above; individual keywords take precedence.
     """
-    measure = get_measure(measure)
+    cfg = (config or BuildConfig()).merged_with(
+        machine=machine,
+        reduction=reduction,
+        collect_results=collect_results,
+        tree=tree,
+        schedule=schedule,
+        measure=measure,
+        max_message_elements=max_message_elements,
+        trace=trace,
+        machines=machines,
+        fault_plan=fault_plan,
+        checkpoint=checkpoint,
+        checkpoint_dir=checkpoint_dir,
+        recv_timeout=recv_timeout,
+    )
+    machine = cfg.machine
+    reduction = cfg.reduction
+    collect_results = cfg.collect_results
+    tree = cfg.tree
+    schedule = list(cfg.schedule) if cfg.schedule is not None else None
+    max_message_elements = cfg.max_message_elements
+    trace = cfg.trace
+    machines = cfg.machines
+    fault_plan = cfg.fault_plan
+    checkpoint = cfg.checkpoint
+    checkpoint_dir = cfg.checkpoint_dir
+    recv_timeout = cfg.recv_timeout
+    measure = get_measure(cfg.measure)
     if isinstance(array, np.ndarray):
         array = DenseArray.full_cube_input(array)
     shape = tuple(array.shape)

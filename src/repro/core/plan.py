@@ -20,6 +20,7 @@ from repro.arrays.measures import Measure, SUM
 from repro.arrays.sparse import SparseArray
 from repro.cluster.machine import MachineModel
 from repro.core.comm_model import total_comm_volume
+from repro.core.config import UNSET
 from repro.core.lattice import Node
 from repro.core.memory_model import (
     parallel_memory_bound_exact,
@@ -145,21 +146,22 @@ class CubePlan:
     def run_parallel(
         self,
         array: SparseArray | DenseArray | np.ndarray,
-        machine: MachineModel | None = None,
-        reduction: str = "flat",
-        collect_results: bool = True,
-        measure: Measure | str = SUM,
-        fault_plan=None,
-        checkpoint: bool = False,
-        checkpoint_dir=None,
-        recv_timeout: float | None = None,
+        machine: MachineModel | None = UNSET,
+        reduction: str = UNSET,
+        collect_results: bool = UNSET,
+        measure: Measure | str = UNSET,
+        fault_plan=UNSET,
+        checkpoint: bool = UNSET,
+        checkpoint_dir=UNSET,
+        recv_timeout: float | None = UNSET,
+        config=None,
     ):
         """Construct the cube on the simulated cluster; results re-keyed.
 
-        ``fault_plan``/``checkpoint``/``checkpoint_dir``/``recv_timeout``
-        pass straight through to
-        :func:`~repro.core.parallel.construct_cube_parallel` (fault
-        injection and fault-tolerant execution).
+        Options pass straight through to
+        :func:`~repro.core.parallel.construct_cube_parallel`: either as a
+        :class:`~repro.core.config.BuildConfig` via ``config=`` or as the
+        legacy keywords (which override the config's fields).
         """
         from repro.core.parallel import construct_cube_parallel
 
@@ -175,6 +177,7 @@ class CubePlan:
             checkpoint=checkpoint,
             checkpoint_dir=checkpoint_dir,
             recv_timeout=recv_timeout,
+            config=config,
         )
         if result.results is not None:
             result.results = self.translate_results(result.results)

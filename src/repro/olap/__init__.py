@@ -20,7 +20,13 @@ with named dimensions, hierarchies, and a query interface:
 
 from repro.olap.schema import Dimension, Hierarchy, Schema
 from repro.olap.cube import DataCube
-from repro.olap.query import GroupByQuery, QueryAnswer, QueryEngine
+from repro.olap.query import (
+    CanonicalQuery,
+    GroupByQuery,
+    QueryEngine,
+    QueryResult,
+    canonicalize_query,
+)
 from repro.olap.granularity import GranularityEngine
 from repro.olap.maintenance import (
     MaintenanceStats,
@@ -44,14 +50,27 @@ from repro.olap.view_selection import (
     workload_cost,
 )
 
+def __getattr__(name: str):
+    if name == "QueryAnswer":
+        # Deprecated: resolved lazily so importing the package stays silent;
+        # repro.olap.query emits the DeprecationWarning.
+        from repro.olap import query
+
+        return query.QueryAnswer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Dimension",
     "Hierarchy",
     "Schema",
     "DataCube",
+    "CanonicalQuery",
     "GroupByQuery",
     "QueryAnswer",
+    "QueryResult",
     "QueryEngine",
+    "canonicalize_query",
     "GranularityEngine",
     "MaintenanceStats",
     "apply_delta",

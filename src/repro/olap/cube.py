@@ -8,8 +8,8 @@ and exposes them by dimension *names*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ class DataCube:
     base: SparseArray | DenseArray | None = None
     build_stats: object | None = None
     measure_name: str = "sum"
+    refresh_listeners: list[Callable[[], None]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     # -- construction ----------------------------------------------------------------
 
@@ -122,6 +125,29 @@ class DataCube:
             build_stats=run,
             measure_name=measure.name,
         )
+
+    # -- refresh notification ----------------------------------------------------------
+
+    def subscribe_refresh(self, listener: Callable[[], object]) -> None:
+        """Register a zero-arg callable invoked after every in-place refresh.
+
+        :func:`repro.olap.maintenance.apply_delta` calls
+        :meth:`notify_refresh` once the aggregates have been updated;
+        caching layers (:class:`repro.serve.CubeService`) subscribe to
+        invalidate stale results.  A listener that returns ``False`` is
+        unsubscribed (the convention weakref-backed listeners use to
+        signal their referent is gone, so a forgotten service never keeps
+        the cube pinging a corpse).
+        """
+        self.refresh_listeners.append(listener)
+
+    def notify_refresh(self) -> None:
+        """Invoke every refresh listener, dropping any that return False."""
+        self.refresh_listeners[:] = [
+            listener
+            for listener in self.refresh_listeners
+            if listener() is not False
+        ]
 
     # -- access ------------------------------------------------------------------------
 

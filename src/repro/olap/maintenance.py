@@ -88,6 +88,7 @@ def apply_delta(
                 "base updates require a sparse base array; rebuild instead"
             )
         cube.base = merge_sparse(cube.base, delta)
+    cube.notify_refresh()
     comm = getattr(run, "comm_volume_elements", 0)
     sim = getattr(run, "simulated_time_s", 0.0)
     return MaintenanceStats(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -107,18 +108,23 @@ class Schema:
         """``Schema.simple(item=100, branch=20, time=365)``."""
         return cls(tuple(Dimension(name, size) for name, size in sizes.items()))
 
-    @property
+    @cached_property
     def shape(self) -> tuple[int, ...]:
         return tuple(d.size for d in self.dimensions)
 
-    @property
+    @cached_property
     def names(self) -> tuple[str, ...]:
         return tuple(d.name for d in self.dimensions)
 
+    @cached_property
+    def _name_index(self) -> dict[str, int]:
+        # Safe to cache: the dataclass is frozen, so dimensions never change.
+        return {d.name: i for i, d in enumerate(self.dimensions)}
+
     def index(self, name: str) -> int:
         try:
-            return self.names.index(name)
-        except ValueError:
+            return self._name_index[name]
+        except KeyError:
             raise KeyError(f"no dimension named {name!r}") from None
 
     def dimension(self, name: str) -> Dimension:

@@ -90,7 +90,16 @@ def generate_workload(
                     hi = int(rng.integers(lo + 1, dim.size + 1))
                     where[dim.name] = (lo, hi)
                 else:
-                    where[dim.name] = int(rng.integers(0, dim.size))
+                    idx = int(rng.integers(0, dim.size))
+                    if dim.labels is not None and any(
+                        not isinstance(lbl, str) for lbl in dim.labels
+                    ):
+                        # Integer-labeled dimension: a bare int would be
+                        # read as a *label*; use the positional escape
+                        # hatch (canonicalizes to the same point filter).
+                        where[dim.name] = (idx, idx + 1)
+                    else:
+                        where[dim.name] = idx
         queries.append(GroupByQuery(group_by=group_by, where=where))
     return queries
 
@@ -135,13 +144,11 @@ def replay_workload(
     cube: DataCube, queries: Sequence[GroupByQuery]
 ) -> ReplayReport:
     """Run every query through a fresh engine; returns the cost report."""
-    from repro.olap.query import BASE
-
     engine = QueryEngine(cube)
     fallbacks = 0
     for q in queries:
-        answer = engine.answer(q)
-        if answer.served_from == BASE:
+        result = engine.execute(q)
+        if result.is_fallback:
             fallbacks += 1
     return ReplayReport(
         queries=engine.queries_answered,

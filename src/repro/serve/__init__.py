@@ -1,0 +1,31 @@
+"""High-throughput query serving over a materialized cube.
+
+The construction side of the repo (``repro.core``) builds the cube with
+communication- and memory-optimal parallel algorithms; this package is the
+read side: :class:`CubeService` fronts a built
+:class:`~repro.olap.cube.DataCube` with query canonicalization, memoized
+cover resolution, a bounded LRU result cache (invalidated on incremental
+refresh), and batched execution that answers all queries sharing a serving
+view in one vectorized pass.  :func:`replay` measures the three serving
+modes on a workload and reports throughput, tail latency, and cells
+scanned as a :class:`ServiceStats`.
+
+Every path returns values bit-identical to
+:meth:`repro.olap.query.QueryEngine.execute`.
+"""
+
+from repro.serve.batch import BatchReport, run_batch
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.replay import MODES, ServiceStats, replay
+from repro.serve.service import CubeService
+
+__all__ = [
+    "BatchReport",
+    "run_batch",
+    "CacheStats",
+    "ResultCache",
+    "MODES",
+    "ServiceStats",
+    "replay",
+    "CubeService",
+]

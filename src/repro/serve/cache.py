@@ -1,0 +1,77 @@
+"""Bounded LRU cache of query results, keyed on canonical queries.
+
+Two textually different queries that canonicalize identically (``{"time":
+(0, 365)}`` vs no filter at all, a label vs its index) share one cache
+entry, because :class:`repro.olap.query.CanonicalQuery` is the key.  The
+cache is a plain ``OrderedDict`` LRU with hit/miss/eviction counters and
+an explicit :meth:`ResultCache.invalidate` that
+:class:`repro.serve.CubeService` wires to cube refreshes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.olap.query import CanonicalQuery, QueryResult
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over a :class:`ResultCache`'s lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """LRU map from :class:`CanonicalQuery` to :class:`QueryResult`.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses and
+    nothing is stored) -- the switch benchmarks use to isolate the batched
+    path from the cached path.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CanonicalQuery, QueryResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CanonicalQuery) -> QueryResult | None:
+        """Look up ``key``, refreshing its recency; counts a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CanonicalQuery, result: QueryResult) -> None:
+        """Store ``result``, evicting the least recently used on overflow."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (cube refreshed); returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.stats.invalidations += 1
+        return dropped

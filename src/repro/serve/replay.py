@@ -1,0 +1,156 @@
+"""Workload replay driver: throughput and latency for the serving paths.
+
+:func:`replay` runs a query workload (typically from
+:func:`repro.olap.workload.generate_workload`) through one of three
+execution modes and reports a :class:`ServiceStats`:
+
+- ``"per-query"`` -- the bare :class:`~repro.olap.query.QueryEngine`
+  answering one query at a time (the baseline);
+- ``"batched"`` -- :meth:`~repro.serve.CubeService.execute_batch` over
+  fixed-size chunks, result cache disabled, isolating the shared-pass
+  speedup;
+- ``"cached"`` -- the full service, per-query, with the LRU result cache
+  on (how a dashboard actually hits it).
+
+All modes produce bit-identical values, so the numbers compare apples to
+apples.  Exposed on the command line as ``repro.cli serve-replay``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.olap.cube import DataCube
+from repro.olap.query import GroupByQuery, QueryEngine
+from repro.serve.service import CubeService
+
+MODES = ("per-query", "batched", "cached")
+
+
+@dataclass
+class ServiceStats:
+    """Replay outcome: throughput, tail latency, and cache behaviour.
+
+    Latency percentiles are per *query*; in batched mode each query in a
+    chunk is charged the chunk's elapsed time divided by the chunk size.
+    ``cells_scanned`` counts actual cube cells read (shared passes once,
+    cache hits zero).
+    """
+
+    mode: str
+    queries: int
+    elapsed_s: float
+    throughput_qps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    cells_scanned: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    base_fallbacks: int
+
+    def format(self) -> str:
+        """Human-readable one-block summary (the CLI's output)."""
+        return "\n".join(
+            [
+                f"mode            {self.mode}",
+                f"queries         {self.queries}",
+                f"elapsed         {self.elapsed_s * 1e3:.1f} ms",
+                f"throughput      {self.throughput_qps:,.0f} queries/s",
+                f"latency p50     {self.latency_p50_ms:.3f} ms",
+                f"latency p95     {self.latency_p95_ms:.3f} ms",
+                f"latency p99     {self.latency_p99_ms:.3f} ms",
+                f"cells scanned   {self.cells_scanned:,}",
+                f"cache hit rate  {self.cache_hit_rate:.1%} "
+                f"({self.cache_hits}h/{self.cache_misses}m)",
+                f"base fallbacks  {self.base_fallbacks}",
+            ]
+        )
+
+
+def _percentiles(latencies_s: list[float]) -> tuple[float, float, float]:
+    if not latencies_s:
+        return (0.0, 0.0, 0.0)
+    arr = np.asarray(latencies_s) * 1e3
+    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+    return (float(p50), float(p95), float(p99))
+
+
+def replay(
+    cube: DataCube,
+    queries: Sequence[GroupByQuery],
+    mode: str = "batched",
+    batch_size: int = 256,
+    cache_size: int = 4096,
+) -> ServiceStats:
+    """Replay ``queries`` against ``cube`` in ``mode``; fresh state per call.
+
+    ``cache_size`` only applies to ``"cached"`` mode; ``"batched"`` runs
+    with the cache off so the reported speedup is pure batching.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    queries = list(queries)
+    latencies: list[float] = []
+    fallbacks = 0
+    clock = time.perf_counter
+
+    if mode == "per-query":
+        engine = QueryEngine(cube)
+        start = clock()
+        for q in queries:
+            t0 = clock()
+            result = engine.execute(q)
+            latencies.append(clock() - t0)
+            fallbacks += result.is_fallback
+        elapsed = clock() - start
+        cells = engine.total_cells_scanned
+        hits = misses = 0
+    elif mode == "batched":
+        service = CubeService(cube, result_cache_size=0)
+        start = clock()
+        for lo in range(0, len(queries), batch_size):
+            chunk = queries[lo : lo + batch_size]
+            t0 = clock()
+            results = service.execute_batch(chunk)
+            dt = clock() - t0
+            latencies.extend([dt / len(chunk)] * len(chunk))
+            fallbacks += sum(r.is_fallback for r in results)
+        elapsed = clock() - start
+        cells = service.cells_scanned_actual
+        hits, misses = service.cache.stats.hits, service.cache.stats.misses
+    else:  # cached
+        service = CubeService(cube, result_cache_size=cache_size)
+        start = clock()
+        for q in queries:
+            t0 = clock()
+            result = service.execute(q)
+            latencies.append(clock() - t0)
+            fallbacks += result.is_fallback
+        elapsed = clock() - start
+        cells = service.cells_scanned_actual
+        hits, misses = service.cache.stats.hits, service.cache.stats.misses
+
+    p50, p95, p99 = _percentiles(latencies)
+    total = hits + misses
+    return ServiceStats(
+        mode=mode,
+        queries=len(queries),
+        elapsed_s=elapsed,
+        throughput_qps=len(queries) / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=p50,
+        latency_p95_ms=p95,
+        latency_p99_ms=p99,
+        cells_scanned=cells,
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_hit_rate=hits / total if total else 0.0,
+        base_fallbacks=fallbacks,
+    )

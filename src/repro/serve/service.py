@@ -1,0 +1,189 @@
+"""The high-throughput serving facade over a materialized cube.
+
+:class:`CubeService` is what a dashboard or API layer talks to.  On top of
+the bare :class:`repro.olap.query.QueryEngine` it adds the three
+optimizations the serving workload rewards:
+
+- **canonicalization + cover memoization** -- each distinct mentioned-
+  dimension set resolves its serving view once, not per query;
+- **a bounded LRU result cache** keyed on the canonical query, with
+  hit/miss/eviction counters and automatic invalidation when the cube
+  absorbs a delta (:func:`repro.olap.maintenance.apply_delta`);
+- **batched execution** -- :meth:`CubeService.execute_batch` groups
+  queries by serving view and answers each group in one vectorized pass
+  (:func:`repro.serve.batch.run_batch`).
+
+All three paths return results bit-identical to
+:meth:`QueryEngine.execute`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Sequence
+
+from repro.core.lattice import Node
+from repro.olap.cube import DataCube
+from repro.olap.query import (
+    CanonicalQuery,
+    GroupByQuery,
+    QueryEngine,
+    QueryResult,
+)
+from repro.serve.batch import BatchReport, run_batch
+from repro.serve.cache import CacheStats, ResultCache
+
+_NO_COVER = object()
+
+
+class CubeService:
+    """Serves group-by queries from a cube with caching and batching.
+
+    Parameters
+    ----------
+    cube:
+        The materialized :class:`DataCube` to serve from.
+    result_cache_size:
+        LRU capacity in entries; ``0`` disables result caching.
+
+    The service subscribes to the cube's refresh notifications through a
+    weak reference, so dropping the service does not leak it: the next
+    refresh unsubscribes the dead listener.
+    """
+
+    def __init__(self, cube: DataCube, result_cache_size: int = 1024):
+        self.cube = cube
+        self.engine = QueryEngine(cube)
+        self.cache = ResultCache(result_cache_size)
+        self._cover_memo: dict[Node, Node | None | object] = {}
+        self._canon_memo: dict[tuple, CanonicalQuery] = {}
+        self.queries_served = 0
+        self.batches_executed = 0
+        self.cells_scanned_actual = 0
+        self.cells_scanned_standalone = 0
+        self.refreshes_seen = 0
+        self.last_batch_report: BatchReport | None = None
+        self_ref = weakref.ref(self)
+
+        def _on_refresh() -> bool:
+            svc = self_ref()
+            if svc is None:
+                return False
+            svc._handle_refresh()
+            return True
+
+        cube.subscribe_refresh(_on_refresh)
+
+    # -- pipeline pieces ---------------------------------------------------------
+
+    def canonicalize(self, query: GroupByQuery | CanonicalQuery) -> CanonicalQuery:
+        """Normalize ``query``, memoizing repeats (no-op when canonical).
+
+        The memo key is the query's raw ``(group_by, where-items)`` shape;
+        queries with unhashable filter values just skip the memo.  Bounded
+        by wholesale clearing -- a repeating dashboard workload stays far
+        below the bound, and a miss only costs one canonicalization.
+        """
+        if isinstance(query, CanonicalQuery):
+            return query
+        try:
+            key = (query.group_by, tuple(query.where.items()))
+            cached = self._canon_memo.get(key)
+        except TypeError:
+            return self.engine.canonicalize(query)
+        if cached is None:
+            cached = self.engine.canonicalize(query)
+            if len(self._canon_memo) >= 65536:
+                self._canon_memo.clear()
+            self._canon_memo[key] = cached
+        return cached
+
+    def resolve_cover(self, mentioned: Node) -> Node | None:
+        """Memoized smallest-cover lookup (``None`` means base fallback)."""
+        cached = self._cover_memo.get(mentioned, _NO_COVER)
+        if cached is _NO_COVER:
+            cached = self.engine.resolve_cover(mentioned)
+            self._cover_memo[mentioned] = cached
+        return cached
+
+    def _handle_refresh(self) -> None:
+        """Cube absorbed a delta: drop cached results, keep the cover memo.
+
+        An in-place refresh changes aggregate *values* but not the set of
+        materialized views, so cover resolutions stay valid while every
+        cached result is stale.
+        """
+        self.refreshes_seen += 1
+        self.cache.invalidate()
+
+    def invalidate(self) -> int:
+        """Manually drop all cached results (also resets the cover memo).
+
+        For out-of-band cube mutations that bypass
+        :func:`repro.olap.maintenance.apply_delta`.
+        """
+        self._cover_memo.clear()
+        return self.cache.invalidate()
+
+    # -- serving -------------------------------------------------------------------
+
+    def execute(self, query: GroupByQuery | CanonicalQuery) -> QueryResult:
+        """Answer one query through the cache; misses hit the cube."""
+        return self.execute_batch([query])[0]
+
+    def execute_batch(
+        self, queries: Sequence[GroupByQuery | CanonicalQuery]
+    ) -> list[QueryResult]:
+        """Answer many queries with shared passes and the result cache.
+
+        Cache hits cost zero cube cells; misses are deduplicated, grouped
+        by serving view, answered via :func:`repro.serve.batch.run_batch`,
+        and inserted into the cache.  Results are positional and
+        bit-identical to per-query execution.
+        """
+        canonical = [self.canonicalize(q) for q in queries]
+        results: list[QueryResult | None] = [None] * len(canonical)
+        miss_indices: list[int] = []
+        for i, cq in enumerate(canonical):
+            hit = self.cache.get(cq)
+            if hit is not None:
+                results[i] = hit
+            else:
+                miss_indices.append(i)
+        if miss_indices:
+            miss_queries = [canonical[i] for i in miss_indices]
+            answers, report = run_batch(
+                self.engine, miss_queries, resolve_cover=self.resolve_cover
+            )
+            self._absorb_report(report)
+            for i, result in zip(miss_indices, answers):
+                results[i] = result
+                self.cache.put(canonical[i], result)
+        self.queries_served += len(canonical)
+        self.batches_executed += 1
+        return results  # type: ignore[return-value]
+
+    def _absorb_report(self, report: BatchReport) -> None:
+        self.cells_scanned_actual += report.cells_scanned_actual
+        self.cells_scanned_standalone += report.cells_scanned_standalone
+        self.last_batch_report = report
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction/invalidation counters of the result cache."""
+        return self.cache.stats
+
+    def describe(self) -> str:
+        """One-paragraph summary of what the service has done so far."""
+        s = self.cache.stats
+        return (
+            f"CubeService: {self.queries_served} queries in "
+            f"{self.batches_executed} batches; cache "
+            f"{s.hits}h/{s.misses}m ({s.hit_rate:.1%}), "
+            f"{s.evictions} evictions, {s.invalidations} invalidations; "
+            f"{self.cells_scanned_actual} cells scanned "
+            f"(vs {self.cells_scanned_standalone} stand-alone); "
+            f"{self.refreshes_seen} refreshes seen"
+        )

@@ -40,6 +40,7 @@ MODULES = [
     "repro.core",
     "repro.core.aggregation_tree",
     "repro.core.comm_model",
+    "repro.core.config",
     "repro.core.io_study",
     "repro.core.lattice",
     "repro.core.memory_model",
@@ -59,6 +60,11 @@ MODULES = [
     "repro.olap.schema",
     "repro.olap.view_selection",
     "repro.olap.workload",
+    "repro.serve",
+    "repro.serve.batch",
+    "repro.serve.cache",
+    "repro.serve.replay",
+    "repro.serve.service",
     "repro.tiling",
     "repro.tiling.parallel_tiled",
     "repro.tiling.tiles",
@@ -86,12 +92,72 @@ def test_module_list_is_complete():
 @pytest.mark.parametrize(
     "name",
     ["repro", "repro.arrays", "repro.cluster", "repro.core", "repro.olap",
-     "repro.tiling", "repro.baselines"],
+     "repro.serve", "repro.tiling", "repro.baselines"],
 )
 def test_dunder_all_resolves(name):
     mod = importlib.import_module(name)
     for sym in mod.__all__:
         assert hasattr(mod, sym), f"{name}.__all__ lists missing {sym!r}"
+
+
+CURATED_TOP_LEVEL = [
+    "BuildConfig",
+    "CubeService",
+    "DataCube",
+    "Dimension",
+    "GroupByQuery",
+    "QueryEngine",
+    "QueryResult",
+    "Schema",
+    "ServiceStats",
+]
+
+
+@pytest.mark.parametrize("name", CURATED_TOP_LEVEL)
+def test_curated_top_level_exports(name):
+    assert name in repro.__all__, f"repro.__all__ should list {name}"
+    assert hasattr(repro, name)
+
+
+def test_deprecated_query_answer_warns():
+    from repro.olap import query
+
+    with pytest.warns(DeprecationWarning, match="QueryAnswer is deprecated"):
+        cls = query.QueryAnswer
+    from repro.olap.query import QueryResult
+
+    assert cls is QueryResult
+
+
+def test_deprecated_engine_methods_warn():
+    import numpy as np
+
+    from repro.olap import DataCube, GroupByQuery, QueryEngine, Schema
+
+    schema = Schema.simple(a=3, b=2)
+    cube = DataCube.build(schema, np.ones(schema.shape))
+    engine = QueryEngine(cube)
+    q = GroupByQuery(group_by=("a",))
+    with pytest.warns(DeprecationWarning, match="answer is deprecated"):
+        result = engine.answer(q)
+    with pytest.warns(DeprecationWarning, match="served_from is deprecated"):
+        assert result.served_from == result.served_by
+    with pytest.warns(DeprecationWarning, match="answer_many is deprecated"):
+        engine.answer_many([q])
+
+
+def test_importing_packages_stays_silent():
+    # The deprecated names must resolve lazily: a plain import of the olap
+    # package (or access to its modern names) must not emit warnings.
+    import subprocess
+    import sys
+
+    code = (
+        "import warnings; warnings.simplefilter('error'); "
+        "import repro, repro.olap, repro.serve; "
+        "repro.olap.QueryResult"
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)
 
 
 def test_public_functions_have_docstrings():
@@ -111,4 +177,4 @@ def test_public_functions_have_docstrings():
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"

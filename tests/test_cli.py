@@ -148,3 +148,31 @@ class TestViews:
         assert code == 0
         assert "selected" in text
         assert "workload cost" in text
+
+
+class TestServeReplay:
+    def test_all_modes_table(self):
+        code, text = run_cli(
+            "serve-replay", "--shape", "4,4,3", "--queries", "120",
+        )
+        assert code == 0
+        assert "per-query" in text
+        assert "batched" in text
+        assert "cached" in text
+        assert "queries/s" in text
+        assert "speedup" in text
+
+    def test_single_mode(self):
+        code, text = run_cli(
+            "serve-replay", "--shape", "4,4,3", "--queries", "60",
+            "--mode", "cached",
+        )
+        assert code == 0
+        assert "cached" in text
+        assert "per-query" not in text.split("\n", 2)[2]
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-replay", "--shape", "4,4", "--mode", "warp"]
+            )

@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "warehouse_lifecycle.py",
     "timeline_anatomy.py",
     "fault_tolerance.py",
+    "serving.py",
 ]
 
 

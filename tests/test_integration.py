@@ -135,10 +135,10 @@ class TestOlapOnParallelCube:
         dense = data.to_dense()
         eng = QueryEngine(cube)
 
-        ans = eng.answer(GroupByQuery(group_by=("branch",), where={"item": 0}))
+        ans = eng.execute(GroupByQuery(group_by=("branch",), where={"item": 0}))
         assert np.allclose(ans.values, dense[0].sum(axis=(1, 2)))
 
-        ans = eng.answer(
+        ans = eng.execute(
             GroupByQuery(group_by=("quarter",), where={"channel": (0, 2)})
         )
         assert np.allclose(ans.values, dense[:, :, :, 0:2].sum(axis=(0, 1, 3)))

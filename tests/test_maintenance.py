@@ -103,7 +103,7 @@ class TestApplyDelta:
         cube = DataCube.build(schema, base, num_processors=2)
         apply_delta(cube, delta)
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(group_by=("branch",)))
+        ans = eng.execute(GroupByQuery(group_by=("branch",)))
         expected = (base.to_dense() + delta.to_dense()).sum(axis=(0, 2))
         assert np.allclose(ans.values, expected)
 

@@ -167,57 +167,57 @@ class TestQueryEngine:
     def test_point_filter(self, cube):
         dense = cube.base.to_dense()
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(group_by=("time",), where={"item": 1}))
+        ans = eng.execute(GroupByQuery(group_by=("time",), where={"item": 1}))
         assert np.allclose(ans.values, dense[1].sum(axis=1))
-        assert ans.served_from == ("item", "time")
+        assert ans.served_by == ("item", "time")
 
     def test_label_filter(self, cube):
         dense = cube.base.to_dense()
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(where={"branch": "north"}))
+        ans = eng.execute(GroupByQuery(where={"branch": "north"}))
         assert np.isclose(ans.values, dense[:, :, 2].sum())
 
     def test_range_filter_summed(self, cube):
         dense = cube.base.to_dense()
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(group_by=("item",), where={"time": (1, 3)}))
+        ans = eng.execute(GroupByQuery(group_by=("item",), where={"time": (1, 3)}))
         assert np.allclose(ans.values, dense[:, 1:3, :].sum(axis=(1, 2)))
 
     def test_range_filter_grouped(self, cube):
         dense = cube.base.to_dense()
         eng = QueryEngine(cube)
-        ans = eng.answer(
+        ans = eng.execute(
             GroupByQuery(group_by=("time",), where={"time": (0, 2), "branch": 1})
         )
         assert np.allclose(ans.values, dense[:, 0:2, 1].sum(axis=0))
 
     def test_empty_query_returns_grand_total(self, cube):
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery())
+        ans = eng.execute(GroupByQuery())
         assert np.isclose(ans.values, cube.grand_total)
 
     def test_rejects_all_dims(self, cube):
         eng = QueryEngine(cube)
         with pytest.raises(ValueError):
-            eng.answer(GroupByQuery(group_by=("item", "time", "branch")))
+            eng.execute(GroupByQuery(group_by=("item", "time", "branch")))
 
     def test_rejects_out_of_range(self, cube):
         eng = QueryEngine(cube)
         with pytest.raises(ValueError):
-            eng.answer(GroupByQuery(where={"item": 99}))
+            eng.execute(GroupByQuery(where={"item": 99}))
         with pytest.raises(ValueError):
-            eng.answer(GroupByQuery(where={"time": (2, 9)}))
+            eng.execute(GroupByQuery(where={"time": (2, 9)}))
 
     def test_accounting(self, cube):
         eng = QueryEngine(cube)
-        eng.answer(GroupByQuery(group_by=("item",)))
-        eng.answer(GroupByQuery(group_by=("time",)))
+        eng.execute(GroupByQuery(group_by=("item",)))
+        eng.execute(GroupByQuery(group_by=("time",)))
         assert eng.queries_answered == 2
         assert eng.total_cells_scanned == 6 + 4
 
     def test_answer_many(self, cube):
         eng = QueryEngine(cube)
-        out = eng.answer_many(
+        out = eng.execute_many(
             [GroupByQuery(group_by=("item",)), GroupByQuery(group_by=("branch",))]
         )
         assert len(out) == 2

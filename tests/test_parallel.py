@@ -212,3 +212,63 @@ class TestFirstLevelFraction:
 
     def test_small_cube(self):
         assert 0 < sequential_fraction_at_first_level((2, 2)) <= 1
+
+
+class TestBuildConfig:
+    def test_config_equals_legacy_keywords(self):
+        from repro.core.config import BuildConfig
+
+        shape = (8, 8, 4)
+        data = random_sparse(shape, 0.3, seed=40)
+        machine = MachineModel.paper_cluster()
+        legacy = construct_cube_parallel(
+            data, (1, 0, 0), machine=machine, reduction="binomial"
+        )
+        cfg = BuildConfig(machine=machine, reduction="binomial")
+        via_config = construct_cube_parallel(data, (1, 0, 0), config=cfg)
+        assert legacy.comm_volume_elements == via_config.comm_volume_elements
+        for node, arr in legacy.results.items():
+            assert np.array_equal(arr.data, via_config.results[node].data)
+
+    def test_explicit_keyword_overrides_config(self):
+        from repro.core.config import BuildConfig
+
+        shape = (8, 4)
+        data = random_sparse(shape, 0.3, seed=41)
+        cfg = BuildConfig(collect_results=False)
+        run = construct_cube_parallel(
+            data, (1, 0), config=cfg, collect_results=True
+        )
+        assert run.results is not None  # keyword won over config
+
+    def test_config_validation(self):
+        from repro.core.config import BuildConfig
+        from repro.core.spanning_tree import minimal_parent_tree
+
+        with pytest.raises(ValueError, match="unknown reduction"):
+            BuildConfig(reduction="quantum")
+        with pytest.raises(ValueError, match="must be positive"):
+            BuildConfig(max_message_elements=0)
+        with pytest.raises(ValueError, match="not both"):
+            BuildConfig(tree=minimal_parent_tree((4, 4)), schedule=[])
+
+    def test_merged_with_keeps_unset(self):
+        from repro.core.config import UNSET, BuildConfig
+
+        cfg = BuildConfig(reduction="binomial")
+        same = cfg.merged_with(machine=UNSET, reduction=UNSET)
+        assert same is cfg
+        changed = cfg.merged_with(reduction="flat", trace=True)
+        assert changed.reduction == "flat"
+        assert changed.trace is True
+        assert cfg.reduction == "binomial"  # original untouched
+
+    def test_plan_run_parallel_accepts_config(self):
+        from repro.core.config import BuildConfig
+        from repro.core.plan import plan_cube
+
+        shape = (8, 6, 4)
+        data = random_sparse(shape, 0.3, seed=42)
+        plan = plan_cube(shape, num_processors=4)
+        run = plan.run_parallel(data, config=BuildConfig(collect_results=True))
+        assert run.results is not None

@@ -47,11 +47,11 @@ def test_query_engine_matches_dense_recomputation(schema, seed):
     n = len(schema.dimensions)
     # Every single-dimension group-by.
     for d in range(n):
-        ans = eng.answer(GroupByQuery(group_by=(schema.names[d],)))
+        ans = eng.execute(GroupByQuery(group_by=(schema.names[d],)))
         drop = tuple(i for i in range(n) if i != d)
         assert np.allclose(ans.values, dense.sum(axis=drop))
     # Grand total.
-    assert np.isclose(eng.answer(GroupByQuery()).values, dense.sum())
+    assert np.isclose(eng.execute(GroupByQuery()).values, dense.sum())
 
 
 @given(schema=schemas(), seed=st.integers(0, 500))

@@ -1,0 +1,413 @@
+"""Tests for the serving subsystem: canonicalization, caching, batching."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.arrays.dataset import random_sparse
+from repro.olap import (
+    CanonicalQuery,
+    DataCube,
+    Dimension,
+    GroupByQuery,
+    QueryEngine,
+    Schema,
+    canonicalize_query,
+)
+from repro.olap.maintenance import apply_delta
+from repro.olap.query import BASE, resolve_filter
+from repro.olap.workload import WorkloadSpec, generate_workload
+from repro.serve import (
+    CubeService,
+    ResultCache,
+    ServiceStats,
+    replay,
+    run_batch,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(
+        Dimension("item", 4, labels=("ink", "pen", "pad", "gum")),
+        Dimension("branch", 3),
+        Dimension("year", 3, labels=(2001, 2002, 2003)),
+    )
+
+
+@pytest.fixture
+def cube(schema):
+    rng = np.random.default_rng(3)
+    return DataCube.build(schema, rng.random(schema.shape))
+
+
+class TestResolveFilter:
+    def test_string_label(self, schema):
+        assert resolve_filter(schema.dimension("item"), "pad") == 2
+
+    def test_unknown_label_raises(self, schema):
+        with pytest.raises(KeyError):
+            resolve_filter(schema.dimension("item"), "rug")
+
+    def test_int_is_index_on_string_labeled(self, schema):
+        assert resolve_filter(schema.dimension("item"), 1) == 1
+
+    def test_int_is_label_on_integer_labeled(self, schema):
+        # 2002 is a member label, not (an out-of-range) index.
+        assert resolve_filter(schema.dimension("year"), 2002) == 1
+
+    def test_integer_labeled_rejects_bare_positions(self, schema):
+        # 0 is not a member of {2001, 2002, 2003}: refuse to guess.
+        with pytest.raises(KeyError, match="use a .lo, hi. range"):
+            resolve_filter(schema.dimension("year"), 0)
+
+    def test_width_one_range_is_positional_escape_hatch(self, schema):
+        assert resolve_filter(schema.dimension("year"), (0, 1)) == (0, 1)
+
+    def test_range_bounds_checked(self, schema):
+        with pytest.raises(ValueError):
+            resolve_filter(schema.dimension("branch"), (1, 9))
+        with pytest.raises(ValueError):
+            resolve_filter(schema.dimension("branch"), (2, 1))
+
+    def test_malformed_values_raise(self, schema):
+        with pytest.raises(ValueError):
+            resolve_filter(schema.dimension("branch"), (1, 2, 3))
+        with pytest.raises(TypeError):
+            resolve_filter(schema.dimension("branch"), 1.5)
+        with pytest.raises(TypeError):
+            resolve_filter(schema.dimension("branch"), True)
+
+
+class TestCanonicalization:
+    def test_labels_resolve_to_same_canonical_query(self, schema):
+        a = canonicalize_query(schema, GroupByQuery((), {"item": "pen"}))
+        b = canonicalize_query(schema, GroupByQuery((), {"item": 1}))
+        assert a == b == CanonicalQuery(point_filters=((0, 1),))
+
+    def test_full_range_filter_dropped(self, schema):
+        q = GroupByQuery(("item",), {"branch": (0, 3)})
+        assert canonicalize_query(schema, q) == CanonicalQuery(group_by=(0,))
+
+    def test_width_one_range_becomes_point(self, schema):
+        q = GroupByQuery(("item",), {"branch": (1, 2)})
+        cq = canonicalize_query(schema, q)
+        assert cq.point_filters == ((1, 1),)
+        assert cq.range_filters == ()
+
+    def test_width_one_range_on_grouped_dim_stays_range(self, schema):
+        q = GroupByQuery(("branch",), {"branch": (1, 2)})
+        cq = canonicalize_query(schema, q)
+        assert cq.range_filters == ((1, 1, 2),)
+        assert cq.group_by == (1,)
+
+    def test_point_filter_collapses_grouped_dim(self, schema):
+        q = GroupByQuery(("item", "branch"), {"branch": 2})
+        cq = canonicalize_query(schema, q)
+        assert cq.group_by == (0,)
+        assert cq.point_filters == ((1, 2),)
+
+    def test_full_group_by_rejected(self, schema):
+        with pytest.raises(ValueError, match="base array"):
+            canonicalize_query(
+                schema, GroupByQuery(("item", "branch", "year"))
+            )
+
+    def test_unknown_dimension_raises(self, schema):
+        with pytest.raises(KeyError):
+            canonicalize_query(schema, GroupByQuery(("color",)))
+
+    def test_mentioned_sorted_and_deduped(self, schema):
+        q = GroupByQuery(("year", "item"), {"branch": (0, 2)})
+        assert canonicalize_query(schema, q).mentioned == (0, 1, 2)
+
+
+class TestResultCache:
+    def key(self, i):
+        return CanonicalQuery(point_filters=((0, i),))
+
+    def result(self, i):
+        from repro.olap.query import QueryResult
+
+        return QueryResult(float(i), ("item",), 1)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(self.key(0), self.result(0))
+        cache.put(self.key(1), self.result(1))
+        assert cache.get(self.key(0)) is not None  # 0 now most recent
+        cache.put(self.key(2), self.result(2))  # evicts 1
+        assert cache.get(self.key(1)) is None
+        assert cache.get(self.key(0)) is not None
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(self.key(0), self.result(0))
+        assert len(cache) == 0
+        assert cache.get(self.key(0)) is None
+        assert cache.stats.misses == 1
+
+    def test_invalidate_counts_and_clears(self):
+        cache = ResultCache(capacity=4)
+        cache.put(self.key(0), self.result(0))
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        assert cache.invalidate() == 0  # empty: not counted again
+        assert cache.stats.invalidations == 1
+
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        cache.put(self.key(0), self.result(0))
+        cache.get(self.key(0))
+        cache.get(self.key(1))
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestBitIdenticalPaths:
+    """The acceptance bar: batched/cached results == per-query, bitwise."""
+
+    @pytest.fixture
+    def big(self):
+        schema = Schema.simple(d0=6, d1=5, d2=5, d3=4, d4=3)
+        rng = np.random.default_rng(11)
+        cube = DataCube.build(schema, rng.random(schema.shape))
+        queries = generate_workload(
+            schema,
+            WorkloadSpec(
+                num_queries=400, zipf_exponent=1.5, filter_probability=0.5
+            ),
+            seed=13,
+        )
+        return cube, queries
+
+    def assert_same(self, ref, got):
+        assert len(ref) == len(got)
+        for r, g in zip(ref, got):
+            rv, gv = np.asarray(r.values), np.asarray(g.values)
+            assert rv.shape == gv.shape
+            assert np.array_equal(rv, gv)  # bitwise: no tolerance
+            assert r.served_by == g.served_by
+            assert r.cells_scanned == g.cells_scanned
+            assert r.is_fallback == g.is_fallback
+
+    def test_batched_matches_per_query(self, big):
+        cube, queries = big
+        ref = QueryEngine(cube).execute_many(queries)
+        service = CubeService(cube, result_cache_size=0)
+        self.assert_same(ref, service.execute_batch(queries))
+
+    def test_cached_matches_per_query(self, big):
+        cube, queries = big
+        ref = QueryEngine(cube).execute_many(queries)
+        service = CubeService(cube, result_cache_size=4096)
+        got = [service.execute(q) for q in queries]
+        self.assert_same(ref, got)
+        # And warm repeats still match.
+        self.assert_same(ref, [service.execute(q) for q in queries])
+
+    def test_batched_matches_on_partial_cube_with_fallbacks(self):
+        schema = Schema.simple(a=5, b=4, c=3)
+        data = random_sparse(schema.shape, 0.4, seed=5)
+        cube = DataCube.build_partial(schema, data, views=[("a", "b")])
+        queries = generate_workload(
+            schema,
+            WorkloadSpec(num_queries=120, filter_probability=0.6),
+            seed=6,
+        )
+        ref = QueryEngine(cube).execute_many(queries)
+        service = CubeService(cube, result_cache_size=0)
+        got = service.execute_batch(queries)
+        self.assert_same(ref, got)
+        assert any(r.is_fallback for r in ref)  # fallbacks exercised
+
+
+class TestBatchSharing:
+    def test_duplicates_computed_once(self, cube):
+        q = GroupByQuery(("item",))
+        service = CubeService(cube, result_cache_size=0)
+        results = service.execute_batch([q] * 10)
+        report = service.last_batch_report
+        assert report.queries == 10
+        assert report.unique_queries == 1
+        assert report.shared_passes == 1
+        for r in results[1:]:
+            assert np.array_equal(
+                np.asarray(r.values), np.asarray(results[0].values)
+            )
+
+    def test_point_lookalikes_vectorized(self, cube):
+        queries = [
+            GroupByQuery(("item",), {"branch": b}) for b in range(3)
+        ]
+        service = CubeService(cube, result_cache_size=0)
+        service.execute_batch(queries)
+        report = service.last_batch_report
+        assert report.vectorized_groups == 1
+        assert report.shared_passes == 1
+
+    def test_actual_cells_below_standalone_when_sharing(self, cube):
+        queries = [
+            GroupByQuery(("item",), {"branch": b}) for b in range(3)
+        ] * 4
+        service = CubeService(cube, result_cache_size=0)
+        service.execute_batch(queries)
+        report = service.last_batch_report
+        assert report.cells_scanned_actual < report.cells_scanned_standalone
+
+    def test_run_batch_positions_preserved(self, cube):
+        engine = QueryEngine(cube)
+        qs = [
+            canonicalize_query(cube.schema, GroupByQuery(("item",))),
+            canonicalize_query(cube.schema, GroupByQuery(("branch",))),
+            canonicalize_query(cube.schema, GroupByQuery(("item",))),
+        ]
+        results, report = run_batch(engine, qs)
+        assert report.unique_queries == 2
+        assert np.array_equal(
+            np.asarray(results[0].values), np.asarray(results[2].values)
+        )
+        assert results[1].served_by == ("branch",)
+
+
+class TestServiceCaching:
+    def test_warm_cache_serves_with_zero_cells(self, cube):
+        service = CubeService(cube)
+        q = GroupByQuery(("item",), {"branch": (0, 2)})
+        service.execute(q)
+        cells_after_miss = service.cells_scanned_actual
+        r = service.execute(q)
+        assert service.cells_scanned_actual == cells_after_miss
+        assert service.cache.stats.hits == 1
+        assert r.served_by == ("item", "branch")
+
+    def test_canonically_equal_queries_share_entry(self, cube):
+        service = CubeService(cube)
+        service.execute(GroupByQuery((), {"item": "pen"}))
+        service.execute(GroupByQuery((), {"item": 1}))
+        assert service.cache.stats.hits == 1
+        assert len(service.cache) == 1
+
+    def test_cover_memo_reused(self, cube):
+        service = CubeService(cube)
+        service.execute(GroupByQuery(("item",)))
+        service.execute(GroupByQuery(("item",), {"item": (0, 2)}))
+        assert service.resolve_cover((0,)) == (0,)
+        assert len(service._cover_memo) == 1
+
+    def test_refresh_invalidates_results_not_cover_memo(self, schema):
+        data = random_sparse(schema.shape, 0.5, seed=8)
+        cube = DataCube.build(schema, data)
+        service = CubeService(cube)
+        q = GroupByQuery(("item",))
+        stale = service.execute(q)
+        memo_size = len(service._cover_memo)
+        delta = random_sparse(schema.shape, 0.2, seed=9)
+        apply_delta(cube, delta)
+        assert service.refreshes_seen == 1
+        assert len(service.cache) == 0
+        assert len(service._cover_memo) == memo_size
+        fresh = service.execute(q)
+        expected = QueryEngine(cube).execute(q)
+        assert np.array_equal(
+            np.asarray(fresh.values), np.asarray(expected.values)
+        )
+        assert not np.allclose(
+            np.asarray(stale.values), np.asarray(fresh.values)
+        )
+
+    def test_dropped_service_unsubscribes_on_next_refresh(self, schema):
+        data = random_sparse(schema.shape, 0.5, seed=8)
+        cube = DataCube.build(schema, data)
+        service = CubeService(cube)
+        assert len(cube.refresh_listeners) == 1
+        del service
+        gc.collect()
+        cube.notify_refresh()
+        assert len(cube.refresh_listeners) == 0
+
+    def test_manual_invalidate_clears_everything(self, cube):
+        service = CubeService(cube)
+        service.execute(GroupByQuery(("item",)))
+        assert service.invalidate() == 1
+        assert len(service.cache) == 0
+        assert len(service._cover_memo) == 0
+
+    def test_describe_mentions_counters(self, cube):
+        service = CubeService(cube)
+        service.execute(GroupByQuery(("item",)))
+        text = service.describe()
+        assert "1 queries" in text and "cache" in text
+
+
+class TestReplay:
+    @pytest.fixture
+    def setup(self):
+        schema = Schema.simple(a=5, b=4, c=4, d=3)
+        rng = np.random.default_rng(2)
+        cube = DataCube.build(schema, rng.random(schema.shape))
+        queries = generate_workload(
+            schema, WorkloadSpec(num_queries=300), seed=4
+        )
+        return cube, queries
+
+    @pytest.mark.parametrize("mode", ["per-query", "batched", "cached"])
+    def test_modes_report_sane_stats(self, setup, mode):
+        cube, queries = setup
+        stats = replay(cube, queries, mode=mode)
+        assert isinstance(stats, ServiceStats)
+        assert stats.mode == mode
+        assert stats.queries == 300
+        assert stats.throughput_qps > 0
+        assert 0 <= stats.latency_p50_ms <= stats.latency_p95_ms
+        assert stats.latency_p95_ms <= stats.latency_p99_ms
+        assert stats.cells_scanned > 0
+        assert "latency p95" in stats.format()
+
+    def test_modes_agree_on_fallbacks(self, setup):
+        cube, queries = setup
+        counts = {
+            mode: replay(cube, queries, mode=mode).base_fallbacks
+            for mode in ("per-query", "batched", "cached")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_cached_mode_reports_hits(self, setup):
+        cube, queries = setup
+        stats = replay(cube, queries, mode="cached")
+        assert stats.cache_hits + stats.cache_misses == 300
+        assert stats.cache_hit_rate > 0
+
+    def test_rejects_unknown_mode_and_bad_batch(self, setup):
+        cube, queries = setup
+        with pytest.raises(ValueError, match="unknown mode"):
+            replay(cube, queries, mode="turbo")
+        with pytest.raises(ValueError, match="batch_size"):
+            replay(cube, queries, batch_size=0)
+
+
+class TestQueryResultShape:
+    def test_execute_returns_structured_result(self, cube):
+        r = QueryEngine(cube).execute(GroupByQuery(("item",)))
+        assert r.served_by == ("item",)
+        assert r.cells_scanned == 4
+        assert r.is_fallback is False
+        assert isinstance(r.values, np.ndarray)
+
+    def test_scalar_result_is_float(self, cube):
+        r = QueryEngine(cube).execute(GroupByQuery())
+        assert isinstance(r.values, float)
+
+    def test_results_do_not_alias_cube_storage(self, cube):
+        r = QueryEngine(cube).execute(GroupByQuery(("item",)))
+        r.values[0] = -1.0
+        assert cube.aggregates[(0,)].data[0] != -1.0
+
+    def test_fallback_flag_set(self, schema):
+        data = random_sparse(schema.shape, 0.4, seed=5)
+        cube = DataCube.build_partial(schema, data, views=[("item",)])
+        r = QueryEngine(cube).execute(GroupByQuery(("branch",)))
+        assert r.is_fallback is True
+        assert r.served_by == BASE

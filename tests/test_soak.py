@@ -84,7 +84,7 @@ class TestWarehouseSoak:
 
         # Queries still answer correctly after refreshes.
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(group_by=("branch",)))
+        ans = eng.execute(GroupByQuery(group_by=("branch",)))
         assert np.allclose(ans.values, expected_dense.sum(axis=(0, 2, 3)))
 
         # Persist + reload; replay gives identical costs and answers.
@@ -100,7 +100,7 @@ class TestWarehouseSoak:
         )
         report1 = replay_workload(reloaded, queries)
         assert report1.total_cells_scanned == replay_workload(cube, queries).total_cells_scanned
-        ans2 = QueryEngine(reloaded).answer(GroupByQuery(group_by=("branch",)))
+        ans2 = QueryEngine(reloaded).execute(GroupByQuery(group_by=("branch",)))
         assert np.allclose(ans2.values, ans.values)
         # The initial replay used the same engine logic (sanity anchor).
         assert report0.queries == report1.queries

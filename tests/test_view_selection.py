@@ -137,7 +137,7 @@ class TestPartialCubeQueries:
         _schema, data, sel, cube = setup
         dense = data.to_dense()
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(group_by=("item",)))
+        ans = eng.execute(GroupByQuery(group_by=("item",)))
         assert np.allclose(ans.values, dense.sum(axis=(1, 2)))
 
     def test_query_answered_from_cover(self, setup):
@@ -145,7 +145,7 @@ class TestPartialCubeQueries:
         dense = data.to_dense()
         eng = QueryEngine(cube)
         # (branch,) may not be materialized; a cover or the base serves it.
-        ans = eng.answer(GroupByQuery(group_by=("branch",)))
+        ans = eng.execute(GroupByQuery(group_by=("branch",)))
         assert np.allclose(ans.values, dense.sum(axis=(0, 2)))
 
     def test_cover_has_extra_dims_aggregated(self):
@@ -154,8 +154,8 @@ class TestPartialCubeQueries:
         cube = DataCube.build_partial(schema, data, views=[("a", "b")])
         dense = data.to_dense()
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(group_by=("a",)))
-        assert ans.served_from == ("a", "b")
+        ans = eng.execute(GroupByQuery(group_by=("a",)))
+        assert ans.served_by == ("a", "b")
         assert np.allclose(ans.values, dense.sum(axis=(1, 2)))
 
     def test_base_fallback(self):
@@ -164,8 +164,8 @@ class TestPartialCubeQueries:
         cube = DataCube.build_partial(schema, data, views=[("a",)])
         dense = data.to_dense()
         eng = QueryEngine(cube)
-        ans = eng.answer(GroupByQuery(group_by=("c",)))
-        assert ans.served_from == BASE
+        ans = eng.execute(GroupByQuery(group_by=("c",)))
+        assert ans.served_by == BASE
         assert np.allclose(ans.values, dense.sum(axis=(0, 1)))
 
     def test_base_fallback_without_base_raises(self):
@@ -176,7 +176,7 @@ class TestPartialCubeQueries:
         )
         eng = QueryEngine(cube)
         with pytest.raises(LookupError):
-            eng.answer(GroupByQuery(group_by=("c",)))
+            eng.execute(GroupByQuery(group_by=("c",)))
 
     def test_partial_matches_full_on_materialized(self, setup):
         schema, data, sel, cube = setup
