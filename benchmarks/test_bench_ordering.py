@@ -16,7 +16,6 @@ from repro.core.ordering import (
     ordering_computation_cost,
     worst_order,
 )
-from repro.core.parallel import construct_cube_parallel
 from repro.core.partition import greedy_partition
 from repro.core.plan import CubePlan
 

@@ -45,7 +45,6 @@ def test_parallel_tiling_sweep(benchmark):
         fmt_row("cap/rank", "tiles", "peak/rank", "comm (elems)",
                 "rewrites", "sim time (s)", widths=[10, 6, 10, 13, 9, 13]),
     ]
-    prev_time = None
     for frac, cap, res in runs:
         lines.append(
             fmt_row(cap, res.plan.num_tiles, res.max_rank_peak_memory_elements,

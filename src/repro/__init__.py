@@ -64,7 +64,43 @@ from repro.olap import (
 )
 from repro.serve import CubeService, ServiceStats
 
-__version__ = "1.1.0"
+
+def _version() -> str:
+    """Resolve the package version with ``pyproject.toml`` as the source.
+
+    A source checkout (the tests run with ``PYTHONPATH=src``) parses the
+    adjacent ``pyproject.toml`` -- it outranks any installed distribution's
+    metadata, which can lag the tree.  Installed copies without the source
+    tree read the distribution metadata; anything else gets the literal
+    matching the last release.
+    """
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        import tomllib
+
+        with pyproject.open("rb") as fh:
+            return str(tomllib.load(fh)["project"]["version"])
+    except Exception:
+        pass
+    try:
+        import re
+
+        match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "1.2.0"
+
+
+__version__ = _version()
 
 __all__ = [
     "DenseArray",

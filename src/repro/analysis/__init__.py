@@ -1,0 +1,47 @@
+"""Static and post-hoc analysis of cube-construction plans and runs.
+
+Three layers, one diagnostic vocabulary (:mod:`repro.analysis.diagnostics`):
+
+- :mod:`repro.analysis.verify_plan` -- prove protocol and closed-form
+  properties of a partition + aggregation-tree plan *before* running it;
+- :mod:`repro.analysis.lint_trace` -- audit a recorded run's trace *after*
+  the fact, including fault-injection runs;
+- :mod:`repro.analysis.repo_gate` -- the in-repo subset of the repo's
+  static-analysis gate (ruff/mypy run the full version in CI).
+
+The ``repro-cube check`` CLI verb fronts the plan verifier.
+"""
+
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    DiagnosticReport,
+    Rule,
+    format_diagnostics,
+)
+from repro.analysis.lint_trace import lint_trace
+from repro.analysis.repo_gate import run_gate
+from repro.analysis.verify_plan import (
+    CommSchedule,
+    PlanVerification,
+    enumerate_comm_schedule,
+    seed_defect,
+    verify_plan,
+    verify_schedule,
+)
+
+__all__ = [
+    "CommSchedule",
+    "Diagnostic",
+    "DiagnosticReport",
+    "PlanVerification",
+    "RULES",
+    "Rule",
+    "enumerate_comm_schedule",
+    "format_diagnostics",
+    "lint_trace",
+    "run_gate",
+    "seed_defect",
+    "verify_plan",
+    "verify_schedule",
+]

@@ -1,0 +1,192 @@
+"""Post-hoc linting of :class:`TraceEvent` streams from simulated runs.
+
+Where :mod:`repro.analysis.verify_plan` proves properties of a plan before
+execution, this module audits what *actually happened*: it replays the
+recorded trace of a :func:`repro.cluster.runtime.run_spmd` run and flags
+communication that completed by accident rather than by design.  On
+fault-injection runs this distinguishes "recovered correctly" (every
+timeout was followed by a recovery action, no payload silently vanished)
+from "recovered by accident" (the result happened to be right even though
+the protocol leaked messages).
+
+Rules (catalogued in :mod:`repro.analysis.diagnostics`):
+
+- ``TRACE101`` a posted message was never received;
+- ``TRACE102`` a channel delivered more messages than the sender posted
+  intentionally (a duplicated copy was combined into the result);
+- ``TRACE103`` a receive timed out and the rank carried on with no retry
+  and no checkpoint read;
+- ``TRACE104`` a rank's measured peak held-results memory exceeds the
+  Theorem 1/4 bound;
+- ``TRACE105`` per-rank idle fractions are badly skewed.
+
+Requires a trace recorded with structured fields (``record_trace=True`` on
+``run_spmd`` / ``trace=True`` on the constructors).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.runtime import TraceEvent
+from repro.core.memory_model import parallel_memory_bound_exact
+
+__all__ = ["lint_trace"]
+
+#: TRACE105 fires when (max - min) idle fraction across ranks exceeds this.
+IDLE_SKEW_THRESHOLD = 0.5
+
+
+def _comm_events(trace: Sequence[TraceEvent]) -> list[TraceEvent]:
+    return [ev for ev in trace if ev.peer is not None and ev.tag is not None]
+
+
+def _channel_checks(trace: Sequence[TraceEvent]) -> list[Diagnostic]:
+    """TRACE101/102: per-channel send/recv accounting."""
+    sends: dict[tuple[int, int, int], int] = {}
+    recvs: dict[tuple[int, int, int], int] = {}
+    drops: dict[tuple[int, int, int], int] = {}
+    dups: dict[tuple[int, int, int], int] = {}
+    for ev in _comm_events(trace):
+        assert ev.peer is not None and ev.tag is not None
+        if ev.kind == "send":
+            key = (ev.rank, ev.peer, ev.tag)
+            sends[key] = sends.get(key, 0) + 1
+        elif ev.kind == "recv":
+            key = (ev.peer, ev.rank, ev.tag)
+            recvs[key] = recvs.get(key, 0) + 1
+        elif ev.kind == "fault":
+            key = (ev.rank, ev.peer, ev.tag)
+            if ev.detail.startswith("drop"):
+                drops[key] = drops.get(key, 0) + 1
+            elif ev.detail.startswith("duplicate"):
+                dups[key] = dups.get(key, 0) + 1
+
+    diags: list[Diagnostic] = []
+    for key in sorted(set(sends) | set(recvs)):
+        src, dst, tag = key
+        posted = sends.get(key, 0) - drops.get(key, 0) + dups.get(key, 0)
+        got = recvs.get(key, 0)
+        if got < posted:
+            diags.append(
+                Diagnostic(
+                    "TRACE101",
+                    f"{posted - got} message(s) {src}->{dst} tag {tag} reached "
+                    f"the network but were never received",
+                    rank=dst,
+                    hint="in a fault-free run this means the protocol over-sent; "
+                    "on a crash run, traffic addressed to a dead rank",
+                )
+            )
+        if got > sends.get(key, 0):
+            diags.append(
+                Diagnostic(
+                    "TRACE102",
+                    f"rank {dst} consumed {got} message(s) {src}->{dst} tag {tag} "
+                    f"but the sender only posted {sends.get(key, 0)} intentionally",
+                    rank=dst,
+                    hint="a duplicated copy was combined into the result; "
+                    "deduplicate by tag or make the combine idempotent",
+                )
+            )
+    return diags
+
+
+def _timeout_checks(trace: Sequence[TraceEvent]) -> list[Diagnostic]:
+    """TRACE103: a timeout with no later retry/recovery on that rank."""
+    diags: list[Diagnostic] = []
+    for i, ev in enumerate(trace):
+        if ev.kind != "fault" or not ev.detail.startswith("timeout"):
+            continue
+        recovered = False
+        for later in trace[i + 1 :]:
+            if later.rank != ev.rank:
+                continue
+            if later.kind == "recv" and later.peer == ev.peer:
+                recovered = True  # retried and got the payload
+                break
+            if later.kind == "disk" and later.detail == "read":
+                recovered = True  # recovered from a checkpoint
+                break
+        if not recovered:
+            diags.append(
+                Diagnostic(
+                    "TRACE103",
+                    f"rank {ev.rank} timed out waiting on rank {ev.peer} "
+                    f"tag {ev.tag} and carried on without a retry or a "
+                    f"checkpoint read",
+                    rank=ev.rank,
+                    hint="treat RECV_TIMEOUT as a detected failure: retry the "
+                    "receive or re-read the partial from the checkpoint",
+                )
+            )
+    return diags
+
+
+def _memory_checks(
+    metrics: RunMetrics, shape: Sequence[int], bits: Sequence[int]
+) -> list[Diagnostic]:
+    """TRACE104: measured peaks against the Theorem 1/4 bound."""
+    bound = parallel_memory_bound_exact(shape, bits)
+    diags: list[Diagnostic] = []
+    for rank, peak in enumerate(metrics.rank_peak_memory_elements):
+        if peak > bound:
+            diags.append(
+                Diagnostic(
+                    "TRACE104",
+                    f"rank {rank} peaked at {peak} held-result elements, above "
+                    f"the Theorem 1/4 bound of {bound}",
+                    rank=rank,
+                    hint="partials are being retained past their finalize step; "
+                    "free shipped partials and written-back nodes eagerly",
+                )
+            )
+    return diags
+
+
+def _idle_skew_check(metrics: RunMetrics) -> list[Diagnostic]:
+    """TRACE105: spread of per-rank idle fractions."""
+    from repro.cluster.trace import breakdown
+
+    if metrics.makespan_s <= 0.0 or metrics.num_ranks < 2:
+        return []
+    fractions = [b.idle / b.makespan for b in breakdown(metrics)]
+    spread = max(fractions) - min(fractions)
+    if spread <= IDLE_SKEW_THRESHOLD:
+        return []
+    busiest = fractions.index(min(fractions))
+    idlest = fractions.index(max(fractions))
+    diag = Diagnostic(
+        "TRACE105",
+        f"idle-time skew {spread:.0%}: rank {idlest} idles "
+        f"{fractions[idlest]:.0%} of the makespan while rank {busiest} "
+        f"idles {fractions[busiest]:.0%}",
+        rank=idlest,
+        hint="a serialized lead is the bottleneck; prefer a partition that "
+        "spreads reduction groups (see Figure 7's 1-d vs 2-d contrast)",
+    )
+    return [diag]
+
+
+def lint_trace(
+    metrics: RunMetrics,
+    shape: Sequence[int] | None = None,
+    bits: Sequence[int] | None = None,
+) -> DiagnosticReport:
+    """Lint one run's trace; returns the full diagnostic report.
+
+    ``shape``/``bits`` enable the Theorem-bound memory check (TRACE104);
+    without them only the protocol- and timing-level rules run.  Raises
+    ``ValueError`` if the run was not traced.
+    """
+    if not metrics.trace:
+        raise ValueError("run has no trace; pass record_trace=True / trace=True")
+    report = DiagnosticReport()
+    report.extend(_channel_checks(metrics.trace))
+    report.extend(_timeout_checks(metrics.trace))
+    if shape is not None and bits is not None:
+        report.extend(_memory_checks(metrics, shape, bits))
+    report.extend(_idle_skew_check(metrics))
+    return report

@@ -245,7 +245,7 @@ class SparseArray:
             highs.append(hi)
         lows_a = np.asarray(lows, dtype=OFFSET_DTYPE)
         highs_a = np.asarray(highs, dtype=OFFSET_DTYPE)
-        sub_shape = tuple(int(h - l) for l, h in zip(lows, highs))
+        sub_shape = tuple(int(hi - lo) for lo, hi in zip(lows, highs))
         if any(s == 0 for s in sub_shape):
             # Empty block: no chunks, zero nnz.
             return SparseArray(sub_shape, [])

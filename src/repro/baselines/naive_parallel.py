@@ -18,7 +18,6 @@ aggregation tree's two savings show up:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Generator, Sequence
 
 import numpy as np

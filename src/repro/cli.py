@@ -11,7 +11,10 @@ Installed as ``repro-cube`` (see ``pyproject.toml``); also runnable as
 - ``tree``       render the prefix/aggregation trees and the schedule;
 - ``views``      greedy view selection under a space budget;
 - ``serve-replay`` replay a query workload through the serving layer and
-                 compare per-query / batched / cached throughput.
+                 compare per-query / batched / cached throughput;
+- ``check``      statically verify a plan's communication protocol and
+                 closed forms before running it (``repro.analysis``), with
+                 optional traced-run linting and the in-repo source gate.
 
 All output is plain text; every command is deterministic given ``--seed``.
 """
@@ -33,6 +36,16 @@ def _shape(text: str) -> tuple[int, ...]:
     if not shape or any(s <= 0 for s in shape):
         raise argparse.ArgumentTypeError(f"bad shape {text!r}")
     return shape
+
+
+def _bits(text: str) -> tuple[int, ...]:
+    try:
+        bits = tuple(int(p) for p in text.replace("x", ",").split(",") if p)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad bits {text!r}") from None
+    if not bits or any(b < 0 for b in bits):
+        raise argparse.ArgumentTypeError(f"bad bits {text!r}")
+    return bits
 
 
 def _power_of_two(text: str) -> int:
@@ -375,6 +388,63 @@ def cmd_serve_replay(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace, out) -> int:
+    """``check``: static plan verification (and optional run lint / gate)."""
+    from repro.analysis import lint_trace, run_gate, verify_plan
+    from repro.core.ordering import apply_order, canonical_order
+    from repro.core.partition import greedy_partition
+
+    shape = apply_order(args.shape, canonical_order(args.shape))
+    if args.bits is not None:
+        bits = args.bits
+        if len(bits) != len(shape):
+            print("error: --bits needs one entry per dimension", file=out)
+            return 2
+    else:
+        k = args.procs.bit_length() - 1
+        bits = greedy_partition(shape, k)
+    verification = verify_plan(
+        shape, bits, detection_round=args.detection_round
+    )
+    print(verification.describe(), file=out)
+    ok = verification.ok
+
+    if args.run:
+        import numpy as np
+
+        from repro.core.parallel import construct_cube_parallel
+
+        size = 1
+        for s in shape:
+            size *= s
+        data = np.arange(size, dtype=float).reshape(shape)
+        run = construct_cube_parallel(
+            data, bits, trace=True, collect_results=False
+        )
+        report = lint_trace(run.metrics, shape=shape, bits=bits)
+        measured = run.metrics.comm.total_elements
+        match = measured == verification.predicted_volume_elements
+        print(
+            f"traced run: {measured} elements moved "
+            f"({'matches' if match else 'DIFFERS FROM'} the static "
+            f"prediction)",
+            file=out,
+        )
+        print(report.format(), file=out)
+        ok = ok and match and report.ok
+
+    if args.gate:
+        from pathlib import Path
+
+        src_root = Path(__file__).resolve().parent.parent
+        report = run_gate(src_root, packages=["repro"])
+        print(f"source gate over {src_root}:", file=out)
+        print(report.format(), file=out)
+        ok = ok and report.ok
+
+    return 0 if ok else 1
+
+
 # -- parser ------------------------------------------------------------------------------
 
 
@@ -460,6 +530,24 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, help="run one mode (default: all three)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve_replay)
+
+    p = sub.add_parser(
+        "check",
+        help="statically verify a plan's protocol and closed forms",
+    )
+    p.add_argument("--shape", type=_shape, required=True)
+    p.add_argument("--procs", type=_power_of_two, default=8)
+    p.add_argument("--bits", type=_bits, default=None, metavar="B0,B1,...",
+                   help="explicit bits per (ordered) dimension instead of "
+                        "the Theorem 8 optimum")
+    p.add_argument("--detection-round", action="store_true",
+                   help="include the fault-tolerant program's barrier + "
+                        "heartbeat round in the verified schedule")
+    p.add_argument("--run", action="store_true",
+                   help="also run a traced construction and lint the trace")
+    p.add_argument("--gate", action="store_true",
+                   help="also run the in-repo static-analysis gate over src")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("query", help="answer a group-by from a saved cube")
     p.add_argument("--cube", required=True, help="cube path (.npz)")

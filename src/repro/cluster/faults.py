@@ -143,7 +143,7 @@ class FaultPlan:
     the :class:`FaultController` that :func:`run_spmd` derives from it.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self.crashes: dict[int, float] = {}
         self.stragglers: dict[int, float] = {}
@@ -314,7 +314,7 @@ class FaultController:
 
     DELIVER, DROP, DUPLICATE = "deliver", "drop", "duplicate"
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._rng = random.Random(plan.seed)
         self._rule_fires: dict[int, int] = {}

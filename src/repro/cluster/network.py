@@ -82,7 +82,7 @@ class Message:
 class Network:
     """Per-destination transport, indexed by (src, tag), FIFO per channel."""
 
-    def __init__(self, num_ranks: int):
+    def __init__(self, num_ranks: int) -> None:
         self.num_ranks = num_ranks
         self.stats = CommStats()
         self._mailboxes: list[dict[tuple[int, int], deque[Message]]] = [

@@ -74,6 +74,12 @@ class TraceEvent:
     ``kind`` is one of ``compute``, ``send``, ``wait`` (idle, blocked on a
     receive), ``recv`` (receiver-side transfer), ``disk``, ``barrier``, or
     the zero-width ``fault`` (crash / drop / timeout marker).
+
+    Communication events also carry structured fields so post-hoc analyzers
+    (:mod:`repro.analysis.lint_trace`) never parse ``detail`` strings:
+    ``peer`` is the other endpoint (destination of a send, source of a
+    recv/wait/timeout), ``tag`` the message tag, and ``nbytes`` the payload
+    size for completed transfers.
     """
 
     rank: int
@@ -81,6 +87,9 @@ class TraceEvent:
     start: float
     end: float
     detail: str = ""
+    peer: int | None = None
+    tag: int | None = None
+    nbytes: int | None = None
 
 
 @dataclass(frozen=True)
@@ -266,13 +275,33 @@ def run_spmd(
     results: list[Any] = [None] * num_ranks
     trace: list[TraceEvent] = []
 
-    def record(rank: int, kind: str, start: float, end: float, detail: str = "") -> None:
+    def record(
+        rank: int,
+        kind: str,
+        start: float,
+        end: float,
+        detail: str = "",
+        *,
+        peer: int | None = None,
+        tag: int | None = None,
+        nbytes: int | None = None,
+    ) -> None:
         if record_trace and end > start:
-            trace.append(TraceEvent(rank, kind, start, end, detail))
+            trace.append(
+                TraceEvent(rank, kind, start, end, detail, peer, tag, nbytes)
+            )
 
-    def record_fault(rank: int, t: float, detail: str) -> None:
+    def record_fault(
+        rank: int,
+        t: float,
+        detail: str,
+        *,
+        peer: int | None = None,
+        tag: int | None = None,
+        nbytes: int | None = None,
+    ) -> None:
         if record_trace:
-            trace.append(TraceEvent(rank, "fault", t, t, detail))
+            trace.append(TraceEvent(rank, "fault", t, t, detail, peer, tag, nbytes))
 
     def kill(r: int, t: float) -> None:
         """Rank ``r`` dies at simulated time ``t``; its generator is closed."""
@@ -292,10 +321,13 @@ def run_spmd(
     def fire_timeout(r: int, deadline: float, op: RecvOp) -> Any:
         """Resume a timed-out receive at its deadline with the sentinel."""
         env = envs[r]
-        record(r, "wait", env.clock, deadline, f"timeout (from {op.src} tag {op.tag})")
+        record(
+            r, "wait", env.clock, deadline,
+            f"timeout (from {op.src} tag {op.tag})", peer=op.src, tag=op.tag,
+        )
         env.clock = max(env.clock, deadline)
         fstats.note("timeout", env.clock, r, f"recv from {op.src} tag {op.tag}")
-        record_fault(r, env.clock, f"timeout from {op.src}")
+        record_fault(r, env.clock, f"timeout from {op.src}", peer=op.src, tag=op.tag)
         return RECV_TIMEOUT
 
     def receive(r: int, op: RecvOp) -> Any:
@@ -312,9 +344,12 @@ def run_spmd(
         if crashes_by(r, end):
             kill(r, max(t0, crash_at[r]))
             return None
-        record(r, "wait", t0, arrived, f"from {msg.src}")
+        record(r, "wait", t0, arrived, f"from {msg.src}", peer=msg.src, tag=op.tag)
         env.clock = end
-        record(r, "recv", arrived, end, f"from {msg.src} ({msg.nbytes}B)")
+        record(
+            r, "recv", arrived, end, f"from {msg.src} ({msg.nbytes}B)",
+            peer=msg.src, tag=op.tag, nbytes=msg.nbytes,
+        )
         network.match(r, op.src, op.tag)
         return msg.payload
 
@@ -348,14 +383,20 @@ def run_spmd(
                     kill(r, max(t0, crash_at[r]))
                     return
                 env.clock = t0 + dur
-                record(r, "send", t0, env.clock, f"to {op.dst} ({nbytes}B)")
+                record(
+                    r, "send", t0, env.clock, f"to {op.dst} ({nbytes}B)",
+                    peer=op.dst, tag=op.tag, nbytes=nbytes,
+                )
                 action = ctl.message_action(r, op.dst)
                 if action == "drop":
                     fstats.note(
                         "drop", env.clock, r,
                         f"{r}->{op.dst} tag {op.tag} ({nbytes}B)",
                     )
-                    record_fault(r, env.clock, f"drop to {op.dst}")
+                    record_fault(
+                        r, env.clock, f"drop to {op.dst}",
+                        peer=op.dst, tag=op.tag, nbytes=nbytes,
+                    )
                 else:
                     network.post(r, op.dst, op.tag, op.payload, arrival_time=env.clock)
                     if action == "duplicate":
@@ -363,7 +404,10 @@ def run_spmd(
                             "duplicate", env.clock, r,
                             f"{r}->{op.dst} tag {op.tag} ({nbytes}B)",
                         )
-                        record_fault(r, env.clock, f"duplicate to {op.dst}")
+                        record_fault(
+                            r, env.clock, f"duplicate to {op.dst}",
+                            peer=op.dst, tag=op.tag, nbytes=nbytes,
+                        )
                         network.post(
                             r, op.dst, op.tag, op.payload, arrival_time=env.clock
                         )

@@ -20,7 +20,7 @@ from typing import Iterator, Sequence
 class ProcessorGrid:
     """Bit-label topology over ``2**sum(bits)`` processors."""
 
-    def __init__(self, bits: Sequence[int]):
+    def __init__(self, bits: Sequence[int]) -> None:
         bits = tuple(bits)
         if not bits:
             raise ValueError("need at least one dimension")
@@ -52,10 +52,10 @@ class ProcessorGrid:
         if len(label) != self.ndim:
             raise ValueError(f"label rank mismatch: {label}")
         r = 0
-        for l, m in zip(label, self.parts):
-            if not 0 <= l < m:
+        for coord, m in zip(label, self.parts):
+            if not 0 <= coord < m:
                 raise ValueError(f"label {label} out of range for parts {self.parts}")
-            r = r * m + l
+            r = r * m + coord
         return r
 
     def ranks(self) -> range:

@@ -29,7 +29,7 @@ simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.core.lattice import Node, all_nodes, full_node, node_complement
 
@@ -64,7 +64,7 @@ class AggregationTree:
     dimensions onto the canonical order first.
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError("need at least one dimension")
         self.n = n
@@ -154,7 +154,7 @@ class AggregationTree:
         """node -> parent for every non-root node (spanning-tree view)."""
         return {node: self.parent(node) for node in self.nodes() if len(node) < self.n}
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         import networkx as nx
 
         g = nx.DiGraph()

@@ -59,10 +59,10 @@ def comm_coefficient(j: int, shape: Sequence[int]) -> int:
     if not 0 <= j < n:
         raise ValueError(f"dimension {j} out of range")
     coeff = 1
-    for l in range(j + 1, n):
-        coeff *= shape[l]
-    for l in range(j):
-        coeff *= 1 + shape[l]
+    for d in range(j + 1, n):
+        coeff *= shape[d]
+    for d in range(j):
+        coeff *= 1 + shape[d]
     return coeff
 
 
@@ -103,8 +103,8 @@ def first_level_comm_volume(shape: Sequence[int], bits: Sequence[int]) -> int:
     total = 0
     for j in range(n):
         child_size = 1
-        for l in range(n):
-            if l != j:
-                child_size *= shape[l]
+        for d in range(n):
+            if d != j:
+                child_size *= shape[d]
         total += (2 ** bits[j] - 1) * child_size
     return total

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.arrays.measures import Measure, SUM
 from repro.cluster.faults import FaultPlan
@@ -29,7 +29,9 @@ class _Unset:
         return "<UNSET>"
 
 
-UNSET = _Unset()
+#: Typed as ``Any`` so keyword parameters can declare their real types
+#: while defaulting to the sentinel (``machine: MachineModel | None = UNSET``).
+UNSET: Any = _Unset()
 
 
 @dataclass(frozen=True)

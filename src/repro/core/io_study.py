@@ -24,8 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from repro.arrays.aggregate import aggregate_dense, aggregate_sparse_multi
 from repro.arrays.dense import DenseArray
 from repro.arrays.measures import Measure, SUM, get_measure

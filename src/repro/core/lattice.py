@@ -20,7 +20,7 @@ the size of dimension ``i`` and the canonical ordering sorts sizes
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 Node = tuple[int, ...]
 
@@ -112,7 +112,7 @@ def minimal_parents(shape: Sequence[int]) -> dict[Node, Node]:
 class CubeLattice:
     """The data-cube lattice over ``n`` dimensions with sizes ``shape``."""
 
-    def __init__(self, shape: Sequence[int]):
+    def __init__(self, shape: Sequence[int]) -> None:
         self.shape = tuple(shape)
         if not self.shape:
             raise ValueError("need at least one dimension")
@@ -154,7 +154,7 @@ class CubeLattice:
             for child in lattice_children(node):
                 yield (node, child)
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Optional networkx DiGraph view (parent -> child edges)."""
         import networkx as nx
 

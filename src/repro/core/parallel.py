@@ -39,7 +39,7 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Generator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
 
 import numpy as np
 
@@ -63,6 +63,10 @@ from repro.core.aggregation_tree import AggregationTree
 from repro.core.comm_model import total_comm_volume
 from repro.core.config import BuildConfig, UNSET
 from repro.core.lattice import Node, full_node, node_size
+
+if TYPE_CHECKING:
+    from repro.arrays.persist import CheckpointStore
+    from repro.cluster.faults import FaultStats
 
 
 # -- parallel schedule -------------------------------------------------------------
@@ -100,7 +104,7 @@ class PWriteBack:
 PStep = PLocalAggregate | PFinalize | PWriteBack
 
 
-def parallel_schedule(n: int, tree=None) -> list[PStep]:
+def parallel_schedule(n: int, tree: Any = None) -> list[PStep]:
     """Linearize Fig 5: local aggregation, right-to-left finalize + recurse.
 
     ``tree`` may be any object with the spanning-tree traversal API
@@ -159,7 +163,7 @@ class ParallelResult:
         return self.metrics.max_peak_memory_elements
 
     @property
-    def fault_stats(self):
+    def fault_stats(self) -> FaultStats:
         """Fault events observed during the run (``RunMetrics.faults``)."""
         return self.metrics.faults
 
@@ -177,7 +181,7 @@ def _combine_dense(acc: DenseArray, other: DenseArray) -> DenseArray:
     return acc
 
 
-def _make_combiner(measure: Measure):
+def _make_combiner(measure: Measure) -> Callable[[Any, Any], Any]:
     def combine(acc: DenseArray, other: DenseArray) -> DenseArray:
         measure.combine(acc.data, other.data)
         return acc
@@ -193,7 +197,7 @@ def _make_program(
     reduction: str,
     measure: Measure = SUM,
     max_message_elements: int | None = None,
-):
+) -> Callable[[RankEnv], Generator[Op, Any, dict[Node, DenseArray]]]:
     reduce_fn = {"flat": reduce_to_lead, "binomial": reduce_binomial}[reduction]
     combine = _make_combiner(measure)
     all_dims = tuple(range(n))
@@ -323,7 +327,7 @@ def _make_program_ft(
     measure: Measure,
     store: CheckpointStore,
     recv_timeout: float | None,
-):
+) -> Callable[[RankEnv], Generator[Op, Any, dict[int, dict[Node, DenseArray]]]]:
     """Fault-tolerant variant of :func:`_make_program` (flat reduction only).
 
     Differences from the paper's fragile program:
@@ -354,7 +358,9 @@ def _make_program_ft(
     def vtag(step_idx: int, vsrc: int) -> int:
         return (step_idx + 2) * num_v + vsrc
 
-    def first_level(block):
+    def first_level(
+        block: SparseArray | DenseArray,
+    ) -> tuple[list[DenseArray], int, bool]:
         """One rank's first-level partials plus their compute charge.
 
         Returns ``(outs, element_ops, sparse)`` with ``outs`` aligned with
@@ -561,7 +567,7 @@ def construct_cube_parallel(
     machine: MachineModel | None = UNSET,
     reduction: str = UNSET,
     collect_results: bool = UNSET,
-    tree=UNSET,
+    tree: Any = UNSET,
     schedule: list[PStep] | None = UNSET,
     measure: Measure | str = UNSET,
     max_message_elements: int | None = UNSET,

@@ -11,7 +11,8 @@ caller's original dimension numbering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -28,6 +29,12 @@ from repro.core.memory_model import (
 )
 from repro.core.ordering import apply_order, canonical_order, invert_order
 from repro.core.partition import describe_partition, greedy_partition
+
+if TYPE_CHECKING:
+    from repro.cluster.faults import FaultPlan
+    from repro.core.config import BuildConfig
+    from repro.core.parallel import ParallelResult
+    from repro.core.sequential import SequentialResult
 
 
 def _is_power_of_two(x: int) -> bool:
@@ -134,7 +141,7 @@ class CubePlan:
         self,
         array: SparseArray | DenseArray | np.ndarray,
         measure: Measure | str = SUM,
-    ):
+    ) -> SequentialResult:
         """Construct the cube sequentially; results keyed by original dims."""
         from repro.core.sequential import construct_cube_sequential
 
@@ -150,12 +157,12 @@ class CubePlan:
         reduction: str = UNSET,
         collect_results: bool = UNSET,
         measure: Measure | str = UNSET,
-        fault_plan=UNSET,
+        fault_plan: FaultPlan | None = UNSET,
         checkpoint: bool = UNSET,
-        checkpoint_dir=UNSET,
+        checkpoint_dir: str | Path | None = UNSET,
         recv_timeout: float | None = UNSET,
-        config=None,
-    ):
+        config: BuildConfig | None = None,
+    ) -> ParallelResult:
         """Construct the cube on the simulated cluster; results re-keyed.
 
         Options pass straight through to
@@ -186,12 +193,12 @@ class CubePlan:
     def run_partial(
         self,
         array: SparseArray | DenseArray | np.ndarray,
-        targets,
+        targets: Iterable[Sequence[int]],
         machine: MachineModel | None = None,
         parallel: bool | None = None,
         collect_results: bool = True,
         measure: Measure | str = SUM,
-    ):
+    ) -> ParallelResult | SequentialResult:
         """Materialize only ``targets`` (original-dimension nodes).
 
         Runs the pruned aggregation-tree schedule; parallel when the plan

@@ -36,7 +36,7 @@ def prefix_parent(node: Sequence[int]) -> Node:
 class PrefixTree:
     """Explicit prefix tree over ``{0..n-1}`` with traversal helpers."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError("need at least one dimension")
         self.n = n

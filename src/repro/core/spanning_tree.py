@@ -37,7 +37,7 @@ class SpanningTree:
     trees over the full power set.
     """
 
-    def __init__(self, n: int, parent_map: dict[Node, Node]):
+    def __init__(self, n: int, parent_map: dict[Node, Node]) -> None:
         self.n = n
         self.root = full_node(n)
         expected = set(all_nodes(n)) - {self.root}

@@ -1,0 +1,190 @@
+"""Repo gate and diagnostics vocabulary: the in-repo analyzers stay clean,
+seeded violations are caught, and the rule catalog matches the docs.
+
+When ruff/mypy are installed (as in the CI ``lint`` job) the full external
+gate runs too; otherwise those tests skip.
+"""
+
+import shutil
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Diagnostic, DiagnosticReport, format_diagnostics
+from repro.analysis.diagnostics import SEVERITIES
+from repro.analysis.repo_gate import STRICT_PACKAGES, check_file, run_gate
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+
+
+class TestRepoIsClean:
+    def test_strict_packages_pass_the_gate(self):
+        report = run_gate(SRC_ROOT, packages=list(STRICT_PACKAGES))
+        assert report.ok, report.format()
+        assert len(report) == 0, report.format()
+
+    def test_whole_tree_has_no_unused_imports(self):
+        report = run_gate(SRC_ROOT, packages=["repro"])
+        unused = [d for d in report if d.rule == "GATE201"]
+        assert unused == [], format_diagnostics(unused)
+
+    def test_tests_and_benchmarks_have_no_unused_imports(self):
+        diags = []
+        for tree in (REPO_ROOT / "tests", REPO_ROOT / "benchmarks"):
+            for path in sorted(tree.rglob("*.py")):
+                diags += [
+                    d
+                    for d in check_file(path, REPO_ROOT, strict=False)
+                    if d.rule == "GATE201"
+                ]
+        assert diags == [], format_diagnostics(diags)
+
+
+class TestSeededViolations:
+    def write(self, tmp_path, body):
+        path = tmp_path / "repro" / "core" / "bad.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+        return path
+
+    def test_unused_import_fires_gate201(self, tmp_path):
+        path = self.write(tmp_path, '"""doc."""\nimport os\n\nX = 1\n')
+        diags = check_file(path, tmp_path)
+        assert [d.rule for d in diags] == ["GATE201"]
+        assert diags[0].path == "repro/core/bad.py"
+        assert diags[0].line == 2
+
+    def test_dunder_all_counts_as_use(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            '"""doc."""\nfrom os import sep\n\n__all__ = ["sep"]\n',
+        )
+        assert check_file(path, tmp_path) == []
+
+    def test_reexport_idiom_is_exempt(self, tmp_path):
+        path = self.write(tmp_path, '"""doc."""\nfrom os import sep as sep\n')
+        assert check_file(path, tmp_path) == []
+
+    def test_missing_annotations_fire_gate202_in_strict_packages(self, tmp_path):
+        body = '"""doc."""\ndef f(x):\n    return x\n'
+        path = self.write(tmp_path, body)
+        rules = [d.rule for d in check_file(path, tmp_path)]
+        assert rules.count("GATE202") == 2  # parameter and return
+
+    def test_annotations_not_required_outside_strict_packages(self, tmp_path):
+        path = tmp_path / "repro" / "viz" / "loose.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('"""doc."""\ndef f(x):\n    return x\n')
+        assert check_file(path, tmp_path) == []
+
+    def test_self_and_cls_are_exempt(self, tmp_path):
+        body = '"""doc."""\nclass C:\n    def m(self) -> int:\n        return 1\n'
+        path = self.write(tmp_path, body)
+        assert check_file(path, tmp_path) == []
+
+    def test_mutable_default_fires_gate203(self, tmp_path):
+        body = '"""doc."""\ndef f(x: list = []) -> list:\n    return x\n'
+        path = self.write(tmp_path, body)
+        assert [d.rule for d in check_file(path, tmp_path)] == ["GATE203"]
+
+    def test_mutable_default_call_fires_gate203(self, tmp_path):
+        body = '"""doc."""\ndef f(x: dict = dict()) -> dict:\n    return x\n'
+        path = self.write(tmp_path, body)
+        assert [d.rule for d in check_file(path, tmp_path)] == ["GATE203"]
+
+    def test_clean_strict_file_yields_nothing(self, tmp_path):
+        body = '"""doc."""\nimport os\n\n\ndef f(x: int) -> str:\n    return os.sep * x\n'
+        path = self.write(tmp_path, body)
+        assert check_file(path, tmp_path) == []
+
+
+class TestDiagnosticsVocabulary:
+    def test_unknown_rule_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            Diagnostic("NOPE999", "nope")
+
+    def test_severity_defaults_from_catalog(self):
+        d = Diagnostic("SPMD001", "msg")
+        assert d.severity == "error"
+        assert d.is_error
+        assert Diagnostic("TRACE105", "msg").severity == "info"
+
+    def test_format_includes_rule_location_and_hint(self):
+        d = Diagnostic("SPMD004", "bad route", rank=3, edge=(0, 1), hint="fix it")
+        text = d.format()
+        assert "SPMD004 error" in text
+        assert "rank 3" in text
+        assert "edge (0, 1)" in text
+        assert "(hint: fix it)" in text
+
+    def test_report_sorts_errors_first_and_tallies(self):
+        report = DiagnosticReport()
+        report.add(Diagnostic("TRACE105", "skew"))
+        report.add(Diagnostic("SPMD001", "lost send"))
+        assert not report.ok
+        assert [d.rule for d in report.sorted()] == ["SPMD001", "TRACE105"]
+        assert "1 error(s), 0 warning(s), 1 info" in report.format()
+
+    def test_empty_report_is_ok(self):
+        report = DiagnosticReport()
+        assert report.ok
+        assert "no diagnostics" in report.format()
+
+    def test_catalog_ids_are_namespaced_and_severities_valid(self):
+        for rule_id, rule in RULES.items():
+            assert rule.id == rule_id
+            assert rule_id[:-3] in ("SPMD", "TRACE", "GATE")
+            assert rule.severity in SEVERITIES
+            assert rule.title and rule.summary
+
+
+class TestDocsStayConsistent:
+    def test_every_rule_is_documented(self):
+        doc = (REPO_ROOT / "docs" / "ANALYSIS.md").read_text()
+        for rule_id, rule in RULES.items():
+            assert rule_id in doc, f"docs/ANALYSIS.md must document {rule_id}"
+            assert rule.title in doc, f"docs/ANALYSIS.md must name {rule.title}"
+
+    def test_readme_mentions_check_verb(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "repro-cube check" in readme
+        assert "repro.analysis" in readme
+
+
+needs_ruff = pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+needs_mypy = pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+
+
+class TestExternalGate:
+    @needs_ruff
+    def test_ruff_check_passes(self):
+        proc = subprocess.run(
+            ["ruff", "check", "src", "tests", "benchmarks"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @needs_ruff
+    def test_ruff_format_passes_on_analysis(self):
+        proc = subprocess.run(
+            ["ruff", "format", "--check", "src/repro/analysis"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @needs_mypy
+    def test_mypy_strict_packages_pass(self):
+        proc = subprocess.run(
+            ["mypy", "src/repro/core", "src/repro/cluster"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

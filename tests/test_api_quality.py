@@ -11,6 +11,11 @@ import repro
 
 MODULES = [
     "repro",
+    "repro.analysis",
+    "repro.analysis.diagnostics",
+    "repro.analysis.lint_trace",
+    "repro.analysis.repo_gate",
+    "repro.analysis.verify_plan",
     "repro.arrays",
     "repro.arrays.aggregate",
     "repro.arrays.chunking",
@@ -177,4 +182,57 @@ def test_public_functions_have_docstrings():
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    # pyproject.toml is the single source of truth; the package resolves
+    # its version from distribution metadata or the adjacent pyproject.
+    import re
+    from pathlib import Path
+
+    pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+    match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
+    assert match is not None
+    assert repro.__version__ == match.group(1) == "1.2.0"
+
+
+def test_deprecated_shims_warn_exactly_once_and_match_execute():
+    # The 1.1 rename kept answer/answer_many/served_from as shims; each call
+    # must emit exactly one DeprecationWarning and return values identical
+    # to the modern spelling.
+    import warnings
+
+    import numpy as np
+
+    from repro.olap import DataCube, GroupByQuery, QueryEngine, Schema
+
+    schema = Schema.simple(a=4, b=3)
+    cube = DataCube.build(schema, np.arange(12, dtype=float).reshape(4, 3))
+    q = GroupByQuery(group_by=("a",))
+    expected = QueryEngine(cube).execute(q)
+
+    engine = QueryEngine(cube)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = engine.answer(q)
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1, "one warning per answer() call"
+    assert "use execute()" in str(dep[0].message)
+    assert np.array_equal(result.values, expected.values)
+    assert result.served_by == expected.served_by
+    assert result.cells_scanned == expected.cells_scanned
+    assert result.is_fallback == expected.is_fallback
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        many = engine.answer_many([q, q])
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1, "one warning per answer_many() call, not per query"
+    assert len(many) == 2
+    for r in many:
+        assert np.array_equal(r.values, expected.values)
+        assert r.served_by == expected.served_by
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = result.served_from
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1, "one warning per served_from access"
+    assert legacy == result.served_by

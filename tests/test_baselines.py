@@ -1,7 +1,5 @@
 """Unit tests for the baseline schemes."""
 
-import numpy as np
-import pytest
 
 from repro.arrays.dataset import random_sparse
 from repro.baselines.naive_parallel import (

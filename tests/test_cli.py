@@ -176,3 +176,40 @@ class TestServeReplay:
             build_parser().parse_args(
                 ["serve-replay", "--shape", "4,4", "--mode", "warp"]
             )
+
+
+class TestCheck:
+    def test_clean_plan_exits_zero(self):
+        code, text = run_cli("check", "--shape", "16,12,8", "--procs", "8")
+        assert code == 0
+        assert "Theorem 3" in text
+        assert "no diagnostics" in text
+
+    def test_bits_override_is_reported(self):
+        code, text = run_cli("check", "--shape", "16,12,8", "--bits", "1,1,1")
+        assert code == 0
+        assert "bits=(1, 1, 1)" in text
+
+    def test_bits_length_mismatch_exits_two(self):
+        code, text = run_cli("check", "--shape", "16,12,8", "--bits", "1,1")
+        assert code == 2
+        assert "one entry per dimension" in text
+
+    def test_run_cross_checks_measured_volume(self):
+        code, text = run_cli(
+            "check", "--shape", "8,6,4", "--procs", "4", "--run"
+        )
+        assert code == 0
+        assert "matches the static prediction" in text
+
+    def test_detection_round_covers_ft_protocol(self):
+        code, text = run_cli(
+            "check", "--shape", "8,6,4", "--procs", "4", "--detection-round"
+        )
+        assert code == 0
+        assert "no diagnostics" in text
+
+    def test_gate_flag_runs_source_gate(self):
+        code, text = run_cli("check", "--shape", "8,8", "--procs", "2", "--gate")
+        assert code == 0
+        assert "source gate" in text

@@ -1,7 +1,6 @@
 """Tests for the EXPERIMENTS.md generator script."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

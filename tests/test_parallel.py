@@ -15,7 +15,7 @@ from repro.core.parallel import (
     parallel_schedule,
     sequential_fraction_at_first_level,
 )
-from repro.core.sequential import cube_reference, verify_cube
+from repro.core.sequential import verify_cube
 
 
 class TestSchedule:

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.arrays.dataset import random_sparse
-from repro.arrays.sparse import SparseArray
-from repro.core.plan import CubePlan, plan_cube
+from repro.core.plan import plan_cube
 from repro.core.sequential import cube_reference
 
 

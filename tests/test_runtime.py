@@ -247,3 +247,23 @@ class TestMetrics:
 
         with pytest.raises(TypeError):
             run_spmd(1, program)
+
+
+def test_deadlock_report_names_every_pending_src_tag_pair():
+    # Regression: a mismatched 2-rank program (both ranks send on their own
+    # tag, both wait on a tag nobody uses) must produce a report naming each
+    # blocked rank with its awaited (src, tag) pair AND every stranded
+    # message's (src, tag) pair -- that is what makes the deadlock debuggable.
+    def program(env):
+        other = 1 - env.rank
+        yield env.send(other, np.zeros(2), tag=10 + env.rank)
+        yield env.recv(other, tag=99)
+
+    with pytest.raises(DeadlockError) as err:
+        run_spmd(2, program)
+    text = str(err.value)
+    assert "rank 0 blocked on recv(src=1, tag=99)" in text
+    assert "rank 1 blocked on recv(src=0, tag=99)" in text
+    assert "2 undelivered message(s)" in text
+    assert "0->1 tag=10 16B" in text
+    assert "1->0 tag=11 16B" in text

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.arrays.dataset import random_sparse
-from repro.arrays.dense import DenseArray
 from repro.arrays.sparse import SparseArray
 from repro.arrays.storage import SimulatedDisk
 from repro.core.lattice import all_nodes

@@ -28,8 +28,8 @@ class TestSparseChunk:
         arr = SparseArray.from_dense(dense, chunk_shape=(3, 2))
         for chunk in arr.chunks:
             g = chunk.global_coords()
-            l = chunk.local_coords()
-            assert np.array_equal(g, l + np.asarray(chunk.origin))
+            loc = chunk.local_coords()
+            assert np.array_equal(g, loc + np.asarray(chunk.origin))
 
     def test_to_dense(self):
         dense = make_dense((3, 3), seed=3)

@@ -84,8 +84,8 @@ class TestReductionGroups:
         grid = ProcessorGrid((2, 1))
         group = grid.reduction_group(grid.rank((3, 1)), 0)
         labels = [grid.label(r) for r in group]
-        assert [l[1] for l in labels] == [1, 1, 1, 1]
-        assert [l[0] for l in labels] == [0, 1, 2, 3]
+        assert [lab[1] for lab in labels] == [1, 1, 1, 1]
+        assert [lab[0] for lab in labels] == [0, 1, 2, 3]
 
     def test_group_lead_first(self):
         grid = ProcessorGrid((1, 2))

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.arrays.dataset import random_sparse
-from repro.cluster.machine import MachineModel
 from repro.cluster.runtime import run_spmd
 from repro.cluster.trace import (
     ascii_gantt,

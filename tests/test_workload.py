@@ -1,6 +1,5 @@
 """Unit tests for workload generation and replay."""
 
-import numpy as np
 import pytest
 
 from repro.arrays.dataset import random_sparse
