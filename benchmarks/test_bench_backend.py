@@ -1,0 +1,143 @@
+"""BENCH-backend: real-process execution vs serial construction.
+
+Every other bench in this suite reports *simulated* cluster clocks.  This
+one measures host wall-clock of *real* executions: the sequential Fig 3
+constructor versus the Fig 5 parallel program interpreted by the process
+backend (real OS processes over shared memory) at p in {2, 4, 8} on the
+Figure 7 dataset shape.
+
+It emits ``benchmarks/results/BENCH_backend.json`` with the raw numbers
+plus the environment they were measured in, and asserts two things:
+
+- **parity** (always): every process-backend run reproduces the sim
+  backend's aggregates byte-for-byte (same program, same combine order),
+  matches the serial build numerically (the parallel reduction sums
+  partials in a different float order, so equality there is to ulps, not
+  bytes), and moves exactly the Theorem 3 volume;
+- **speedup** (gated): p = 8 beats serial by >= 3x -- asserted only when
+  the host actually has >= 8 CPUs at the paper scale.  On smaller hosts
+  the measured numbers are still recorded, the gate is marked skipped
+  with the reason, and nothing is fabricated.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.comm_model import total_comm_volume
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import greedy_partition
+from repro.core.sequential import construct_cube_sequential
+
+from _harness import FIG7_SHAPE, RESULTS_DIR, SCALE, dataset, emit_table, fmt_row
+
+PROCS = (2, 4, 8)
+SPARSITY = 0.25
+REQUIRED_SPEEDUP = 3.0
+GATE_PROCS = 8
+
+
+def _gate_reason() -> str | None:
+    """Why the speedup assertion cannot be meaningful here (None = it can)."""
+    cpus = os.cpu_count() or 1
+    if cpus < GATE_PROCS:
+        return (
+            f"host has {cpus} CPU(s); a {GATE_PROCS}-process speedup is not "
+            f"measurable (need >= {GATE_PROCS})"
+        )
+    if SCALE != "paper":
+        return f"scale={SCALE!r}; the gate applies to the paper scale only"
+    return None
+
+
+def test_backend_speedup(benchmark):
+    data = dataset(FIG7_SHAPE, SPARSITY)
+
+    t0 = time.perf_counter()
+    serial = benchmark.pedantic(
+        lambda: construct_cube_sequential(data), rounds=1, iterations=1
+    )
+    t_serial = time.perf_counter() - t0
+
+    runs = []
+    for p in PROCS:
+        k = p.bit_length() - 1
+        bits = greedy_partition(FIG7_SHAPE, k)
+        t0 = time.perf_counter()
+        run = construct_cube_parallel(data, bits, backend="process")
+        wall = time.perf_counter() - t0
+        sim = construct_cube_parallel(data, bits, backend="sim")
+        for node, arr in sim.results.items():
+            assert run.results[node].data.tobytes() == arr.data.tobytes(), (
+                f"p={p}: group-by {node} differs between backends"
+            )
+        for node, arr in serial.results.items():
+            np.testing.assert_allclose(
+                run.results[node].data, arr.data, rtol=1e-12,
+                err_msg=f"p={p}: group-by {node} diverges from serial",
+            )
+        predicted = total_comm_volume(FIG7_SHAPE, bits)
+        assert run.metrics.comm.total_elements == predicted
+        runs.append(
+            {
+                "procs": p,
+                "bits": list(bits),
+                "wall_s": round(wall, 4),
+                "speedup": round(t_serial / wall, 3),
+                "comm_elements": int(run.metrics.comm.total_elements),
+                "bit_identical_to_sim_backend": True,
+            }
+        )
+
+    reason = _gate_reason()
+    gate = {
+        "procs": GATE_PROCS,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "measured_speedup": runs[-1]["speedup"],
+        "enforced": reason is None,
+        "skip_reason": reason,
+    }
+    report = {
+        "bench": "backend",
+        "scale": SCALE,
+        "shape": list(FIG7_SHAPE),
+        "sparsity": SPARSITY,
+        "nnz": int(data.nnz),
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(t_serial, 4),
+        "process_backend": runs,
+        "gate": gate,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_backend.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    lines = [
+        "BENCH-backend: process backend vs serial (host wall clock)",
+        f"shape={FIG7_SHAPE} sparsity={SPARSITY:.0%} cpus={os.cpu_count()}",
+        fmt_row("backend", "procs", "wall(s)", "speedup",
+                widths=[10, 6, 10, 8]),
+        fmt_row("serial", 1, f"{t_serial:.3f}", "1.00",
+                widths=[10, 6, 10, 8]),
+    ]
+    for r in runs:
+        lines.append(
+            fmt_row("process", r["procs"], f"{r['wall_s']:.3f}",
+                    f"{r['speedup']:.2f}", widths=[10, 6, 10, 8])
+        )
+    if reason is not None:
+        lines.append(f"speedup gate skipped: {reason}")
+    emit_table("t_backend", lines)
+
+    benchmark.extra_info["serial_wall_s"] = t_serial
+    benchmark.extra_info["speedups"] = {
+        str(r["procs"]): r["speedup"] for r in runs
+    }
+    if reason is None:
+        assert runs[-1]["speedup"] >= REQUIRED_SPEEDUP, (
+            f"p={GATE_PROCS} speedup {runs[-1]['speedup']:.2f} "
+            f"< required {REQUIRED_SPEEDUP}"
+        )

@@ -12,7 +12,10 @@ deterministic distributed-memory cluster simulator.
 On top of the construction algorithms sits the warehouse stack: named
 schemas and materialized cubes (:mod:`repro.olap`) and a high-throughput
 serving layer with result caching and batched execution
-(:mod:`repro.serve`).
+(:mod:`repro.serve`).  Construction runs on a pluggable execution
+backend (:mod:`repro.exec`): ``"sim"`` interprets the rank programs on
+the deterministic cluster simulator, ``"process"`` runs them on real OS
+processes over shared memory -- producing bit-identical aggregates.
 
 Quickstart (construction)::
 
@@ -54,6 +57,13 @@ from repro.core import (
     total_comm_volume,
 )
 from repro.core.sequential import cube_reference, verify_cube
+from repro.exec import (
+    Backend,
+    ProcessBackend,
+    SimBackend,
+    available_backends,
+    get_backend,
+)
 from repro.olap import (
     DataCube,
     Dimension,
@@ -97,7 +107,7 @@ def _version() -> str:
 
         return version("repro")
     except Exception:
-        return "1.2.0"
+        return "1.3.0"
 
 
 __version__ = _version()
@@ -123,6 +133,11 @@ __all__ = [
     "total_comm_volume",
     "cube_reference",
     "verify_cube",
+    "Backend",
+    "ProcessBackend",
+    "SimBackend",
+    "available_backends",
+    "get_backend",
     "DataCube",
     "Dimension",
     "GroupByQuery",

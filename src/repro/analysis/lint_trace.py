@@ -1,9 +1,12 @@
-"""Post-hoc linting of :class:`TraceEvent` streams from simulated runs.
+"""Post-hoc linting of :class:`TraceEvent` streams from recorded runs.
 
 Where :mod:`repro.analysis.verify_plan` proves properties of a plan before
 execution, this module audits what *actually happened*: it replays the
-recorded trace of a :func:`repro.cluster.runtime.run_spmd` run and flags
-communication that completed by accident rather than by design.  On
+recorded trace of a run and flags communication that completed by
+accident rather than by design.  Every execution backend emits the same
+event vocabulary -- the simulator stamps simulated clocks, the process
+backend (:mod:`repro.exec.process`) wall clocks -- so the rules below
+audit real executions exactly as they audit simulated ones.  On
 fault-injection runs this distinguishes "recovered correctly" (every
 timeout was followed by a recovery action, no payload silently vanished)
 from "recovered by accident" (the result happened to be right even though

@@ -5,8 +5,10 @@ Installed as ``repro-cube`` (see ``pyproject.toml``); also runnable as
 
 - ``plan``       closed-form planning table (ordering, partition, volume,
                  memory bounds) for a shape across cluster sizes;
-- ``construct``  run the full construction on the simulated cluster and
-                 report measured metrics against the theory;
+- ``construct``  run the full construction on an execution backend
+                 (``--backend sim`` simulates, ``--backend process`` runs
+                 real OS processes) and report measured metrics against
+                 the theory;
 - ``sweep``      compare every partition choice at one cluster size;
 - ``tree``       render the prefix/aggregation trees and the schedule;
 - ``views``      greedy view selection under a space budget;
@@ -66,6 +68,22 @@ def _fault_plan(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _time_label(backend: str) -> str:
+    """Label for a run's elapsed time: real backends report wall time."""
+    return "simulated time" if backend == "sim" else "wall time"
+
+
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` option to a subparser."""
+    p.add_argument(
+        "--backend",
+        choices=["sim", "process"],
+        default="sim",
+        help="execution backend: 'sim' (deterministic simulator, default) "
+             "or 'process' (real OS processes over shared memory)",
+    )
+
+
 # -- subcommands ----------------------------------------------------------------------
 
 
@@ -107,7 +125,7 @@ def cmd_plan(args: argparse.Namespace, out) -> int:
 
 
 def cmd_construct(args: argparse.Namespace, out) -> int:
-    """``construct``: run a simulated construction, report vs theory."""
+    """``construct``: run a construction, report measurements vs theory."""
     from repro.arrays.dataset import random_sparse
     from repro.core.plan import plan_cube
     from repro.core.sequential import verify_cube
@@ -128,7 +146,11 @@ def cmd_construct(args: argparse.Namespace, out) -> int:
             fault_plan=fault_plan,
             checkpoint=args.checkpoint,
             recv_timeout=args.recv_timeout,
+            backend=args.backend,
         )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     except DeadlockError as exc:
         print(f"construction stalled ({exc})", file=out)
         if args.checkpoint:
@@ -138,7 +160,7 @@ def cmd_construct(args: argparse.Namespace, out) -> int:
             print("hint: rerun with --checkpoint to recover from rank "
                   "crashes", file=out)
         return 1
-    print(f"simulated time: {run.simulated_time_s:.4f} s", file=out)
+    print(f"{_time_label(run.backend)}: {run.elapsed_s:.4f} s", file=out)
     print(
         f"communication: {human_count(run.comm_volume_elements)} elements "
         f"({human_bytes(run.comm_volume_bytes)}), "
@@ -258,11 +280,12 @@ def cmd_build(args: argparse.Namespace, out) -> int:
     else:
         data = random_sparse(args.shape, args.sparsity, seed=args.seed)
     plan = plan_cube(args.shape, num_processors=args.procs)
-    run = plan.run_parallel(data, measure=args.measure)
+    run = plan.run_parallel(data, measure=args.measure, backend=args.backend)
     save_cube(args.out, run.results, args.shape, measure_name=args.measure)
+    kind = "simulated" if run.backend == "sim" else "real"
     print(
-        f"built {len(run.results)} aggregates on {args.procs} simulated "
-        f"processors in {run.simulated_time_s:.4f} s "
+        f"built {len(run.results)} aggregates on {args.procs} {kind} "
+        f"processors in {run.elapsed_s:.4f} s "
         f"({human_count(run.comm_volume_elements)} elements moved)",
         file=out,
     )
@@ -419,7 +442,8 @@ def cmd_check(args: argparse.Namespace, out) -> int:
             size *= s
         data = np.arange(size, dtype=float).reshape(shape)
         run = construct_cube_parallel(
-            data, bits, trace=True, collect_results=False
+            data, bits, trace=True, collect_results=False,
+            backend=args.backend,
         )
         report = lint_trace(run.metrics, shape=shape, bits=bits)
         measured = run.metrics.comm.total_elements
@@ -461,7 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-procs", type=_power_of_two, default=64)
     p.set_defaults(fn=cmd_plan)
 
-    p = sub.add_parser("construct", help="run a simulated construction")
+    p = sub.add_parser("construct", help="run a cube construction")
     p.add_argument("--shape", type=_shape, required=True)
     p.add_argument("--procs", type=_power_of_two, default=8)
     p.add_argument("--sparsity", type=float, default=0.25)
@@ -478,8 +502,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "and recover a crashed rank via its buddy")
     p.add_argument("--recv-timeout", type=float, default=None,
                    metavar="SECONDS",
-                   help="failure-detection receive timeout in simulated "
+                   help="failure-detection receive timeout in backend-clock "
                         "seconds (default: scaled to the machine model)")
+    _add_backend_arg(p)
     p.set_defaults(fn=cmd_construct)
 
     p = sub.add_parser("sweep", help="compare all partition choices")
@@ -511,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help="cube output path (.npz)")
     p.add_argument("--facts-out", default=None,
                    help="also save the generated facts (.npz)")
+    _add_backend_arg(p)
     p.set_defaults(fn=cmd_build)
 
     p = sub.add_parser(
@@ -547,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run a traced construction and lint the trace")
     p.add_argument("--gate", action="store_true",
                    help="also run the in-repo static-analysis gate over src")
+    _add_backend_arg(p)
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("query", help="answer a group-by from a saved cube")

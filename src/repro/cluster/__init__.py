@@ -27,6 +27,9 @@ from repro.cluster.topology import ProcessorGrid
 from repro.cluster.network import Network, Message, Control
 from repro.cluster.runtime import (
     RankEnv,
+    TimeoutPolicy,
+    SIMULATED_TIMEOUTS,
+    MONOTONIC_TIMEOUTS,
     TraceEvent,
     run_spmd,
     DeadlockError,
@@ -44,6 +47,9 @@ __all__ = [
     "Message",
     "Control",
     "RankEnv",
+    "TimeoutPolicy",
+    "SIMULATED_TIMEOUTS",
+    "MONOTONIC_TIMEOUTS",
     "TraceEvent",
     "run_spmd",
     "DeadlockError",

@@ -84,9 +84,14 @@ def reduce_to_lead_reliable(
 
     Protocol: every non-lead sends its partial to the lead and waits for a
     :class:`~repro.cluster.network.Control` ack; if the ack does not arrive
-    within ``timeout * backoff**attempt`` simulated seconds, the partial is
-    resent (up to ``max_retries`` resends).  The lead symmetrically
-    re-arms its receive with the same growing windows.  Duplicate payloads
+    within ``timeout * backoff**attempt`` seconds, the partial is resent
+    (up to ``max_retries`` resends).  The lead symmetrically re-arms its
+    receive with the same growing windows.  Each window is shaped by the
+    executing backend's :class:`~repro.cluster.runtime.TimeoutPolicy`
+    (``env.timeouts.effective``): under the simulator the windows are the
+    literal simulated seconds above, while a real-process backend scales
+    and floors them in ``time.monotonic`` seconds so OS scheduling jitter
+    is never mistaken for a dropped payload.  Duplicate payloads
     (from a retry that crossed a late ack) are left unmatched and are
     harmless: each (src, attempt-independent) payload is combined once.
 
@@ -108,8 +113,8 @@ def reduce_to_lead_reliable(
     if env.rank != lead:
         for attempt in range(max_retries + 1):
             yield env.send(lead, value, tag)
-            ack = yield RecvOp(src=lead, tag=ack_tag,
-                               timeout=timeout * backoff ** attempt)
+            window = env.timeouts.effective(timeout * backoff ** attempt)
+            ack = yield RecvOp(src=lead, tag=ack_tag, timeout=window)
             if ack is not RECV_TIMEOUT:
                 return None
             env.note_retry(f"resend to lead {lead} (attempt {attempt + 1})")
@@ -121,8 +126,8 @@ def reduce_to_lead_reliable(
     for src in group[1:]:
         other = RECV_TIMEOUT
         for attempt in range(max_retries + 1):
-            other = yield RecvOp(src=src, tag=tag,
-                                 timeout=timeout * backoff ** attempt)
+            window = env.timeouts.effective(timeout * backoff ** attempt)
+            other = yield RecvOp(src=src, tag=tag, timeout=window)
             if other is not RECV_TIMEOUT:
                 break
             env.note_retry(f"re-arm recv from {src} (attempt {attempt + 1})")

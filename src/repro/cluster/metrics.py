@@ -1,4 +1,4 @@
-"""Measurement containers for simulated runs."""
+"""Measurement containers for simulated and real execution-backend runs."""
 
 from __future__ import annotations
 
@@ -24,10 +24,27 @@ class CommStats:
         key = (src, dst)
         self.per_pair[key] = self.per_pair.get(key, 0) + nbytes
 
+    def merge(self, other: "CommStats") -> None:
+        """Fold another rank's counters into this one (process backends
+        count sends per worker and combine them host-side)."""
+        self.total_bytes += other.total_bytes
+        self.total_elements += other.total_elements
+        self.total_messages += other.total_messages
+        for key, nbytes in other.per_pair.items():
+            self.per_pair[key] = self.per_pair.get(key, 0) + nbytes
+
 
 @dataclass
 class RunMetrics:
-    """Everything measured during one simulated SPMD run."""
+    """Everything measured during one SPMD run.
+
+    ``backend`` names the executor that produced the numbers (``"sim"``:
+    clocks are simulated seconds under the machine cost model;
+    ``"process"``: clocks are wall-clock seconds measured on real OS
+    processes).  The vocabulary is otherwise identical, so downstream
+    consumers (:mod:`repro.cluster.trace`, :mod:`repro.analysis.lint_trace`)
+    work on either kind of run.
+    """
 
     makespan_s: float
     rank_clocks: list[float]
@@ -39,6 +56,7 @@ class RunMetrics:
     rank_results: list[Any]
     trace: list[Any] = field(default_factory=list)
     faults: FaultStats = field(default_factory=FaultStats)
+    backend: str = "sim"
 
     @property
     def num_ranks(self) -> int:
@@ -54,6 +72,7 @@ class RunMetrics:
 
     def summary(self) -> str:
         text = (
+            f"backend={self.backend} "
             f"ranks={self.num_ranks} makespan={self.makespan_s:.4f}s "
             f"comm={self.comm.total_bytes}B/{self.comm.total_messages}msgs "
             f"peak_mem={self.max_peak_memory_elements}el"

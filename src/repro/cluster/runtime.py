@@ -38,13 +38,14 @@ Robustness layer (all optional, zero simulated cost when unused):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 from repro.cluster.faults import FaultPlan, FaultStats, NULL_CONTROLLER
 from repro.cluster.machine import MachineModel
 from repro.cluster.metrics import RunMetrics
-from repro.cluster.network import Network, payload_nbytes
+from repro.cluster.network import CONTROL_NBYTES, Network, payload_nbytes
 
 
 class DeadlockError(RuntimeError):
@@ -65,6 +66,72 @@ class _RecvTimeoutType:
 
 #: Resume value of a ``RecvOp`` whose timeout fired before a timely match.
 RECV_TIMEOUT = _RecvTimeoutType()
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Where receive-timeout windows come from under a given backend.
+
+    Rank programs historically hard-coded timeout windows in *simulated*
+    seconds (tuned to the machine cost model), which is meaningless on a
+    backend that measures real wall-clock time.  The executing backend
+    therefore hands every rank a policy (``RankEnv.timeouts``) and programs
+    ask it to shape their windows:
+
+    - :meth:`effective` scales and floors an individual window (retry
+      windows in :func:`repro.cluster.collectives.reduce_to_lead_reliable`);
+    - :meth:`detection_timeout` produces the default failure-detection
+      window for the heartbeat round of the fault-tolerant constructor.
+
+    ``clock`` names the time base the windows are interpreted against:
+    ``"simulated"`` (deterministic LogGP-lite clocks) or ``"monotonic"``
+    (real ``time.monotonic`` seconds).  Real clocks need generous floors --
+    an OS scheduler hiccup must not masquerade as a dead peer.
+    """
+
+    clock: str = "simulated"
+    scale: float = 1.0
+    min_timeout_s: float = 0.0
+    detection_control_messages: float = 1000.0
+    detection_floor_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.clock not in ("simulated", "monotonic"):
+            raise ValueError(f"unknown timeout clock {self.clock!r}")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.min_timeout_s < 0 or self.detection_floor_s < 0:
+            raise ValueError("timeout floors must be non-negative")
+        if self.detection_control_messages <= 0:
+            raise ValueError("detection_control_messages must be positive")
+
+    def effective(self, seconds: float) -> float:
+        """Shape one requested timeout window (scale, then floor)."""
+        return max(seconds * self.scale, self.min_timeout_s)
+
+    def detection_timeout(self, machine: MachineModel) -> float:
+        """Default failure-detection window on ``machine``.
+
+        Simulated clocks derive it from the cost model (1000 control-message
+        times, far beyond any live peer's heartbeat latency); monotonic
+        clocks cannot trust the model and use the real-seconds floor.
+        """
+        if self.clock == "monotonic":
+            return self.detection_floor_s
+        return max(
+            self.detection_control_messages * machine.message_time(CONTROL_NBYTES),
+            self.detection_floor_s,
+        )
+
+
+#: Timeout source of the deterministic simulator (identity windows).
+SIMULATED_TIMEOUTS = TimeoutPolicy()
+
+#: Timeout source for real-process execution: wall-clock windows with
+#: floors wide enough that OS scheduling jitter never reads as a failure.
+MONOTONIC_TIMEOUTS = TimeoutPolicy(
+    clock="monotonic", min_timeout_s=0.05, detection_floor_s=2.0
+)
 
 
 @dataclass(frozen=True)
@@ -157,6 +224,7 @@ class RankEnv:
     current_memory_elements: int = 0
     peak_memory_elements: int = 0
     _fault_stats: FaultStats | None = None
+    timeouts: TimeoutPolicy = SIMULATED_TIMEOUTS
 
     # -- op constructors (for readability at call sites) ---------------------------
 
@@ -221,6 +289,10 @@ class RankEnv:
 
 _READY, _BLOCKED, _BARRIER, _DONE, _DEAD = range(5)
 
+#: One-release deprecation latch: driving a cube-build program through
+#: ``run_spmd`` directly (instead of a :mod:`repro.exec` backend) warns once.
+_warned_direct_cube_build = False
+
 
 def run_spmd(
     num_ranks: int,
@@ -229,6 +301,8 @@ def run_spmd(
     record_trace: bool = False,
     machines: "list[MachineModel] | None" = None,
     faults: FaultPlan | None = None,
+    timeouts: TimeoutPolicy | None = None,
+    _via_backend: bool = False,
 ) -> RunMetrics:
     """Run one SPMD program on ``num_ranks`` virtual processors.
 
@@ -246,7 +320,30 @@ def run_spmd(
     ``faults`` injects a :class:`~repro.cluster.faults.FaultPlan`; the run
     is deterministic given the plan's seed, and everything injected is
     reported in ``RunMetrics.faults``.
+
+    ``timeouts`` overrides the :class:`TimeoutPolicy` handed to every rank
+    (default: :data:`SIMULATED_TIMEOUTS`).
+
+    Calling this directly for *cube-build* programs (factories produced by
+    :mod:`repro.core.parallel`) is deprecated: route through
+    ``repro.exec.get_backend("sim")`` or ``construct_cube_parallel`` so the
+    same program can also run on real processes.  Generic SPMD programs are
+    unaffected.
     """
+    global _warned_direct_cube_build
+    if (
+        not _via_backend
+        and getattr(program_factory, "_cube_program", False)
+        and not _warned_direct_cube_build
+    ):
+        _warned_direct_cube_build = True
+        warnings.warn(
+            "calling run_spmd directly for cube builds is deprecated; use "
+            "repro.exec.get_backend('sim').spawn_ranks(...) or "
+            "construct_cube_parallel(backend='sim') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if machines is not None:
         if len(machines) != num_ranks:
             raise ValueError(
@@ -264,6 +361,7 @@ def run_spmd(
             num_ranks=num_ranks,
             machine=rank_machines[r],
             _fault_stats=fstats,
+            timeouts=timeouts or SIMULATED_TIMEOUTS,
         )
         for r in range(num_ranks)
     ]

@@ -67,7 +67,17 @@ class BuildConfig:
     checkpoint_dir:
         Where checkpoint ``.npz`` files live (default: temporary).
     recv_timeout:
-        Failure-detection receive timeout in simulated seconds.
+        Failure-detection receive timeout in backend-clock seconds
+        (simulated seconds on ``"sim"``, wall-clock on ``"process"``).
+    backend:
+        Execution backend: a registered name (``"sim"`` runs the
+        deterministic simulator, ``"process"`` real OS processes with
+        shared-memory inputs) or a :class:`~repro.exec.base.Backend`
+        instance.  Results are bit-identical across backends.
+
+    Every cross-field constraint is validated here, at construction, so a
+    bad combination fails before any work starts -- whether the config was
+    built directly or funneled from legacy keywords via :meth:`merged_with`.
     """
 
     machine: MachineModel | None = None
@@ -83,6 +93,7 @@ class BuildConfig:
     checkpoint: bool = False
     checkpoint_dir: str | Path | None = None
     recv_timeout: float | None = None
+    backend: Any = "sim"
 
     def __post_init__(self) -> None:
         if self.reduction not in ("flat", "binomial"):
@@ -91,6 +102,54 @@ class BuildConfig:
             raise ValueError("max_message_elements must be positive")
         if self.tree is not None and self.schedule is not None:
             raise ValueError("pass either tree or schedule, not both")
+        if self.recv_timeout is not None and self.recv_timeout <= 0:
+            raise ValueError("recv_timeout must be positive")
+        if self.checkpoint:
+            if self.reduction != "flat":
+                raise ValueError(
+                    "checkpointed construction supports only the flat reduction"
+                )
+            if self.max_message_elements is not None:
+                raise ValueError(
+                    "checkpointed construction does not support "
+                    "max_message_elements"
+                )
+        self._validate_backend()
+
+    def _validate_backend(self) -> None:
+        """Resolve/validate the backend choice without instantiating it."""
+        if isinstance(self.backend, str):
+            # Imported lazily: repro.exec sits above repro.cluster, and a
+            # module-level import here would be needlessly eager for the
+            # overwhelmingly common sim-backend path.
+            from repro.exec.registry import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; available: "
+                    f"{', '.join(available_backends())}"
+                )
+            name = self.backend
+        else:
+            from repro.exec.base import Backend
+
+            if not isinstance(self.backend, Backend):
+                raise TypeError(
+                    "backend must be a registered name or a Backend "
+                    f"instance, got {type(self.backend).__name__}"
+                )
+            name = self.backend.name
+        if name != "sim":
+            if self.fault_plan is not None:
+                raise ValueError(
+                    f"fault injection is simulator-only; backend {name!r} "
+                    "cannot honor fault_plan"
+                )
+            if self.machines is not None:
+                raise ValueError(
+                    f"per-rank machine models are simulator-only; backend "
+                    f"{name!r} cannot honor machines"
+                )
 
     def merged_with(self, **overrides: object) -> "BuildConfig":
         """Copy of this config with every non-UNSET override applied.

@@ -20,7 +20,12 @@ partitioned across ``2**bits[j]`` of them.  Mirroring the paper:
 
 The run measures communication volume exactly (tests check it equals the
 Theorem 3 closed form), per-rank held-results memory (Theorem 4), and a
-simulated makespan under the machine cost model.
+makespan.  The rank program is backend-portable: under the default
+``backend="sim"`` it executes on the deterministic simulator (makespan in
+simulated seconds under the machine cost model); under
+``backend="process"`` the *same* program runs on real OS processes with
+shared-memory input blocks (:mod:`repro.exec`), producing bit-identical
+results and wall-clock metrics.
 
 Fault tolerance (``checkpoint=True``): every rank persists its first-level
 partials to a :class:`~repro.arrays.persist.CheckpointStore` right after the
@@ -56,8 +61,8 @@ from repro.cluster.collectives import (
 from repro.cluster.faults import FaultPlan
 from repro.cluster.machine import MachineModel
 from repro.cluster.metrics import RunMetrics
-from repro.cluster.network import CONTROL_NBYTES, Control
-from repro.cluster.runtime import Op, RankEnv, RECV_TIMEOUT, run_spmd
+from repro.cluster.network import Control
+from repro.cluster.runtime import Op, RankEnv, RECV_TIMEOUT
 from repro.cluster.topology import ProcessorGrid
 from repro.core.aggregation_tree import AggregationTree
 from repro.core.comm_model import total_comm_volume
@@ -157,6 +162,17 @@ class ParallelResult:
     @property
     def simulated_time_s(self) -> float:
         return self.metrics.makespan_s
+
+    @property
+    def elapsed_s(self) -> float:
+        """Backend-neutral makespan: simulated seconds on ``"sim"`` runs,
+        wall-clock seconds on ``"process"`` runs."""
+        return self.metrics.makespan_s
+
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend that produced this result."""
+        return self.metrics.backend
 
     @property
     def max_peak_memory_elements(self) -> int:
@@ -289,6 +305,9 @@ def _make_program(
             )
         return written
 
+    # Mark the factory as a cube build so run_spmd can steer direct callers
+    # to the repro.exec backend registry (one-release deprecation).
+    setattr(program, "_cube_program", True)
     return program
 
 
@@ -379,10 +398,15 @@ def _make_program_ft(
 
     def program(env: RankEnv) -> Generator[Op, Any, dict[int, dict[Node, DenseArray]]]:
         me = env.rank
+        # The detection window comes from the backend's timeout policy: the
+        # simulator derives it from the cost model, a real-process backend
+        # uses a wall-clock floor.  An explicit recv_timeout is still shaped
+        # (scaled/floored) by the policy so simulator-tuned values stay safe
+        # on real clocks.
         timeout = (
-            recv_timeout
+            env.timeouts.effective(recv_timeout)
             if recv_timeout is not None
-            else 1000.0 * env.machine.message_time(CONTROL_NBYTES)
+            else env.timeouts.detection_timeout(env.machine)
         )
         block = local_inputs[me]
         vlocal: dict[int, dict[Node, DenseArray]] = {me: {}}
@@ -513,6 +537,7 @@ def _make_program_ft(
             )
         return written
 
+    setattr(program, "_cube_program", True)
     return program
 
 
@@ -577,9 +602,10 @@ def construct_cube_parallel(
     checkpoint: bool = UNSET,
     checkpoint_dir: str | Path | None = UNSET,
     recv_timeout: float | None = UNSET,
+    backend: Any = UNSET,
     config: BuildConfig | None = None,
 ) -> ParallelResult:
-    """Construct the full data cube on a simulated cluster (Fig 5).
+    """Construct the full data cube on an execution backend (Fig 5).
 
     All options live on :class:`~repro.core.config.BuildConfig` and may be
     passed either as ``config=BuildConfig(...)`` or as the individual
@@ -631,8 +657,15 @@ def construct_cube_parallel(
         Where checkpoint ``.npz`` files live (default: a temporary
         directory deleted after the run).
     recv_timeout:
-        Failure-detection receive timeout in simulated seconds (default:
-        1000 control-message times on the rank's own machine model).
+        Failure-detection receive timeout in backend-clock seconds
+        (default: derived from the backend's
+        :class:`~repro.cluster.runtime.TimeoutPolicy`).
+    backend:
+        Execution backend -- a registered name (``"sim"``, ``"process"``)
+        or a :class:`~repro.exec.base.Backend` instance.  ``"sim"`` (the
+        default) runs the deterministic simulator; ``"process"`` runs the
+        same program on real OS processes with shared-memory inputs and
+        reports wall-clock metrics.  Results are bit-identical either way.
     config:
         A :class:`~repro.core.config.BuildConfig` carrying any/all of the
         above; individual keywords take precedence.
@@ -651,6 +684,7 @@ def construct_cube_parallel(
         checkpoint=checkpoint,
         checkpoint_dir=checkpoint_dir,
         recv_timeout=recv_timeout,
+        backend=backend,
     )
     machine = cfg.machine
     reduction = cfg.reduction
@@ -665,37 +699,34 @@ def construct_cube_parallel(
     checkpoint_dir = cfg.checkpoint_dir
     recv_timeout = cfg.recv_timeout
     measure = get_measure(cfg.measure)
+    # Resolve the execution backend (validated by BuildConfig already).
+    # Imported lazily: repro.exec sits above repro.cluster and repro.arrays
+    # only, but importing it eagerly here would be a needless cost for the
+    # many consumers of this module that never construct.
+    from repro.exec.base import Backend
+    from repro.exec.registry import get_backend
+
+    backend_obj = (
+        cfg.backend if isinstance(cfg.backend, Backend) else get_backend(cfg.backend)
+    )
     if isinstance(array, np.ndarray):
         array = DenseArray.full_cube_input(array)
     shape = tuple(array.shape)
     bits = tuple(bits)
     if len(bits) != len(shape):
         raise ValueError("bits must have one entry per dimension")
-    if reduction not in ("flat", "binomial"):
-        raise ValueError(f"unknown reduction {reduction!r}")
     n = len(shape)
     grid = ProcessorGrid(bits)
     # Validate the partition against the shape early.
     BlockPartition(shape, grid.parts)
 
-    local_inputs = _extract_local_inputs(array, grid)
-    if schedule is not None and tree is not None:
-        raise ValueError("pass either tree or schedule, not both")
+    local_inputs = backend_obj.prepare_inputs(_extract_local_inputs(array, grid))
     if schedule is None:
         schedule = parallel_schedule(n, tree=tree)
 
     tmpdir = None
     try:
         if checkpoint:
-            if reduction != "flat":
-                raise ValueError(
-                    "checkpointed construction supports only the flat reduction"
-                )
-            if max_message_elements is not None:
-                raise ValueError(
-                    "checkpointed construction does not support "
-                    "max_message_elements"
-                )
             if checkpoint_dir is None:
                 tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
                 checkpoint_dir = tmpdir.name
@@ -712,11 +743,12 @@ def construct_cube_parallel(
                 schedule, grid, local_inputs, n, reduction, measure,
                 max_message_elements,
             )
-        metrics = run_spmd(
+        metrics = backend_obj.spawn_ranks(
             grid.size, program, machine=machine, record_trace=trace,
             machines=machines, faults=fault_plan,
         )
     finally:
+        backend_obj.close()
         if tmpdir is not None:
             tmpdir.cleanup()
 

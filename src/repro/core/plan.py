@@ -161,14 +161,17 @@ class CubePlan:
         checkpoint: bool = UNSET,
         checkpoint_dir: str | Path | None = UNSET,
         recv_timeout: float | None = UNSET,
+        backend: object = UNSET,
         config: BuildConfig | None = None,
     ) -> ParallelResult:
-        """Construct the cube on the simulated cluster; results re-keyed.
+        """Construct the cube on an execution backend; results re-keyed.
 
         Options pass straight through to
         :func:`~repro.core.parallel.construct_cube_parallel`: either as a
         :class:`~repro.core.config.BuildConfig` via ``config=`` or as the
-        legacy keywords (which override the config's fields).
+        legacy keywords (which override the config's fields).  ``backend``
+        selects the executor (``"sim"`` default, ``"process"`` for real
+        OS processes).
         """
         from repro.core.parallel import construct_cube_parallel
 
@@ -184,6 +187,7 @@ class CubePlan:
             checkpoint=checkpoint,
             checkpoint_dir=checkpoint_dir,
             recv_timeout=recv_timeout,
+            backend=backend,
             config=config,
         )
         if result.results is not None:

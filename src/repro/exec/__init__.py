@@ -1,0 +1,38 @@
+"""Pluggable execution backends for SPMD rank programs.
+
+The Fig 5 constructor emits *rank programs*: generator functions that yield
+the op vocabulary of :mod:`repro.cluster.runtime` (``SendOp``, ``RecvOp``,
+``BarrierOp``, ...).  A :class:`Backend` is an interpreter for that
+vocabulary.  Two ship with the package:
+
+- :class:`SimBackend` (``"sim"``) -- the deterministic discrete-event
+  simulator; clocks are simulated seconds under a machine cost model.
+- :class:`ProcessBackend` (``"process"``) -- real OS processes via
+  :mod:`multiprocessing`, with the per-rank input blocks placed in
+  :mod:`multiprocessing.shared_memory` so local partitions are zero-copy;
+  only cross-rank partial results are pickled.  Clocks are wall-clock
+  seconds.
+
+Because both backends drive the *same* generator program, the arithmetic
+(including the order of floating-point accumulation in reductions) is
+identical, and results are bit-for-bit the same across backends.  Select
+one by name through :func:`get_backend` or
+``construct_cube_parallel(backend="process")``.
+"""
+
+from repro.exec.base import Backend, ProgramFactory
+from repro.exec.process import ProcessBackend
+from repro.exec.registry import available_backends, get_backend, register_backend
+from repro.exec.shm import SharedInputArena
+from repro.exec.sim import SimBackend
+
+__all__ = [
+    "Backend",
+    "ProgramFactory",
+    "SimBackend",
+    "ProcessBackend",
+    "SharedInputArena",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+]

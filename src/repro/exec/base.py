@@ -1,0 +1,142 @@
+"""The :class:`Backend` protocol every executor implements.
+
+A backend is an interpreter for SPMD rank programs -- generator functions
+yielding the op vocabulary of :mod:`repro.cluster.runtime`.  The protocol
+has two halves:
+
+- the *op vocabulary* (:meth:`Backend.send`, :meth:`Backend.recv`,
+  :meth:`Backend.barrier`, :meth:`Backend.reduce_to_lead`): backend-neutral
+  constructors programs use to describe communication;
+- the *executor* (:meth:`Backend.spawn_ranks`): runs one program factory on
+  ``num_ranks`` ranks and returns :class:`~repro.cluster.metrics.RunMetrics`
+  in the shared vocabulary (comm counters, per-rank clocks, trace events),
+  so analyzers like :func:`repro.analysis.lint_trace.lint_trace` work on
+  any backend's runs.
+
+Hooks with sensible defaults: :attr:`Backend.timeouts` tells rank programs
+which :class:`~repro.cluster.runtime.TimeoutPolicy` to shape their receive
+windows with, :meth:`Backend.prepare_inputs` lets a backend stage per-rank
+input blocks (shared memory for real processes), and :meth:`Backend.close`
+releases per-run resources.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Generator, Sequence
+
+from repro.cluster import collectives
+from repro.cluster.faults import FaultPlan
+from repro.cluster.machine import MachineModel
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.runtime import (
+    BarrierOp,
+    Op,
+    RankEnv,
+    RecvOp,
+    SendOp,
+    SIMULATED_TIMEOUTS,
+    TimeoutPolicy,
+)
+
+#: A rank program: called once per rank with its env, returns the generator
+#: the backend drives.
+ProgramFactory = Callable[[RankEnv], Generator[Op, Any, Any]]
+
+
+class Backend(abc.ABC):
+    """One way of executing SPMD rank programs.
+
+    Subclasses implement :meth:`spawn_ranks` (and usually override
+    :attr:`timeouts`); the op-vocabulary constructors are shared, which is
+    what keeps programs backend-portable.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    # -- op vocabulary -------------------------------------------------------
+
+    @staticmethod
+    def send(dst: int, payload: Any, tag: int = 0) -> SendOp:
+        """Op: ship ``payload`` to rank ``dst`` under ``tag``."""
+        return SendOp(dst=dst, tag=tag, payload=payload)
+
+    @staticmethod
+    def recv(src: int, tag: int = 0, timeout: float | None = None) -> RecvOp:
+        """Op: receive the next ``(src, tag)`` message (optional timeout)."""
+        return RecvOp(src=src, tag=tag, timeout=timeout)
+
+    @staticmethod
+    def barrier() -> BarrierOp:
+        """Op: wait until every live rank reaches the barrier."""
+        return BarrierOp()
+
+    @staticmethod
+    def reduce_to_lead(
+        env: RankEnv,
+        group: Sequence[int],
+        value: Any,
+        tag: int,
+        combine: Callable[[Any, Any], Any] | None = None,
+        element_ops: float | None = None,
+    ) -> Generator[Op, Any, Any]:
+        """The paper's collective: combine a reduction group onto its lead.
+
+        A generator helper (``yield from`` it inside a rank program); the
+        flat gather-to-lead of :func:`repro.cluster.collectives.reduce_to_lead`
+        with the same deterministic combine order on every backend.
+        """
+        if combine is None:
+            return (
+                yield from collectives.reduce_to_lead(
+                    env, group, value, tag, element_ops=element_ops
+                )
+            )
+        return (
+            yield from collectives.reduce_to_lead(
+                env, group, value, tag, combine=combine, element_ops=element_ops
+            )
+        )
+
+    # -- executor ------------------------------------------------------------
+
+    @property
+    def timeouts(self) -> TimeoutPolicy:
+        """Timeout source rank programs should shape their windows with."""
+        return SIMULATED_TIMEOUTS
+
+    def prepare_inputs(self, local_inputs: list[Any]) -> list[Any]:
+        """Stage per-rank input blocks for execution.
+
+        The default is a no-op; :class:`~repro.exec.process.ProcessBackend`
+        copies the blocks into shared memory here so worker processes read
+        them zero-copy.  Resources claimed by this hook are released by
+        :meth:`close`.
+        """
+        return local_inputs
+
+    @abc.abstractmethod
+    def spawn_ranks(
+        self,
+        num_ranks: int,
+        program_factory: ProgramFactory,
+        *,
+        machine: MachineModel | None = None,
+        record_trace: bool = False,
+        machines: Sequence[MachineModel] | None = None,
+        faults: FaultPlan | None = None,
+    ) -> RunMetrics:
+        """Run ``program_factory`` on ``num_ranks`` ranks to completion.
+
+        Returns :class:`~repro.cluster.metrics.RunMetrics` with
+        ``metrics.backend`` set to this backend's name.  Backends that
+        cannot honor an option (e.g. fault injection outside the simulator)
+        must raise ``ValueError`` rather than silently ignore it.
+        """
+
+    def close(self) -> None:
+        """Release per-run resources (shared memory, worker pools)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,364 @@
+"""Real shared-memory execution of SPMD rank programs.
+
+:class:`ProcessBackend` interprets the same generator rank programs the
+simulator runs, but on real OS processes: one forked worker per rank,
+per-rank :class:`multiprocessing.Queue` inboxes with MPI-style ``(src,
+tag)`` matching, a real :class:`multiprocessing.Barrier`, and input blocks
+staged in shared memory by :class:`~repro.exec.shm.SharedInputArena` (the
+fork inherits the mapping, so local partitions are read zero-copy; only
+cross-rank partials travel through pickled queue messages).
+
+Because the *program* is identical -- same numpy kernels, same flat
+reduce-to-lead combine order -- results are bit-for-bit identical to the
+simulator's, and the message pattern (hence the Theorem 3 communication
+volume) matches exactly.  What changes is the meaning of time: clocks and
+:class:`~repro.cluster.runtime.TraceEvent` intervals are real
+``time.monotonic`` seconds against a common epoch (``CLOCK_MONOTONIC`` is
+system-wide, so cross-process timestamps are comparable), and receive
+timeouts are shaped by :data:`~repro.cluster.runtime.MONOTONIC_TIMEOUTS`.
+
+The cost-model-only knobs of the simulator are rejected: fault injection
+and per-rank machine models raise ``ValueError`` here.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from collections import deque
+from typing import Any, Sequence
+
+from repro.cluster.faults import FaultPlan, FaultStats
+from repro.cluster.machine import MachineModel
+from repro.cluster.metrics import CommStats, RunMetrics
+from repro.cluster.network import payload_elements, payload_nbytes
+from repro.cluster.runtime import (
+    BarrierOp,
+    ComputeOp,
+    DiskReadOp,
+    DiskWriteOp,
+    MONOTONIC_TIMEOUTS,
+    RECV_TIMEOUT,
+    RankEnv,
+    RecvOp,
+    SendOp,
+    SleepOp,
+    TimeoutPolicy,
+    TraceEvent,
+)
+from repro.exec.base import Backend, ProgramFactory
+from repro.exec.shm import SharedInputArena
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the remote traceback."""
+
+
+def _drive(
+    rank: int,
+    num_ranks: int,
+    machine: MachineModel,
+    program_factory: ProgramFactory,
+    inboxes: Sequence[Any],
+    barrier: Any,
+    record_trace: bool,
+    epoch: float,
+    watchdog_s: float,
+) -> dict[str, Any]:
+    """Interpret one rank's program in real time; returns its stats.
+
+    The generator runs the actual numpy work between yields; ops are
+    interpreted as real communication (queue sends/receives, the shared
+    barrier) or as pure accounting (compute/disk charges, whose *real*
+    duration is the measured interval since the previous op).
+    """
+    env = RankEnv(
+        rank=rank,
+        num_ranks=num_ranks,
+        machine=machine,
+        timeouts=MONOTONIC_TIMEOUTS,
+    )
+    inbox = inboxes[rank]
+    mailbox: dict[tuple[int, int], deque[Any]] = {}
+    trace: list[TraceEvent] = []
+    comm = CommStats()
+
+    def now() -> float:
+        return time.monotonic() - epoch
+
+    def await_message(src: int, tag: int, deadline: float | None) -> Any:
+        """Next ``(src, tag)`` payload; :data:`RECV_TIMEOUT` past deadline."""
+        hard = now() + watchdog_s
+        while True:
+            box = mailbox.get((src, tag))
+            if box:
+                return box.popleft()
+            limit = hard if deadline is None else min(deadline, hard)
+            wait = limit - now()
+            if wait <= 0:
+                if deadline is not None and now() >= deadline:
+                    return RECV_TIMEOUT
+                raise WorkerError(
+                    f"rank {rank}: no message from {src} tag {tag} after "
+                    f"{watchdog_s:.0f}s (likely deadlock or a dead peer)"
+                )
+            try:
+                msrc, mtag, payload = inbox.get(timeout=wait)
+            except queue_mod.Empty:
+                continue
+            mailbox.setdefault((msrc, mtag), deque()).append(payload)
+
+    gen = program_factory(env)
+    resume: Any = None
+    result: Any = None
+    t_prev = now()
+    while True:
+        try:
+            op = gen.send(resume)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        t_yield = now()
+        resume = None
+        if isinstance(op, ComputeOp):
+            env.compute_ops += op.element_ops
+            if record_trace and t_yield > t_prev:
+                trace.append(TraceEvent(rank, "compute", t_prev, t_yield))
+        elif isinstance(op, SendOp):
+            nbytes = payload_nbytes(op.payload)
+            inboxes[op.dst].put((rank, op.tag, op.payload))
+            comm.record(rank, op.dst, nbytes, payload_elements(op.payload))
+            if record_trace:
+                trace.append(
+                    TraceEvent(
+                        rank, "send", t_yield, now(),
+                        f"to {op.dst} ({nbytes}B)",
+                        peer=op.dst, tag=op.tag, nbytes=nbytes,
+                    )
+                )
+        elif isinstance(op, RecvOp):
+            deadline = None if op.timeout is None else t_yield + op.timeout
+            resume = await_message(op.src, op.tag, deadline)
+            t_done = now()
+            if resume is RECV_TIMEOUT:
+                if record_trace:
+                    trace.append(
+                        TraceEvent(
+                            rank, "wait", t_yield, t_done,
+                            f"timeout (from {op.src} tag {op.tag})",
+                            peer=op.src, tag=op.tag,
+                        )
+                    )
+                    trace.append(
+                        TraceEvent(
+                            rank, "fault", t_done, t_done,
+                            f"timeout from {op.src}", peer=op.src, tag=op.tag,
+                        )
+                    )
+            elif record_trace:
+                trace.append(
+                    TraceEvent(
+                        rank, "recv", t_yield, t_done,
+                        f"from {op.src} ({payload_nbytes(resume)}B)",
+                        peer=op.src, tag=op.tag, nbytes=payload_nbytes(resume),
+                    )
+                )
+        elif isinstance(op, DiskWriteOp):
+            env.disk_bytes_written += op.nbytes
+            if record_trace and t_yield > t_prev:
+                trace.append(TraceEvent(rank, "disk", t_prev, t_yield, "write"))
+        elif isinstance(op, DiskReadOp):
+            env.disk_bytes_read += op.nbytes
+            if record_trace and t_yield > t_prev:
+                trace.append(TraceEvent(rank, "disk", t_prev, t_yield, "read"))
+        elif isinstance(op, SleepOp):
+            time.sleep(op.seconds)
+            if record_trace:
+                trace.append(TraceEvent(rank, "wait", t_yield, now(), "sleep"))
+        elif isinstance(op, BarrierOp):
+            barrier.wait(timeout=watchdog_s)
+            if record_trace:
+                trace.append(TraceEvent(rank, "barrier", t_yield, now()))
+        else:
+            raise TypeError(f"rank {rank} yielded unknown op {op!r}")
+        t_prev = now()
+
+    env.clock = now()
+    return {
+        "result": result,
+        "clock": env.clock,
+        "peak_memory_elements": env.peak_memory_elements,
+        "compute_ops": env.compute_ops,
+        "disk_bytes_written": env.disk_bytes_written,
+        "disk_bytes_read": env.disk_bytes_read,
+        "comm": comm,
+        "trace": trace,
+    }
+
+
+def _worker(
+    rank: int,
+    num_ranks: int,
+    machine: MachineModel,
+    program_factory: ProgramFactory,
+    inboxes: Sequence[Any],
+    barrier: Any,
+    result_queue: Any,
+    record_trace: bool,
+    epoch: float,
+    watchdog_s: float,
+) -> None:
+    """Process entry point: drive the program, ship stats (or the error)."""
+    try:
+        stats = _drive(
+            rank, num_ranks, machine, program_factory, inboxes, barrier,
+            record_trace, epoch, watchdog_s,
+        )
+        result_queue.put((rank, "ok", stats))
+    except BaseException:
+        result_queue.put((rank, "error", traceback.format_exc()))
+
+
+class ProcessBackend(Backend):
+    """Execute rank programs on real OS processes with shared-memory inputs.
+
+    ``watchdog_s`` bounds every blocking wait (receives with no timeout,
+    barriers, the host's wait for worker results); exceeding it surfaces
+    the real-world analogue of the simulator's ``DeadlockError``.  Requires
+    the ``fork`` start method (program factories are closures; the fork
+    inherits them and the shared-memory input mapping without pickling).
+    """
+
+    name = "process"
+
+    def __init__(self, watchdog_s: float = 120.0):
+        if watchdog_s <= 0:
+            raise ValueError("watchdog_s must be positive")
+        self.watchdog_s = watchdog_s
+        self._arena: SharedInputArena | None = None
+
+    @property
+    def timeouts(self) -> TimeoutPolicy:
+        """Wall-clock windows with jitter-proof floors."""
+        return MONOTONIC_TIMEOUTS
+
+    def prepare_inputs(self, local_inputs: list[Any]) -> list[Any]:
+        """Stage the blocks in one shared-memory segment (zero-copy reads)."""
+        self._arena = SharedInputArena(local_inputs)
+        return self._arena.blocks
+
+    def spawn_ranks(
+        self,
+        num_ranks: int,
+        program_factory: ProgramFactory,
+        *,
+        machine: MachineModel | None = None,
+        record_trace: bool = False,
+        machines: Sequence[MachineModel] | None = None,
+        faults: FaultPlan | None = None,
+    ) -> RunMetrics:
+        """Fork one worker per rank and run the program to completion."""
+        if faults is not None:
+            raise ValueError(
+                "fault injection is simulator-only; use backend='sim'"
+            )
+        if machines is not None:
+            raise ValueError(
+                "per-rank machine models are simulator-only; use backend='sim'"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessBackend requires the 'fork' start method"
+            )
+        mach = machine or MachineModel.paper_cluster()
+        if num_ranks == 0:
+            return RunMetrics(
+                makespan_s=0.0, rank_clocks=[], comm=CommStats(),
+                rank_peak_memory_elements=[], rank_compute_ops=[],
+                rank_disk_bytes_written=[], rank_disk_bytes_read=[],
+                rank_results=[], backend=self.name,
+            )
+
+        ctx = multiprocessing.get_context("fork")
+        inboxes = [ctx.Queue() for _ in range(num_ranks)]
+        result_queue = ctx.Queue()
+        barrier = ctx.Barrier(num_ranks)
+        epoch = time.monotonic()
+        procs = [
+            ctx.Process(
+                target=_worker,
+                args=(
+                    r, num_ranks, mach, program_factory, inboxes, barrier,
+                    result_queue, record_trace, epoch, self.watchdog_s,
+                ),
+            )
+            for r in range(num_ranks)
+        ]
+        for p in procs:
+            p.start()
+
+        stats: list[dict[str, Any] | None] = [None] * num_ranks
+        error: tuple[int, str] | None = None
+        try:
+            for _ in range(num_ranks):
+                try:
+                    rank, status, payload = result_queue.get(
+                        timeout=self.watchdog_s + 30.0
+                    )
+                except queue_mod.Empty:
+                    error = (-1, "worker result wait timed out")
+                    break
+                if status == "error":
+                    error = (rank, payload)
+                    break
+                stats[rank] = payload
+        finally:
+            if error is not None:
+                for p in procs:
+                    if p.is_alive():
+                        p.terminate()
+            for p in procs:
+                p.join(timeout=10.0)
+                if p.is_alive():  # pragma: no cover - defensive
+                    p.kill()
+                    p.join()
+        if error is not None:
+            rank, detail = error
+            where = f"rank {rank}" if rank >= 0 else "host"
+            raise WorkerError(f"{where} failed:\n{detail}")
+
+        comm = CommStats()
+        trace: list[TraceEvent] = []
+        for s in stats:
+            assert s is not None
+            comm.merge(s["comm"])
+            trace.extend(s["trace"])
+        trace.sort(key=lambda ev: (ev.start, ev.end, ev.rank))
+        clocks = [s["clock"] for s in stats if s is not None]
+        return RunMetrics(
+            makespan_s=max(clocks, default=0.0),
+            rank_clocks=clocks,
+            comm=comm,
+            rank_peak_memory_elements=[
+                s["peak_memory_elements"] for s in stats if s is not None
+            ],
+            rank_compute_ops=[s["compute_ops"] for s in stats if s is not None],
+            rank_disk_bytes_written=[
+                s["disk_bytes_written"] for s in stats if s is not None
+            ],
+            rank_disk_bytes_read=[
+                s["disk_bytes_read"] for s in stats if s is not None
+            ],
+            rank_results=[s["result"] for s in stats if s is not None],
+            trace=trace,
+            faults=FaultStats(),
+            backend=self.name,
+        )
+
+    def close(self) -> None:
+        """Release the shared-memory arena from :meth:`prepare_inputs`."""
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None

@@ -1,0 +1,49 @@
+"""Name-based registry of execution backends.
+
+``get_backend("sim")`` / ``get_backend("process")`` return a *fresh*
+backend instance per call -- backends hold per-run state (shared-memory
+arenas, worker bookkeeping), so instances are not shared.  Third-party
+backends join via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exec.base import Backend
+from repro.exec.process import ProcessBackend
+from repro.exec.sim import SimBackend
+
+_REGISTRY: dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register ``factory`` under ``name`` (overwrites an existing entry).
+
+    ``factory`` is called with no arguments and must return a fresh
+    :class:`~repro.exec.base.Backend` each time.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("backend name must be a non-empty string")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> Backend:
+    """A fresh instance of the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return factory()
+
+
+register_backend("sim", SimBackend)
+register_backend("process", ProcessBackend)

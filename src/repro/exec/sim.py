@@ -1,0 +1,57 @@
+"""The deterministic simulator wrapped as an execution backend."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.cluster.faults import FaultPlan
+from repro.cluster.machine import MachineModel
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.runtime import SIMULATED_TIMEOUTS, TimeoutPolicy, run_spmd
+from repro.exec.base import Backend, ProgramFactory
+
+
+class SimBackend(Backend):
+    """Execute rank programs on the discrete-event simulator.
+
+    A thin adapter over :func:`repro.cluster.runtime.run_spmd`: clocks are
+    simulated seconds under the machine cost model, execution is
+    deterministic, and the full robustness surface (fault plans, per-rank
+    machine models, heterogeneous studies) is available.  This is the only
+    backend that supports ``faults`` and ``machines``.
+    """
+
+    name = "sim"
+
+    @property
+    def timeouts(self) -> TimeoutPolicy:
+        """Simulated-clock windows, used verbatim."""
+        return SIMULATED_TIMEOUTS
+
+    def prepare_inputs(self, local_inputs: list[Any]) -> list[Any]:
+        """No staging needed: every rank shares the host address space."""
+        return local_inputs
+
+    def spawn_ranks(
+        self,
+        num_ranks: int,
+        program_factory: ProgramFactory,
+        *,
+        machine: MachineModel | None = None,
+        record_trace: bool = False,
+        machines: Sequence[MachineModel] | None = None,
+        faults: FaultPlan | None = None,
+    ) -> RunMetrics:
+        """Run the program under :func:`run_spmd`; see the backend protocol."""
+        metrics = run_spmd(
+            num_ranks,
+            program_factory,
+            machine=machine,
+            record_trace=record_trace,
+            machines=list(machines) if machines is not None else None,
+            faults=faults,
+            timeouts=self.timeouts,
+            _via_backend=True,
+        )
+        metrics.backend = self.name
+        return metrics

@@ -47,11 +47,14 @@ class DataCube:
         machine: MachineModel | None = None,
         keep_base: bool = True,
         measure: Measure | str = SUM,
+        backend: str = "sim",
     ) -> "DataCube":
         """Plan and construct the cube.
 
         ``num_processors == 1`` runs the sequential Fig 3 algorithm;
-        otherwise the Fig 5 parallel algorithm on the simulated cluster.
+        otherwise the Fig 5 parallel algorithm on the selected execution
+        backend (``"sim"``: the deterministic simulator; ``"process"``:
+        real OS processes -- bit-identical aggregates either way).
         ``measure`` is any distributive measure (default SUM).
         """
         if tuple(data.shape) != schema.shape:
@@ -64,7 +67,9 @@ class DataCube:
             run = plan.run_sequential(data, measure=measure)
             aggregates = run.results
         else:
-            run = plan.run_parallel(data, machine=machine, measure=measure)
+            run = plan.run_parallel(
+                data, machine=machine, measure=measure, backend=backend
+            )
             assert run.results is not None
             aggregates = run.results
         base = data if keep_base else None

@@ -57,6 +57,12 @@ MODULES = [
     "repro.core.prefix_tree",
     "repro.core.sequential",
     "repro.core.spanning_tree",
+    "repro.exec",
+    "repro.exec.base",
+    "repro.exec.process",
+    "repro.exec.registry",
+    "repro.exec.shm",
+    "repro.exec.sim",
     "repro.olap",
     "repro.olap.cube",
     "repro.olap.granularity",
@@ -96,8 +102,8 @@ def test_module_list_is_complete():
 
 @pytest.mark.parametrize(
     "name",
-    ["repro", "repro.arrays", "repro.cluster", "repro.core", "repro.olap",
-     "repro.serve", "repro.tiling", "repro.baselines"],
+    ["repro", "repro.arrays", "repro.cluster", "repro.core", "repro.exec",
+     "repro.olap", "repro.serve", "repro.tiling", "repro.baselines"],
 )
 def test_dunder_all_resolves(name):
     mod = importlib.import_module(name)
@@ -190,7 +196,7 @@ def test_version():
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
     assert match is not None
-    assert repro.__version__ == match.group(1) == "1.2.0"
+    assert repro.__version__ == match.group(1) == "1.3.0"
 
 
 def test_deprecated_shims_warn_exactly_once_and_match_execute():

@@ -213,3 +213,52 @@ class TestCheck:
         code, text = run_cli("check", "--shape", "8,8", "--procs", "2", "--gate")
         assert code == 0
         assert "source gate" in text
+
+
+class TestBackendOption:
+    def test_construct_on_process_backend(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8,4", "--procs", "4",
+            "--backend", "process", "--verify",
+        )
+        assert code == 0
+        assert "wall time" in text
+        assert "exact match" in text
+        assert "verified" in text
+
+    def test_sim_default_reports_simulated_time(self):
+        code, text = run_cli("construct", "--shape", "8,8", "--procs", "2")
+        assert code == 0
+        assert "simulated time" in text
+
+    def test_process_rejects_fault_plan(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8", "--procs", "2",
+            "--backend", "process", "--fault-plan", "crash:1@0.5",
+        )
+        assert code == 2
+        assert "simulator-only" in text
+
+    def test_build_on_process_backend(self, tmp_path):
+        cube = tmp_path / "cube.npz"
+        code, text = run_cli(
+            "build", "--shape", "8,8", "--procs", "2",
+            "--backend", "process", "--out", str(cube),
+        )
+        assert code == 0
+        assert "real processors" in text
+        assert cube.exists()
+
+    def test_check_run_on_process_backend(self):
+        code, text = run_cli(
+            "check", "--shape", "8,6,4", "--procs", "4", "--run",
+            "--backend", "process",
+        )
+        assert code == 0
+        assert "matches the static prediction" in text
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["construct", "--shape", "8,8", "--backend", "mpi"]
+            )
