@@ -194,6 +194,20 @@ least 8 CPUs; the machine-readable record (including the skip reason on
 smaller hosts) is `benchmarks/results/BENCH_backend.json`.""",
         "t_backend",
     ),
+    (
+        "T-obs — telemetry overhead (extension)",
+        """Observability extension beyond the paper: the unified telemetry
+subsystem (`repro.obs` — spans, metrics registry, Chrome-trace export)
+promises to be free when off and cheap when on.  Asserted always: a traced
+build's *simulated* makespan is bit-identical to an untraced one's
+(instrumentation observes, never perturbs, the cost model), and
+`tracemalloc` attributes zero allocations to `repro.obs` during an
+untraced build.  The < 5 % median host wall-clock overhead gate is
+enforced when the host is quiet enough to measure it; the machine-readable
+record (including any skip reason) is
+`benchmarks/results/BENCH_obs.json`.""",
+        "t_obs",
+    ),
 ]
 
 HEADER = """# EXPERIMENTS — paper vs measured

@@ -1,0 +1,146 @@
+"""BENCH-obs: what does telemetry cost?
+
+The :mod:`repro.obs` subsystem promises to be free when off and cheap when
+on.  This bench pins both halves on the Figure-7 workload and emits
+``benchmarks/results/BENCH_obs.json``:
+
+- **disabled == free** (always asserted): an untraced build produces a
+  *bit-identical* simulated makespan to a traced one (tracing must observe,
+  never perturb, the simulated timeline), and ``tracemalloc`` sees zero
+  allocations attributed to ``src/repro/obs`` during an untraced build --
+  the kernel inner loop touches no telemetry objects when tracing is off;
+- **enabled is cheap** (gated): the median host wall-clock of traced builds
+  stays within ``MAX_OVERHEAD`` (5%) of untraced builds.  Wall-clock gates
+  are noisy on loaded CI hosts, so the gate takes the median of
+  ``ROUNDS`` interleaved pairs and, like the backend bench, records a skip
+  reason instead of fabricating a verdict when the host is too noisy to
+  measure (spread of untraced times > the gate margin itself).
+"""
+
+import json
+import statistics
+import time
+import tracemalloc
+
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import greedy_partition
+
+from _harness import FIG7_SHAPE, RESULTS_DIR, SCALE, dataset, emit_table, fmt_row
+
+SPARSITY = 0.25
+PROCS = 8
+ROUNDS = 5
+MAX_OVERHEAD = 0.05
+
+_OBS_PREFIX = "repro/obs/"
+
+
+def _obs_allocations(snapshot: tracemalloc.Snapshot) -> int:
+    """Total bytes the snapshot attributes to files under repro/obs/."""
+    total = 0
+    for stat in snapshot.statistics("filename"):
+        if _OBS_PREFIX in stat.traceback[0].filename.replace("\\", "/"):
+            total += stat.size
+    return total
+
+
+def test_obs_overhead(benchmark):
+    data = dataset(FIG7_SHAPE, SPARSITY)
+    bits = greedy_partition(FIG7_SHAPE, PROCS.bit_length() - 1)
+
+    def untraced():
+        return construct_cube_parallel(data, bits, collect_results=False)
+
+    def traced():
+        return construct_cube_parallel(
+            data, bits, trace=True, collect_results=False
+        )
+
+    # Warm both paths (imports, caches) before measuring anything.
+    base_run = untraced()
+    traced_run = benchmark.pedantic(traced, rounds=1, iterations=1)
+
+    # Gate 1: tracing must not perturb the simulated timeline.
+    assert traced_run.metrics.makespan_s == base_run.metrics.makespan_s, (
+        "traced and untraced builds disagree on the simulated makespan; "
+        "instrumentation leaked into the cost model"
+    )
+
+    # Gate 2: disabled tracing allocates nothing in repro.obs.
+    tracemalloc.start()
+    untraced()
+    snapshot = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    obs_bytes = _obs_allocations(snapshot)
+    assert obs_bytes == 0, (
+        f"untraced build allocated {obs_bytes} bytes inside repro/obs; "
+        "the disabled path must not touch telemetry objects"
+    )
+
+    # Gate 3 (median wall-clock overhead), interleaved to share host noise.
+    walls = {"untraced": [], "traced": []}
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        untraced()
+        walls["untraced"].append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        traced()
+        walls["traced"].append(time.perf_counter() - t0)
+    med_un = statistics.median(walls["untraced"])
+    med_tr = statistics.median(walls["traced"])
+    overhead = med_tr / med_un - 1.0
+
+    spread = (max(walls["untraced"]) - min(walls["untraced"])) / med_un
+    noisy = spread > MAX_OVERHEAD
+    reason = (
+        f"untraced wall-clock spread {spread:.1%} exceeds the {MAX_OVERHEAD:.0%} "
+        f"gate margin; host too noisy to attribute overhead"
+        if noisy
+        else None
+    )
+
+    report = {
+        "bench": "obs",
+        "scale": SCALE,
+        "shape": list(FIG7_SHAPE),
+        "sparsity": SPARSITY,
+        "procs": PROCS,
+        "rounds": ROUNDS,
+        "makespan_bit_identical": True,
+        "disabled_obs_alloc_bytes": int(obs_bytes),
+        "untraced_wall_s": [round(w, 4) for w in walls["untraced"]],
+        "traced_wall_s": [round(w, 4) for w in walls["traced"]],
+        "median_untraced_s": round(med_un, 4),
+        "median_traced_s": round(med_tr, 4),
+        "overhead": round(overhead, 4),
+        "spans_recorded": len(traced_run.metrics.spans),
+        "gate": {
+            "max_overhead": MAX_OVERHEAD,
+            "measured_overhead": round(overhead, 4),
+            "enforced": reason is None,
+            "skip_reason": reason,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        "BENCH-obs: tracing overhead on the Figure 7 build",
+        f"shape={FIG7_SHAPE} sparsity={SPARSITY:.0%} p={PROCS} rounds={ROUNDS}",
+        fmt_row("variant", "median wall(s)", widths=[10, 16]),
+        fmt_row("untraced", f"{med_un:.3f}", widths=[10, 16]),
+        fmt_row("traced", f"{med_tr:.3f}", widths=[10, 16]),
+        f"overhead {overhead:+.1%} (gate {MAX_OVERHEAD:.0%}), "
+        f"makespan bit-identical, obs allocations when disabled: {obs_bytes}",
+    ]
+    if reason is not None:
+        lines.append(f"overhead gate skipped: {reason}")
+    emit_table("t_obs", lines)
+
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["spans"] = len(traced_run.metrics.spans)
+    if reason is None:
+        assert overhead < MAX_OVERHEAD, (
+            f"traced builds are {overhead:.1%} slower than untraced "
+            f"(gate {MAX_OVERHEAD:.0%})"
+        )

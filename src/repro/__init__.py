@@ -16,6 +16,9 @@ serving layer with result caching and batched execution
 backend (:mod:`repro.exec`): ``"sim"`` interprets the rank programs on
 the deterministic cluster simulator, ``"process"`` runs them on real OS
 processes over shared memory -- producing bit-identical aggregates.
+Every layer reports through one telemetry subsystem (:mod:`repro.obs`):
+hierarchical spans, a metrics registry, and Chrome-trace/Perfetto export
+(``trace=True`` / ``trace_out=`` on a build, ``metrics=`` on a service).
 
 Quickstart (construction)::
 
@@ -64,6 +67,13 @@ from repro.exec import (
     available_backends,
     get_backend,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    load_run,
+    summarize_run,
+    write_chrome_trace,
+)
 from repro.olap import (
     DataCube,
     Dimension,
@@ -107,7 +117,7 @@ def _version() -> str:
 
         return version("repro")
     except Exception:
-        return "1.3.0"
+        return "1.4.0"
 
 
 __version__ = _version()
@@ -138,6 +148,11 @@ __all__ = [
     "SimBackend",
     "available_backends",
     "get_backend",
+    "MetricsRegistry",
+    "Tracer",
+    "load_run",
+    "summarize_run",
+    "write_chrome_trace",
     "DataCube",
     "Dimension",
     "GroupByQuery",

@@ -29,7 +29,8 @@ Requires a trace recorded with structured fields (``record_trace=True`` on
 
 from __future__ import annotations
 
-from typing import Sequence
+from pathlib import Path
+from typing import Mapping, Sequence, Union
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 from repro.cluster.metrics import RunMetrics
@@ -174,16 +175,27 @@ def _idle_skew_check(metrics: RunMetrics) -> list[Diagnostic]:
 
 
 def lint_trace(
-    metrics: RunMetrics,
+    metrics: Union[RunMetrics, str, Path, Mapping],
     shape: Sequence[int] | None = None,
     bits: Sequence[int] | None = None,
 ) -> DiagnosticReport:
     """Lint one run's trace; returns the full diagnostic report.
 
+    ``metrics`` is either an in-memory :class:`RunMetrics` or an exported
+    run -- a path to a Chrome-trace / JSONL file written by
+    :mod:`repro.obs.export` (or the already-parsed mapping), which is
+    reconstructed with :func:`repro.obs.export.load_run` first.  The
+    exporters preserve exact event times, so linting an export yields the
+    same diagnostics as linting the live run.
+
     ``shape``/``bits`` enable the Theorem-bound memory check (TRACE104);
     without them only the protocol- and timing-level rules run.  Raises
     ``ValueError`` if the run was not traced.
     """
+    if not isinstance(metrics, RunMetrics):
+        from repro.obs.export import load_run
+
+        metrics = load_run(metrics)
     if not metrics.trace:
         raise ValueError("run has no trace; pass record_trace=True / trace=True")
     report = DiagnosticReport()

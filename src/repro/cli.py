@@ -16,7 +16,12 @@ Installed as ``repro-cube`` (see ``pyproject.toml``); also runnable as
                  compare per-query / batched / cached throughput;
 - ``check``      statically verify a plan's communication protocol and
                  closed forms before running it (``repro.analysis``), with
-                 optional traced-run linting and the in-repo source gate.
+                 optional traced-run linting (live or from an exported
+                 trace via ``--run-trace``) and the in-repo source gate;
+- ``trace``      run telemetry (``repro.obs``): ``trace export`` writes a
+                 Perfetto-loadable Chrome trace of a construction,
+                 ``trace summarize`` renders phase/idle/memory reports
+                 from an exported file, ``trace diff`` compares two runs.
 
 All output is plain text; every command is deterministic given ``--seed``.
 """
@@ -147,6 +152,7 @@ def cmd_construct(args: argparse.Namespace, out) -> int:
             checkpoint=args.checkpoint,
             recv_timeout=args.recv_timeout,
             backend=args.backend,
+            trace_out=args.trace_out,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -161,6 +167,8 @@ def cmd_construct(args: argparse.Namespace, out) -> int:
                   "crashes", file=out)
         return 1
     print(f"{_time_label(run.backend)}: {run.elapsed_s:.4f} s", file=out)
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}", file=out)
     print(
         f"communication: {human_count(run.comm_volume_elements)} elements "
         f"({human_bytes(run.comm_volume_bytes)}), "
@@ -280,7 +288,10 @@ def cmd_build(args: argparse.Namespace, out) -> int:
     else:
         data = random_sparse(args.shape, args.sparsity, seed=args.seed)
     plan = plan_cube(args.shape, num_processors=args.procs)
-    run = plan.run_parallel(data, measure=args.measure, backend=args.backend)
+    run = plan.run_parallel(
+        data, measure=args.measure, backend=args.backend,
+        trace_out=args.trace_out,
+    )
     save_cube(args.out, run.results, args.shape, measure_name=args.measure)
     kind = "simulated" if run.backend == "sim" else "real"
     print(
@@ -290,6 +301,8 @@ def cmd_build(args: argparse.Namespace, out) -> int:
         file=out,
     )
     print(f"cube saved to {args.out}", file=out)
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}", file=out)
     if args.facts_out:
         save_sparse(args.facts_out, data)
         print(f"facts saved to {args.facts_out}", file=out)
@@ -457,6 +470,12 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         print(report.format(), file=out)
         ok = ok and match and report.ok
 
+    if args.run_trace:
+        report = lint_trace(args.run_trace, shape=shape, bits=bits)
+        print(f"lint of exported trace {args.run_trace}:", file=out)
+        print(report.format(), file=out)
+        ok = ok and report.ok
+
     if args.gate:
         from pathlib import Path
 
@@ -467,6 +486,44 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         ok = ok and report.ok
 
     return 0 if ok else 1
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    """``trace``: export, summarize, and diff run telemetry."""
+    from repro.obs import (
+        diff_runs,
+        load_run,
+        summarize_run,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if args.trace_cmd == "export":
+        from repro.arrays.dataset import random_sparse
+        from repro.core.plan import plan_cube
+
+        data = random_sparse(args.shape, args.sparsity, seed=args.seed)
+        plan = plan_cube(args.shape, num_processors=args.procs)
+        run = plan.run_parallel(
+            data, trace=True, collect_results=False, backend=args.backend
+        )
+        if args.format == "chrome":
+            write_chrome_trace(run.metrics, args.out)
+        else:
+            write_jsonl(run.metrics, args.out)
+        print(
+            f"traced {args.procs}-rank {args.backend} build of "
+            f"{args.shape}: {len(run.metrics.spans)} spans, "
+            f"{len(run.metrics.trace)} events -> {args.out}",
+            file=out,
+        )
+        return 0
+    if args.trace_cmd == "summarize":
+        print(summarize_run(load_run(args.trace_file)), file=out)
+        return 0
+    # diff
+    print(diff_runs(load_run(args.a), load_run(args.b)), file=out)
+    return 0
 
 
 # -- parser ------------------------------------------------------------------------------
@@ -500,6 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", action="store_true",
                    help="fault-tolerant run: checkpoint first-level partials "
                         "and recover a crashed rank via its buddy")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the run's Chrome trace-event JSON "
+                        "(Perfetto-loadable) to PATH")
     p.add_argument("--recv-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="failure-detection receive timeout in backend-clock "
@@ -534,6 +594,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measure", choices=["sum", "count", "min", "max"],
                    default="sum")
     p.add_argument("--out", required=True, help="cube output path (.npz)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the build's Chrome trace-event JSON to PATH")
     p.add_argument("--facts-out", default=None,
                    help="also save the generated facts (.npz)")
     _add_backend_arg(p)
@@ -571,10 +633,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "heartbeat round in the verified schedule")
     p.add_argument("--run", action="store_true",
                    help="also run a traced construction and lint the trace")
+    p.add_argument("--run-trace", default=None, metavar="PATH",
+                   help="lint an exported run trace (Chrome JSON or JSONL "
+                        "from repro.obs) instead of executing one")
     p.add_argument("--gate", action="store_true",
                    help="also run the in-repo static-analysis gate over src")
     _add_backend_arg(p)
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "trace",
+        help="export, summarize, and diff run telemetry (repro.obs)",
+    )
+    tsub = p.add_subparsers(dest="trace_cmd", required=True)
+
+    tp = tsub.add_parser(
+        "export", help="run a traced construction and write its trace"
+    )
+    tp.add_argument("--shape", type=_shape, required=True)
+    tp.add_argument("--procs", type=_power_of_two, default=8)
+    tp.add_argument("--sparsity", type=float, default=0.25)
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--format", choices=["chrome", "jsonl"], default="chrome",
+                    help="chrome: Perfetto-loadable trace-event JSON "
+                         "(default); jsonl: one record per line")
+    tp.add_argument("--out", required=True, help="trace output path")
+    _add_backend_arg(tp)
+    tp.set_defaults(fn=cmd_trace)
+
+    tp = tsub.add_parser(
+        "summarize",
+        help="human-readable report of an exported trace (phases, idle "
+             "skew, memory, comm, faults, metrics)",
+    )
+    tp.add_argument("trace_file", help="Chrome JSON or JSONL trace path")
+    tp.set_defaults(fn=cmd_trace)
+
+    tp = tsub.add_parser(
+        "diff", help="compare two exported traces phase by phase"
+    )
+    tp.add_argument("a", help="baseline trace path")
+    tp.add_argument("b", help="candidate trace path")
+    tp.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("query", help="answer a group-by from a saved cube")
     p.add_argument("--cube", required=True, help="cube path (.npz)")

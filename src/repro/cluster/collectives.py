@@ -19,7 +19,7 @@ from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
-from repro.cluster.network import Control
+from repro.cluster.network import Control, payload_nbytes
 from repro.cluster.runtime import Op, RankEnv, RecvOp, RECV_TIMEOUT
 
 
@@ -30,6 +30,18 @@ class DeliveryError(RuntimeError):
 def _default_combine(acc: Any, other: Any) -> Any:
     acc += other
     return acc
+
+
+def _note_send(env: RankEnv, dst: int, tag: int, payload: Any) -> None:
+    """Publish per-pair collective traffic to the run's metrics registry.
+
+    Only called on traced runs (callers guard on ``env.tracer.enabled``),
+    so untraced hot paths never compute payload sizes twice.
+    """
+    env.obs.counter(
+        "collective.bytes", src=env.rank, dst=dst, tag=tag
+    ).inc(payload_nbytes(payload))
+    env.obs.counter("collective.messages", src=env.rank, dst=dst, tag=tag).inc()
 
 
 def reduce_to_lead(
@@ -51,6 +63,8 @@ def reduce_to_lead(
         raise ValueError(f"rank {env.rank} not in group {group}")
     lead = group[0]
     if env.rank != lead:
+        if env.tracer.enabled:
+            _note_send(env, lead, tag, value)
         yield env.send(lead, value, tag)
         return None
     acc = value
@@ -112,6 +126,8 @@ def reduce_to_lead_reliable(
     ack_tag = _ACK_TAG_BASE + tag
     if env.rank != lead:
         for attempt in range(max_retries + 1):
+            if env.tracer.enabled:
+                _note_send(env, lead, tag, value)
             yield env.send(lead, value, tag)
             window = env.timeouts.effective(timeout * backoff ** attempt)
             ack = yield RecvOp(src=lead, tag=ack_tag, timeout=window)
@@ -177,6 +193,8 @@ def reduce_binomial(
                 acc = combine(acc, other)
         elif me % (2 * dist) == dist:
             partner = me - dist
+            if env.tracer.enabled:
+                _note_send(env, group[partner], tag, acc)
             yield env.send(group[partner], acc, tag)
             return None
         dist *= 2
@@ -191,6 +209,8 @@ def bcast(
     root = group[0]
     if env.rank == root:
         for dst in group[1:]:
+            if env.tracer.enabled:
+                _note_send(env, dst, tag, value)
             yield env.send(dst, value, tag)
         return value
     return (yield env.recv(root, tag))
@@ -203,6 +223,8 @@ def gather(
     group = list(group)
     root = group[0]
     if env.rank != root:
+        if env.tracer.enabled:
+            _note_send(env, root, tag, value)
         yield env.send(root, value, tag)
         return None
     out = [value]
@@ -220,6 +242,8 @@ def allgather(
         # Lists have no nbytes; ship as a tuple of arrays via repeated sends.
         for dst in list(group)[1:]:
             for item in gathered:
+                if env.tracer.enabled:
+                    _note_send(env, dst, tag + 1, item)
                 yield env.send(dst, item, tag + 1)
         return gathered
     out = []
@@ -270,7 +294,10 @@ def reduce_to_lead_chunked(
         for s in range(nslabs):
             lo = s * max_message_elements
             hi = min(flat.size, lo + max_message_elements)
-            yield env.send(lead, flat[lo:hi].copy(), base + s)
+            slab = flat[lo:hi].copy()
+            if env.tracer.enabled:
+                _note_send(env, lead, base + s, slab)
+            yield env.send(lead, slab, base + s)
         return None
     # Lead: receive slab by slab from each partner, reusing one slab's
     # worth of buffer memory (accounted explicitly).

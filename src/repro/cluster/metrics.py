@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cluster.faults import FaultStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Sample, Span
 
 
 @dataclass
@@ -57,6 +59,13 @@ class RunMetrics:
     trace: list[Any] = field(default_factory=list)
     faults: FaultStats = field(default_factory=FaultStats)
     backend: str = "sim"
+    #: Named phase timeline from :class:`repro.obs.Tracer` (traced runs only).
+    spans: list[Span] = field(default_factory=list)
+    #: Timestamped per-rank series (held memory over time; traced runs only).
+    samples: list[Sample] = field(default_factory=list)
+    #: Run-level counters/gauges/histograms (per-pair collective bytes land
+    #: here when the run is traced).
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def num_ranks(self) -> int:

@@ -46,6 +46,8 @@ from repro.cluster.faults import FaultPlan, FaultStats, NULL_CONTROLLER
 from repro.cluster.machine import MachineModel
 from repro.cluster.metrics import RunMetrics
 from repro.cluster.network import CONTROL_NBYTES, Network, payload_nbytes
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.span import NULL_TRACER, Tracer
 
 
 class DeadlockError(RuntimeError):
@@ -158,6 +160,24 @@ class TraceEvent:
     tag: int | None = None
     nbytes: int | None = None
 
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"TraceEvent {self.kind!r} on rank {self.rank} has negative "
+                f"duration ({self.start} .. {self.end})"
+            )
+        if self.kind in ("send", "recv") and (self.peer is None or self.tag is None):
+            raise ValueError(
+                f"TraceEvent {self.kind!r} on rank {self.rank} requires "
+                f"structured peer/tag fields (got peer={self.peer}, "
+                f"tag={self.tag}); the lint rules never parse detail strings"
+            )
+
+    @property
+    def t_end(self) -> float:
+        """Alias for ``end``, matching the :class:`repro.obs.Span` vocabulary."""
+        return self.end
+
 
 @dataclass(frozen=True)
 class SendOp:
@@ -225,6 +245,15 @@ class RankEnv:
     peak_memory_elements: int = 0
     _fault_stats: FaultStats | None = None
     timeouts: TimeoutPolicy = SIMULATED_TIMEOUTS
+    #: Per-rank span/sample collector; the shared no-op singleton unless the
+    #: run is traced.  Hot paths guard on ``tracer.enabled`` before touching
+    #: it, so untraced runs pay nothing.
+    tracer: Tracer = NULL_TRACER
+    #: Run-level metrics registry (shared across ranks in the simulator,
+    #: per-rank and merged host-side on the process backend).  Defaults to
+    #: the shared inert NULL_REGISTRY so untraced runs allocate nothing;
+    #: traced runs install a fresh per-run registry.
+    obs: MetricsRegistry = NULL_REGISTRY
 
     # -- op constructors (for readability at call sites) ---------------------------
 
@@ -274,6 +303,8 @@ class RankEnv:
         self.peak_memory_elements = max(
             self.peak_memory_elements, self.current_memory_elements
         )
+        if self.tracer.enabled:
+            self.tracer.sample("memory_elements", float(self.current_memory_elements))
 
     def free(self, key: Any) -> None:
         if key not in self._held:
@@ -282,6 +313,8 @@ class RankEnv:
                 f"currently held: {sorted(map(repr, self._held))}"
             )
         self.current_memory_elements -= self._held.pop(key)
+        if self.tracer.enabled:
+            self.tracer.sample("memory_elements", float(self.current_memory_elements))
 
     def held_keys(self) -> list[Any]:
         return list(self._held)
@@ -365,6 +398,13 @@ def run_spmd(
         )
         for r in range(num_ranks)
     ]
+    obsreg = MetricsRegistry() if record_trace else NULL_REGISTRY
+    if record_trace:
+        # One tracer per rank, reading that rank's simulated clock; one
+        # registry shared by all ranks (the simulator is single-threaded).
+        for env in envs:
+            env.tracer = Tracer(rank=env.rank, clock=(lambda e=env: e.clock))
+            env.obs = obsreg
     gens = [program_factory(env) for env in envs]
     state = [_READY] * num_ranks
     blocked_on: list[RecvOp | None] = [None] * num_ranks
@@ -626,6 +666,14 @@ def run_spmd(
                 _deadlock_report(num_ranks, state, blocked_on, envs, network, fstats)
             )
 
+    spans = sorted(
+        (s for env in envs for s in env.tracer.spans),
+        key=lambda s: (s.t_start, s.t_end, s.rank),
+    )
+    samples = sorted(
+        (s for env in envs for s in env.tracer.samples),
+        key=lambda s: (s.t, s.rank),
+    )
     return RunMetrics(
         makespan_s=max((env.clock for env in envs), default=0.0),
         rank_clocks=[env.clock for env in envs],
@@ -637,6 +685,9 @@ def run_spmd(
         rank_results=results,
         trace=trace,
         faults=fstats,
+        spans=spans,
+        samples=samples,
+        registry=obsreg,
     )
 
 

@@ -57,6 +57,9 @@ class BuildConfig:
         Cap reduction messages at this many elements (section 4 tradeoff).
     trace:
         Record per-rank timelines.
+    trace_out:
+        Write the run's Chrome trace-event JSON (Perfetto-loadable) to
+        this path after the build; implies ``trace``.
     machines:
         Per-rank cost models (straggler studies); overrides ``machine``.
     fault_plan:
@@ -88,6 +91,7 @@ class BuildConfig:
     measure: Measure | str = SUM
     max_message_elements: int | None = None
     trace: bool = False
+    trace_out: str | Path | None = None
     machines: Sequence[MachineModel] | None = field(default=None)
     fault_plan: FaultPlan | None = None
     checkpoint: bool = False
@@ -115,6 +119,11 @@ class BuildConfig:
                     "max_message_elements"
                 )
         self._validate_backend()
+
+    @property
+    def effective_trace(self) -> bool:
+        """Whether the run records timelines: ``trace`` or a ``trace_out``."""
+        return self.trace or self.trace_out is not None
 
     def _validate_backend(self) -> None:
         """Resolve/validate the backend choice without instantiating it."""

@@ -68,6 +68,8 @@ from repro.core.aggregation_tree import AggregationTree
 from repro.core.comm_model import total_comm_volume
 from repro.core.config import BuildConfig, UNSET
 from repro.core.lattice import Node, full_node, node_size
+from repro.obs.span import NULL_TRACER, Tracer
+from repro.util import node_name
 
 if TYPE_CHECKING:
     from repro.arrays.persist import CheckpointStore
@@ -224,9 +226,25 @@ def _make_program(
         block = local_inputs[rank]
         local: dict[Node, DenseArray] = {}
         written: dict[Node, DenseArray] = {}
+        # Spans use the explicit clock/end_span style: a generator suspends
+        # at every yield, so a `with` block cannot bracket backend time.
+        # `traced` is False on untraced runs and every tracer touch below is
+        # guarded on it, keeping the untraced path free of obs work.
+        # Phases chain: each span starts where the previous one ended
+        # (`end_span` returns its end time), so on real-clock backends the
+        # interpreter overhead and scheduler stalls between segments stay
+        # attributed to a named phase; the simulated clock cannot advance
+        # between spans, so chaining is exact there.
+        tr = env.tracer
+        traced = tr.enabled
 
         # Read the local portion of the initial array from disk.
+        t0 = tr.clock() if traced else 0.0
         yield env.disk_read(block.nbytes)
+        if traced:
+            t0 = tr.end_span(
+                "build.input_read", t0, attrs={"nbytes": block.nbytes}
+            )
 
         for step_idx, step in enumerate(schedule):
             if isinstance(step, PLocalAggregate):
@@ -256,6 +274,16 @@ def _make_program(
                 for child, out in zip(step.children, outs):
                     local[child] = out
                     env.alloc(child, out.size)
+                if traced:
+                    t0 = tr.end_span(
+                        "build.first_level" if step.node == root
+                        else "build.local_aggregate",
+                        t0,
+                        attrs={
+                            "node": node_name(step.node),
+                            "children": len(step.children),
+                        },
+                    )
             elif isinstance(step, PFinalize):
                 parent = tuple(sorted(step.child + (step.dim,)))
                 if not grid.holds_node(rank, parent):
@@ -282,6 +310,16 @@ def _make_program(
                         combine=combine,
                         element_ops=partial.size,
                     )
+                if traced:
+                    t0 = tr.end_span(
+                        "build.reduce",
+                        t0,
+                        attrs={
+                            "child": node_name(step.child),
+                            "dim": step.dim,
+                            "lead": final is not None,
+                        },
+                    )
                 if final is None:
                     # Non-lead: partial was shipped away.
                     del local[step.child]
@@ -295,6 +333,11 @@ def _make_program(
                 env.free(step.node)
                 if not step.discard:
                     yield env.disk_write(out.nbytes)
+                    if traced:
+                        t0 = tr.end_span(
+                            "build.writeback", t0,
+                            attrs={"node": node_name(step.node)},
+                        )
                     written[step.node] = out
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown step {step!r}")
@@ -411,8 +454,17 @@ def _make_program_ft(
         block = local_inputs[me]
         vlocal: dict[int, dict[Node, DenseArray]] = {me: {}}
         written: dict[int, dict[Node, DenseArray]] = {me: {}}
+        tr = env.tracer
+        traced = tr.enabled
 
+        # Phases chain (see the fault-free program): `end_span` returns its
+        # end time, which seeds the next span's start.
+        t0 = tr.clock() if traced else 0.0
         yield env.disk_read(block.nbytes)
+        if traced:
+            t0 = tr.end_span(
+                "build.input_read", t0, attrs={"nbytes": block.nbytes}
+            )
 
         # 1. First-level local aggregation + checkpoint.
         outs, ops, sparse = first_level(block)
@@ -420,10 +472,19 @@ def _make_program_ft(
         for child, out in zip(root_step.children, outs):
             vlocal[me][child] = out
             env.alloc((me, child), out.size)
+        if traced:
+            t0 = tr.end_span(
+                "build.first_level", t0,
+                attrs={"node": node_name(root), "children": len(root_step.children)},
+            )
         for child in root_step.children:
             arr = vlocal[me][child]
             store.save(me, child, arr)
             yield env.disk_write(arr.nbytes)
+        if traced:
+            t0 = tr.end_span(
+                "build.checkpoint", t0, attrs={"children": len(root_step.children)}
+            )
 
         # 2. Failure detection: barrier, then all-to-all heartbeats.  The
         # barrier aligns clocks so a live peer's heartbeat always lands
@@ -442,6 +503,8 @@ def _make_program_ft(
         live = set(range(num_v)) - set(dead)
         pmap = {v: (v if v in live else _buddy(grid, v, live)) for v in range(num_v)}
         myv = sorted(v for v in range(num_v) if pmap[v] == me)
+        if traced:
+            t0 = tr.end_span("build.detect", t0, attrs={"dead": len(dead)})
 
         # 3. Adopt dead ranks: recover their first-level partials from the
         # checkpoint store, falling back to re-aggregating their input
@@ -467,6 +530,10 @@ def _make_program_ft(
                 env.note_recovery(f"re-aggregated rank {d} partials from its block")
             for child in root_step.children:
                 env.alloc((d, child), vlocal[d][child].size)
+        if traced and len(myv) > 1:
+            t0 = tr.end_span(
+                "build.recover", t0, attrs={"adopted": len(myv) - 1}
+            )
 
         # 4. The remaining schedule, executed per embodied virtual rank.
         inbox: dict[tuple[int, int, int], DenseArray] = {}
@@ -484,6 +551,11 @@ def _make_program_ft(
                     for child, out in zip(step.children, outs):
                         vlocal[v][child] = out
                         env.alloc((v, child), out.size)
+                    if traced:
+                        t0 = tr.end_span(
+                            "build.local_aggregate", t0,
+                            attrs={"node": node_name(step.node), "vrank": v},
+                        )
             elif isinstance(step, PFinalize):
                 parent = tuple(sorted(step.child + (step.dim,)))
                 participants = [
@@ -518,6 +590,11 @@ def _make_program_ft(
                             )
                         yield env.compute(other.size)
                         combine(acc, other)
+                if traced and participants:
+                    t0 = tr.end_span(
+                        "build.reduce", t0,
+                        attrs={"child": node_name(step.child), "dim": step.dim},
+                    )
             elif isinstance(step, PWriteBack):
                 for v in myv:
                     if not grid.holds_node(v, step.node):
@@ -526,6 +603,11 @@ def _make_program_ft(
                     env.free((v, step.node))
                     if not step.discard:
                         yield env.disk_write(out.nbytes)
+                        if traced:
+                            t0 = tr.end_span(
+                                "build.writeback", t0,
+                                attrs={"node": node_name(step.node), "vrank": v},
+                            )
                         written[v][step.node] = out
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown step {step!r}")
@@ -597,6 +679,7 @@ def construct_cube_parallel(
     measure: Measure | str = UNSET,
     max_message_elements: int | None = UNSET,
     trace: bool = UNSET,
+    trace_out: str | Path | None = UNSET,
     machines: list[MachineModel] | None = UNSET,
     fault_plan: FaultPlan | None = UNSET,
     checkpoint: bool = UNSET,
@@ -641,6 +724,10 @@ def construct_cube_parallel(
         Default: whole-partial messages.
     trace:
         Record per-rank timelines (see :mod:`repro.cluster.trace`).
+    trace_out:
+        Write the run's Chrome trace-event JSON (open it in Perfetto /
+        ``chrome://tracing``) to this path after the build; implies
+        ``trace``.  See :mod:`repro.obs.export`.
     machines:
         Per-rank cost models (straggler studies); overrides ``machine``.
     fault_plan:
@@ -679,6 +766,7 @@ def construct_cube_parallel(
         measure=measure,
         max_message_elements=max_message_elements,
         trace=trace,
+        trace_out=trace_out,
         machines=machines,
         fault_plan=fault_plan,
         checkpoint=checkpoint,
@@ -692,7 +780,7 @@ def construct_cube_parallel(
     tree = cfg.tree
     schedule = list(cfg.schedule) if cfg.schedule is not None else None
     max_message_elements = cfg.max_message_elements
-    trace = cfg.trace
+    trace = cfg.effective_trace
     machines = cfg.machines
     fault_plan = cfg.fault_plan
     checkpoint = cfg.checkpoint
@@ -720,7 +808,12 @@ def construct_cube_parallel(
     # Validate the partition against the shape early.
     BlockPartition(shape, grid.parts)
 
-    local_inputs = backend_obj.prepare_inputs(_extract_local_inputs(array, grid))
+    # Host-side phases run on the wall clock in their own trace lane
+    # (rank -1); they are outside every rank's timeline, so they never
+    # perturb the backend's makespan accounting.
+    host_tr = Tracer(rank=-1) if trace else NULL_TRACER
+    with host_tr.span("build.partition", ranks=grid.size):
+        local_inputs = backend_obj.prepare_inputs(_extract_local_inputs(array, grid))
     if schedule is None:
         schedule = parallel_schedule(n, tree=tree)
 
@@ -766,7 +859,18 @@ def construct_cube_parallel(
 
     results = None
     if collect_results:
-        results = assemble_results(rank_results, grid, shape)
+        with host_tr.span("build.assemble", ranks=grid.size):
+            results = assemble_results(rank_results, grid, shape)
+
+    if host_tr.spans:
+        metrics.spans = list(metrics.spans) + host_tr.spans
+
+    if cfg.trace_out is not None:
+        # Imported lazily: repro.obs.export is pure stdlib but pulling the
+        # exporter in for every untraced build would be needless.
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(metrics, cfg.trace_out)
 
     return ParallelResult(
         results=results,

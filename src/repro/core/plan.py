@@ -157,6 +157,8 @@ class CubePlan:
         reduction: str = UNSET,
         collect_results: bool = UNSET,
         measure: Measure | str = UNSET,
+        trace: bool = UNSET,
+        trace_out: str | Path | None = UNSET,
         fault_plan: FaultPlan | None = UNSET,
         checkpoint: bool = UNSET,
         checkpoint_dir: str | Path | None = UNSET,
@@ -183,6 +185,8 @@ class CubePlan:
             reduction=reduction,
             collect_results=collect_results,
             measure=measure,
+            trace=trace,
+            trace_out=trace_out,
             fault_plan=fault_plan,
             checkpoint=checkpoint,
             checkpoint_dir=checkpoint_dir,

@@ -50,6 +50,8 @@ from repro.cluster.runtime import (
 )
 from repro.exec.base import Backend, ProgramFactory
 from repro.exec.shm import SharedInputArena
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.span import Sample, Span, Tracer
 
 
 class WorkerError(RuntimeError):
@@ -87,6 +89,21 @@ def _drive(
 
     def now() -> float:
         return time.monotonic() - epoch
+
+    if record_trace:
+        # Per-rank tracer on the shared monotonic epoch and a per-rank
+        # registry; the host merges both when the stats come back.
+        env.tracer = Tracer(rank=rank, clock=now)
+        env.obs = MetricsRegistry()
+    # Align every rank's timeline at the spawn barrier so span/op start
+    # times are comparable across lanes (fork+import skew would otherwise
+    # show up as phantom head-of-run work on the late ranks).  The host's
+    # spawn-time epoch only bounds the pre-barrier watchdog; rebasing at
+    # the release instant keeps fork/setup skew out of every rank clock,
+    # so the makespan and the phase-coverage denominator measure the
+    # program, not process startup.
+    barrier.wait(timeout=watchdog_s)
+    epoch = time.monotonic()
 
     def await_message(src: int, tag: int, deadline: float | None) -> Any:
         """Next ``(src, tag)`` payload; :data:`RECV_TIMEOUT` past deadline."""
@@ -195,6 +212,9 @@ def _drive(
         "disk_bytes_read": env.disk_bytes_read,
         "comm": comm,
         "trace": trace,
+        "spans": env.tracer.spans if record_trace else [],
+        "samples": env.tracer.samples if record_trace else [],
+        "registry": env.obs if record_trace else None,
     }
 
 
@@ -331,11 +351,20 @@ class ProcessBackend(Backend):
 
         comm = CommStats()
         trace: list[TraceEvent] = []
+        spans: list[Span] = []
+        samples: list[Sample] = []
+        registry = MetricsRegistry() if record_trace else NULL_REGISTRY
         for s in stats:
             assert s is not None
             comm.merge(s["comm"])
             trace.extend(s["trace"])
+            spans.extend(s.get("spans", []))
+            samples.extend(s.get("samples", []))
+            if s.get("registry") is not None:
+                registry.merge(s["registry"])
         trace.sort(key=lambda ev: (ev.start, ev.end, ev.rank))
+        spans.sort(key=lambda sp: (sp.t_start, sp.t_end, sp.rank))
+        samples.sort(key=lambda sm: (sm.t, sm.rank))
         clocks = [s["clock"] for s in stats if s is not None]
         return RunMetrics(
             makespan_s=max(clocks, default=0.0),
@@ -355,6 +384,9 @@ class ProcessBackend(Backend):
             trace=trace,
             faults=FaultStats(),
             backend=self.name,
+            spans=spans,
+            samples=samples,
+            registry=registry,
         )
 
     def close(self) -> None:

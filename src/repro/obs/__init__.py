@@ -1,0 +1,81 @@
+"""repro.obs: the unified telemetry subsystem (spans, metrics, exporters).
+
+Zero-dependency instrumentation wired through the whole stack:
+
+- :class:`Tracer` collects hierarchical :class:`Span` timelines plus
+  :class:`Instant` markers and :class:`Sample` series, one tracer per SPMD
+  rank (simulated or real clocks) or per service;
+- :class:`MetricsRegistry` holds named :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments with labels -- the single vocabulary that
+  ``CacheStats``, ``CubeService`` counters, and ``ServiceStats``
+  percentiles are views over;
+- :mod:`repro.obs.export` renders a traced run as Chrome trace-event JSON
+  (open it in Perfetto / ``chrome://tracing``) or a JSONL stream, and
+  :func:`load_run` reconstructs a ``RunMetrics`` from either file so the
+  trace linters run on exports unchanged;
+- :mod:`repro.obs.report` turns a run into per-phase makespan
+  attribution, idle-skew, and memory timelines (``repro-cube trace
+  summarize`` / ``diff``).
+
+Quickstart::
+
+    import repro
+    data = repro.random_sparse((16, 16, 16, 16), sparsity=0.2, seed=1)
+    run = repro.plan_cube(data.shape, num_processors=8).run_parallel(
+        data, trace_out="run.json")
+    # run.json now loads in https://ui.perfetto.dev
+    print(repro.obs.summarize_run(run.metrics))
+
+When tracing is off, the shared :data:`NULL_TRACER` is in place and hot
+paths skip instrumentation entirely -- a disabled run allocates nothing in
+this package (``benchmarks/test_bench_obs.py`` enforces that).
+"""
+
+from repro.obs.export import (
+    FORMAT_NAME,
+    load_run,
+    to_chrome_trace,
+    to_jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    diff_runs,
+    memory_timeline,
+    phase_coverage,
+    phase_totals,
+    summarize_run,
+)
+from repro.obs.span import (
+    NULL_TRACER,
+    Instant,
+    NullTracer,
+    Sample,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "FORMAT_NAME",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Sample",
+    "Span",
+    "Tracer",
+    "diff_runs",
+    "load_run",
+    "memory_timeline",
+    "phase_coverage",
+    "phase_totals",
+    "summarize_run",
+    "to_chrome_trace",
+    "to_jsonl_records",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,476 @@
+"""Exporters: Chrome trace-event JSON, JSONL, and the round-trip loader.
+
+:func:`to_chrome_trace` renders a traced :class:`~repro.cluster.metrics.RunMetrics`
+as a Chrome trace-event JSON object (the format Perfetto and
+``chrome://tracing`` load directly): one process lane per rank (plus a
+``host`` lane for rank ``-1`` spans), a ``phases`` thread for the named
+spans and an ``ops`` thread for the raw :class:`TraceEvent` stream, instant
+markers for injected faults and timeouts, and counter tracks for sampled
+quantities (per-rank held memory over time).
+
+Timestamps in the Chrome format are integer-ish microseconds, which loses
+precision relative to the float seconds the backends record, so every
+exported event also carries the exact values in its ``args`` (``_t0``/
+``_t1``), and run-level state (comm totals, per-pair bytes, fault log,
+registry snapshot) rides along under ``otherData``.  That makes the export
+*lossless where it matters*: :func:`load_run` reconstructs a
+:class:`RunMetrics` whose trace, comm, memory, and fault data are exactly
+the recorded values, so :func:`repro.analysis.lint_trace` produces the
+same TRACE diagnostics on the file as on the in-memory run.
+
+This module deliberately imports cluster modules inside functions only:
+``cluster.runtime`` imports ``repro.obs`` for its tracer types, and keeping
+the reverse edge lazy keeps the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Iterator, Mapping, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Sample, Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cluster.metrics import RunMetrics
+
+__all__ = [
+    "FORMAT_NAME",
+    "load_run",
+    "to_chrome_trace",
+    "to_jsonl_records",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Identifies our export dialect inside ``otherData`` / the JSONL meta record.
+FORMAT_NAME = "repro-run-v1"
+
+RunSource = Union["RunMetrics", str, Path, Mapping[str, Any]]
+
+_US = 1e6  # seconds -> Chrome microseconds
+
+
+def _host_pid(num_ranks: int) -> int:
+    # Host-side spans (rank -1) get their own lane after the rank lanes.
+    return num_ranks
+
+
+def _meta_events(num_ranks: int, have_host: bool) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    for rank in range(num_ranks):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": rank,
+                "tid": 0,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        events.append(
+            {"ph": "M", "name": "process_sort_index", "pid": rank, "tid": 0,
+             "args": {"sort_index": rank}}
+        )
+    if have_host:
+        pid = _host_pid(num_ranks)
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": "host"}}
+        )
+        events.append(
+            {"ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+             "args": {"sort_index": pid}}
+        )
+    pids = list(range(num_ranks)) + ([_host_pid(num_ranks)] if have_host else [])
+    for pid in pids:
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+             "args": {"name": "phases"}}
+        )
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": 1,
+             "args": {"name": "ops"}}
+        )
+    return events
+
+
+def _span_event(span: Span, num_ranks: int) -> dict[str, Any]:
+    pid = span.rank if span.rank >= 0 else _host_pid(num_ranks)
+    args: dict[str, Any] = dict(span.attrs)
+    args["_t0"] = span.t_start
+    args["_t1"] = span.t_end
+    if span.parent is not None:
+        args["parent"] = span.parent
+    return {
+        "ph": "X",
+        "name": span.name,
+        "cat": span.cat,
+        "pid": pid,
+        "tid": 0,
+        "ts": span.t_start * _US,
+        "dur": span.duration * _US,
+        "args": args,
+    }
+
+
+def _op_event(ev: Any) -> dict[str, Any]:
+    # ev is a cluster.runtime.TraceEvent (typed Any to keep the import lazy).
+    args: dict[str, Any] = {"_t0": ev.start, "_t1": ev.end}
+    if ev.detail:
+        args["detail"] = ev.detail
+    if ev.peer is not None:
+        args["peer"] = ev.peer
+    if ev.tag is not None:
+        args["tag"] = ev.tag
+    if ev.nbytes is not None:
+        args["nbytes"] = ev.nbytes
+    if ev.kind == "fault":
+        return {
+            "ph": "i",
+            "name": f"fault:{ev.detail}" if ev.detail else "fault",
+            "cat": "fault",
+            "pid": ev.rank,
+            "tid": 1,
+            "ts": ev.start * _US,
+            "s": "t",
+            "args": args,
+        }
+    name = ev.kind if not ev.detail else f"{ev.kind}:{ev.detail.split(' ')[0]}"
+    return {
+        "ph": "X",
+        "name": name,
+        "cat": f"op.{ev.kind}",
+        "pid": ev.rank,
+        "tid": 1,
+        "ts": ev.start * _US,
+        "dur": (ev.end - ev.start) * _US,
+        "args": args,
+    }
+
+
+def _sample_event(sample: Sample, num_ranks: int) -> dict[str, Any]:
+    pid = sample.rank if sample.rank >= 0 else _host_pid(num_ranks)
+    return {
+        "ph": "C",
+        "name": sample.name,
+        "pid": pid,
+        "tid": 0,
+        "ts": sample.t * _US,
+        "args": {"value": sample.value, "_t": sample.t},
+    }
+
+
+def _other_data(metrics: "RunMetrics") -> dict[str, Any]:
+    registry = getattr(metrics, "registry", None)
+    return {
+        "format": FORMAT_NAME,
+        "backend": metrics.backend,
+        "num_ranks": metrics.num_ranks,
+        "makespan_s": metrics.makespan_s,
+        "rank_clocks": list(metrics.rank_clocks),
+        "rank_peak_memory_elements": list(metrics.rank_peak_memory_elements),
+        "rank_compute_ops": list(metrics.rank_compute_ops),
+        "rank_disk_bytes_written": list(metrics.rank_disk_bytes_written),
+        "rank_disk_bytes_read": list(metrics.rank_disk_bytes_read),
+        "comm": {
+            "total_bytes": metrics.comm.total_bytes,
+            "total_elements": metrics.comm.total_elements,
+            "total_messages": metrics.comm.total_messages,
+            "per_pair": [
+                [src, dst, nbytes]
+                for (src, dst), nbytes in sorted(metrics.comm.per_pair.items())
+            ],
+        },
+        "faults": {
+            "events": [
+                [ev.kind, ev.time, ev.rank, ev.detail] for ev in metrics.faults.events
+            ],
+        },
+        "registry": registry.snapshot() if registry is not None else None,
+    }
+
+
+def to_chrome_trace(metrics: "RunMetrics") -> dict[str, Any]:
+    """Render a traced run as a Chrome trace-event JSON object.
+
+    Raises ``ValueError`` if the run was not traced (no span stream and no
+    op trace): an empty timeline is almost always a forgotten
+    ``trace=True``, not a real run.
+    """
+    spans = list(getattr(metrics, "spans", []))
+    if not metrics.trace and not spans:
+        raise ValueError("run has no trace; pass record_trace=True / trace=True")
+    num_ranks = metrics.num_ranks
+    have_host = any(s.rank < 0 for s in spans)
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        events.append(_span_event(span, num_ranks))
+    for ev in metrics.trace:
+        events.append(_op_event(ev))
+    for sample in getattr(metrics, "samples", []):
+        events.append(_sample_event(sample, num_ranks))
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return {
+        "traceEvents": _meta_events(num_ranks, have_host) + events,
+        "displayTimeUnit": "ms",
+        "otherData": _other_data(metrics),
+    }
+
+
+def write_chrome_trace(metrics: "RunMetrics", path: str | Path) -> Path:
+    """Write the Chrome trace-event JSON for ``metrics`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(metrics), indent=1) + "\n")
+    return path
+
+
+def to_jsonl_records(metrics: "RunMetrics") -> Iterator[dict[str, Any]]:
+    """Yield the run as a stream of JSON-safe records.
+
+    The first record is ``{"type": "meta", ...}`` with all run-level state;
+    then one record per span (``"span"``), op trace event (``"op"``), and
+    sample (``"sample"``), each in recorded order.  The stream carries
+    exactly the information of the Chrome export, one object per line, for
+    consumers that want to grep/stream rather than load a timeline UI.
+    """
+    yield {"type": "meta", **_other_data(metrics)}
+    for span in getattr(metrics, "spans", []):
+        yield {
+            "type": "span",
+            "name": span.name,
+            "rank": span.rank,
+            "t_start": span.t_start,
+            "t_end": span.t_end,
+            "cat": span.cat,
+            "parent": span.parent,
+            "attrs": dict(span.attrs),
+        }
+    for ev in metrics.trace:
+        yield {
+            "type": "op",
+            "rank": ev.rank,
+            "kind": ev.kind,
+            "start": ev.start,
+            "end": ev.end,
+            "detail": ev.detail,
+            "peer": ev.peer,
+            "tag": ev.tag,
+            "nbytes": ev.nbytes,
+        }
+    for sample in getattr(metrics, "samples", []):
+        yield {
+            "type": "sample",
+            "name": sample.name,
+            "rank": sample.rank,
+            "t": sample.t,
+            "value": sample.value,
+        }
+
+
+def write_jsonl(metrics: "RunMetrics", path: str | Path) -> Path:
+    """Write the JSONL stream for ``metrics`` to ``path``."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for record in to_jsonl_records(metrics):
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def _records_from_chrome(doc: Mapping[str, Any]) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Normalize a Chrome export back into (meta, records)."""
+    other = doc.get("otherData")
+    if not isinstance(other, Mapping) or other.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"not a {FORMAT_NAME} export: missing otherData.format marker"
+        )
+    meta = dict(other)
+    records: list[dict[str, Any]] = []
+    num_ranks = int(meta["num_ranks"])
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        args = ev.get("args", {})
+        if ph == "M":
+            continue
+        rank = int(ev["pid"])
+        if rank >= num_ranks:
+            rank = -1  # the host lane
+        if ph == "C":
+            records.append(
+                {"type": "sample", "name": ev["name"], "rank": rank,
+                 "t": args["_t"], "value": args["value"]}
+            )
+        elif ph == "i":
+            records.append(
+                {"type": "op", "rank": rank, "kind": "fault",
+                 "start": args["_t0"], "end": args["_t1"],
+                 "detail": args.get("detail", ""), "peer": args.get("peer"),
+                 "tag": args.get("tag"), "nbytes": args.get("nbytes")}
+            )
+        elif ph == "X" and ev.get("tid") == 1:
+            cat = str(ev.get("cat", ""))
+            kind = cat[3:] if cat.startswith("op.") else str(ev["name"]).split(":")[0]
+            records.append(
+                {"type": "op", "rank": rank, "kind": kind,
+                 "start": args["_t0"], "end": args["_t1"],
+                 "detail": args.get("detail", ""), "peer": args.get("peer"),
+                 "tag": args.get("tag"), "nbytes": args.get("nbytes")}
+            )
+        elif ph == "X":
+            attrs = {k: v for k, v in args.items() if not k.startswith("_") and k != "parent"}
+            records.append(
+                {"type": "span", "name": ev["name"], "rank": rank,
+                 "t_start": args["_t0"], "t_end": args["_t1"],
+                 "cat": ev.get("cat", "phase"), "parent": args.get("parent"),
+                 "attrs": attrs}
+            )
+    return meta, records
+
+
+def _read_source(source: RunSource) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    if isinstance(source, Mapping):
+        if "traceEvents" in source:
+            return _records_from_chrome(source)
+        raise ValueError("mapping is not a Chrome trace export (no traceEvents)")
+    path = Path(source)
+    text = path.read_text()
+    head = text.lstrip()[:1]
+    if head == "{" and '"traceEvents"' in text[:4096]:
+        return _records_from_chrome(json.loads(text))
+    # JSONL: one record per line, meta first.
+    meta: dict[str, Any] | None = None
+    records: list[dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") == "meta":
+            if record.get("format") != FORMAT_NAME:
+                raise ValueError(f"not a {FORMAT_NAME} JSONL stream")
+            meta = record
+        else:
+            records.append(record)
+    if meta is None:
+        raise ValueError(f"no meta record found in {path}")
+    return meta, records
+
+
+def load_run(source: RunSource) -> "RunMetrics":
+    """Reconstruct a :class:`RunMetrics` from an exported run.
+
+    ``source`` is a path to a Chrome trace or JSONL export (either format
+    is auto-detected), or an already-parsed Chrome trace dict.  The
+    reconstruction is exact for everything the linters and reports consume
+    -- op trace, spans, samples, comm totals and per-pair bytes, per-rank
+    clocks/memory/compute/disk, fault log, counters and gauges --
+    so ``lint_trace(load_run(path))`` equals ``lint_trace(metrics)``.
+    Histogram observations are summarized in exports (count/sum/
+    percentiles), not raw, so histograms do not round-trip; rank results
+    are not serialized at all (``rank_results`` loads as ``None`` per rank).
+    """
+    from repro.cluster.faults import FaultStats
+    from repro.cluster.metrics import CommStats, RunMetrics
+    from repro.cluster.runtime import TraceEvent
+
+    meta, records = _read_source(source)
+    comm = CommStats(
+        total_bytes=int(meta["comm"]["total_bytes"]),
+        total_elements=int(meta["comm"]["total_elements"]),
+        total_messages=int(meta["comm"]["total_messages"]),
+        per_pair={
+            (int(src), int(dst)): int(nbytes)
+            for src, dst, nbytes in meta["comm"]["per_pair"]
+        },
+    )
+    faults = FaultStats()
+    for kind, t, rank, detail in meta["faults"]["events"]:
+        faults.note(str(kind), float(t), int(rank), str(detail))
+    registry = MetricsRegistry()
+    reg_snapshot = meta.get("registry")
+    if isinstance(reg_snapshot, Mapping):
+        for name, value in reg_snapshot.get("counters", {}).items():
+            base, labels = _parse_full_name(name)
+            registry.counter(base, **labels).inc(int(value))
+        for name, value in reg_snapshot.get("gauges", {}).items():
+            base, labels = _parse_full_name(name)
+            registry.gauge(base, **labels).set(float(value))
+
+    trace: list[TraceEvent] = []
+    spans: list[Span] = []
+    samples: list[Sample] = []
+    for record in records:
+        kind = record["type"]
+        if kind == "op":
+            trace.append(
+                TraceEvent(
+                    rank=int(record["rank"]),
+                    kind=str(record["kind"]),
+                    start=float(record["start"]),
+                    end=float(record["end"]),
+                    detail=str(record.get("detail") or ""),
+                    peer=None if record.get("peer") is None else int(record["peer"]),
+                    tag=None if record.get("tag") is None else int(record["tag"]),
+                    nbytes=None if record.get("nbytes") is None else int(record["nbytes"]),
+                )
+            )
+        elif kind == "span":
+            spans.append(
+                Span(
+                    name=str(record["name"]),
+                    rank=int(record["rank"]),
+                    t_start=float(record["t_start"]),
+                    t_end=float(record["t_end"]),
+                    cat=str(record.get("cat") or "phase"),
+                    parent=record.get("parent"),
+                    attrs=dict(record.get("attrs") or {}),
+                )
+            )
+        elif kind == "sample":
+            samples.append(
+                Sample(
+                    name=str(record["name"]),
+                    rank=int(record["rank"]),
+                    t=float(record["t"]),
+                    value=float(record["value"]),
+                )
+            )
+    trace.sort(key=lambda ev: (ev.start, ev.end, ev.rank))
+    num_ranks = int(meta["num_ranks"])
+    return RunMetrics(
+        makespan_s=float(meta["makespan_s"]),
+        rank_clocks=[float(v) for v in meta["rank_clocks"]],
+        comm=comm,
+        rank_peak_memory_elements=[int(v) for v in meta["rank_peak_memory_elements"]],
+        rank_compute_ops=[float(v) for v in meta["rank_compute_ops"]],
+        rank_disk_bytes_written=[int(v) for v in meta["rank_disk_bytes_written"]],
+        rank_disk_bytes_read=[int(v) for v in meta["rank_disk_bytes_read"]],
+        rank_results=[None] * num_ranks,
+        trace=trace,
+        faults=faults,
+        backend=str(meta["backend"]),
+        spans=spans,
+        samples=samples,
+        registry=registry,
+    )
+
+
+def _parse_full_name(name: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`repro.obs.metrics.full_name` for registry reload."""
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    base, _, inner = name.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return base, labels
+
+
+def dump(metrics: "RunMetrics", fh: IO[str]) -> None:
+    """Write the Chrome trace JSON for ``metrics`` to an open text stream."""
+    json.dump(to_chrome_trace(metrics), fh, indent=1)
+    fh.write("\n")

@@ -1,0 +1,271 @@
+"""Named counters, gauges, and histograms: the metrics half of ``repro.obs``.
+
+A :class:`MetricsRegistry` is a flat, process-local collection of named
+instruments.  Every instrument is identified by a name plus an optional set
+of key=value labels (``collective.bytes{src=0,dst=2,tag=1}``), mirroring the
+Prometheus data model without any of its machinery -- the registry is a
+dictionary, instruments are tiny mutable objects, and a snapshot is a plain
+JSON-safe dict.
+
+The registry subsumes the ad-hoc stats that used to live in each subsystem:
+``CacheStats`` and the ``CubeService`` counters are views over registry
+counters, ``ServiceStats`` percentiles come from a :class:`Histogram`, and
+the collectives publish per-pair byte counts here when a run is traced.
+
+Registries are cheap (one dict, one lock) and safe to create per rank; the
+process backend pickles each rank's registry back to the host, which folds
+them together with :meth:`MetricsRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Mapping, Union
+
+from repro.util import percentile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+LabelValue = Union[str, int, float]
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _label_key(labels: Mapping[str, LabelValue]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def full_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Render ``name{k=v,...}`` -- the canonical display form of a metric."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, cache hits)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1); negative amounts are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    @property
+    def full_name(self) -> str:
+        """``name{k=v,...}`` display form."""
+        return full_name(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.full_name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value that can go up or down (queue depth, memory)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    @property
+    def full_name(self) -> str:
+        """``name{k=v,...}`` display form."""
+        return full_name(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.full_name}={self.value})"
+
+
+class Histogram:
+    """A distribution of observations (latencies); exact, not bucketed.
+
+    Observations are kept verbatim so percentiles are exact and
+    bit-identical to computing ``numpy.percentile`` over the same list --
+    the property the :class:`repro.serve.ServiceStats` parity suite pins
+    down.  The runs instrumented here are small enough (thousands of
+    queries) that exact retention costs less than bucketing would obscure.
+    """
+
+    __slots__ = ("name", "labels", "observations")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.observations.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.observations)
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return sum(self.observations)
+
+    def percentiles(self, qs: tuple[float, ...] = (50.0, 95.0, 99.0)) -> tuple[float, ...]:
+        """Percentiles at each q in 0..100 (0.0s when empty)."""
+        return percentile(self.observations, qs)
+
+    @property
+    def full_name(self) -> str:
+        """``name{k=v,...}`` display form."""
+        return full_name(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.full_name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Get-or-create home for counters, gauges, and histograms.
+
+    Instrument lookups are ``(name, sorted labels)`` keyed; asking twice
+    returns the same object, so call sites can either cache the instrument
+    (hot paths) or re-look it up (cold paths) interchangeably.  Creation is
+    lock-protected so a registry can be shared across service threads; the
+    instruments themselves rely on the GIL for ``inc``/``observe``, which
+    matches how Python-level counters behave everywhere else in the repo.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[_Key, Counter] = {}
+        self._gauges: dict[_Key, Gauge] = {}
+        self._histograms: dict[_Key, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- pickling: locks do not cross process boundaries -------------------
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "counters": self._counters,
+            "gauges": self._gauges,
+            "histograms": self._histograms,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self._counters = state["counters"]  # type: ignore[assignment]
+        self._gauges = state["gauges"]  # type: ignore[assignment]
+        self._histograms = state["histograms"]  # type: ignore[assignment]
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, **labels: LabelValue) -> Counter:
+        """Get or create the counter ``name{labels}``."""
+        key = (name, _label_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(key, Counter(name, key[1]))
+        return c
+
+    def gauge(self, name: str, **labels: LabelValue) -> Gauge:
+        """Get or create the gauge ``name{labels}``."""
+        key = (name, _label_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return g
+
+    def histogram(self, name: str, **labels: LabelValue) -> Histogram:
+        """Get or create the histogram ``name{labels}``."""
+        key = (name, _label_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(key, Histogram(name, key[1]))
+        return h
+
+    def counters(self) -> Iterator[Counter]:
+        """All counters, sorted by display name."""
+        return iter(sorted(self._counters.values(), key=lambda c: c.full_name))
+
+    def gauges(self) -> Iterator[Gauge]:
+        """All gauges, sorted by display name."""
+        return iter(sorted(self._gauges.values(), key=lambda g: g.full_name))
+
+    def histograms(self) -> Iterator[Histogram]:
+        """All histograms, sorted by display name."""
+        return iter(sorted(self._histograms.values(), key=lambda h: h.full_name))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe dump: values for counters/gauges, summaries for histograms."""
+        hists: dict[str, dict[str, float]] = {}
+        for h in self.histograms():
+            p50, p95, p99 = h.percentiles()
+            obs = h.observations
+            hists[h.full_name] = {
+                "count": float(h.count),
+                "sum": h.sum,
+                "min": min(obs) if obs else 0.0,
+                "max": max(obs) if obs else 0.0,
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+            }
+        return {
+            "counters": {c.full_name: c.value for c in self.counters()},
+            "gauges": {g.full_name: g.value for g in self.gauges()},
+            "histograms": hists,
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into self: counters add, gauges take the max
+        (per-rank peaks stay peaks), histograms concatenate observations.
+
+        This is how the process backend folds per-rank registries into the
+        run-level registry on the host.
+        """
+        for key, c in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                with self._lock:
+                    mine = self._counters.setdefault(key, Counter(c.name, key[1]))
+            mine.value += c.value
+        for key, g in other._gauges.items():
+            mine_g = self._gauges.get(key)
+            if mine_g is None:
+                with self._lock:
+                    mine_g = self._gauges.setdefault(key, Gauge(g.name, key[1]))
+                    mine_g.value = g.value
+            else:
+                mine_g.value = max(mine_g.value, g.value)
+        for key, h in other._histograms.items():
+            mine_h = self._histograms.get(key)
+            if mine_h is None:
+                with self._lock:
+                    mine_h = self._histograms.setdefault(key, Histogram(h.name, key[1]))
+            mine_h.observations.extend(h.observations)
+
+
+#: Shared inert registry used as the default on untraced runs.  Allocated
+#: once at import so the disabled-telemetry path creates no objects in this
+#: module (the BENCH-obs zero-allocation gate); nothing writes to it --
+#: every instrumentation site is guarded on ``tracer.enabled``, and traced
+#: runs replace it with a fresh per-run registry.
+NULL_REGISTRY = MetricsRegistry()

@@ -1,0 +1,199 @@
+"""Human-readable run reports: per-phase attribution, skew, memory, diffs.
+
+Works on any traced :class:`~repro.cluster.metrics.RunMetrics` -- live from
+a backend or reloaded from an export via :func:`repro.obs.export.load_run`.
+The headline number is *phase coverage*: the fraction of every rank's busy
+clock that falls inside a named top-level span.  Instrumented builds keep
+this >= 95%, which is what makes the per-phase makespan attribution
+trustworthy -- if a third of the time were unattributed, the table would
+be decoration, not measurement.
+
+Cluster imports are function-local (``cluster.runtime`` imports
+``repro.obs``; see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.span import Span
+from repro.util import human_bytes, human_count
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cluster.metrics import RunMetrics
+
+__all__ = [
+    "diff_runs",
+    "memory_timeline",
+    "phase_coverage",
+    "phase_totals",
+    "summarize_run",
+]
+
+
+def _rank_spans(metrics: "RunMetrics") -> list[Span]:
+    """Top-level spans recorded on SPMD ranks (host spans excluded)."""
+    return [
+        s for s in getattr(metrics, "spans", [])
+        if s.rank >= 0 and s.parent is None
+    ]
+
+
+def phase_totals(metrics: "RunMetrics") -> dict[str, float]:
+    """Summed seconds per top-level phase name across all ranks.
+
+    Only top-level spans count, so nested sub-spans never double-bill
+    their parent phase.
+    """
+    totals: dict[str, float] = {}
+    for s in _rank_spans(metrics):
+        totals[s.name] = totals.get(s.name, 0.0) + s.duration
+    return totals
+
+
+def phase_coverage(metrics: "RunMetrics") -> float:
+    """Fraction of total rank clock covered by named top-level spans.
+
+    1.0 means every second of every rank's clock is attributed to a named
+    phase; the ``trace summarize`` acceptance bar is >= 0.95.  Runs with
+    zero total clock (degenerate empty schedules) report full coverage.
+    """
+    total_clock = sum(metrics.rank_clocks)
+    if total_clock <= 0.0:
+        return 1.0
+    covered = sum(s.duration for s in _rank_spans(metrics))
+    return min(1.0, covered / total_clock)
+
+
+def memory_timeline(metrics: "RunMetrics") -> dict[int, list[tuple[float, float]]]:
+    """Per-rank ``(t, held_elements)`` series from ``memory_elements`` samples.
+
+    Empty when the run was not traced with memory sampling; the peak of
+    each series matches ``rank_peak_memory_elements`` for that rank.
+    """
+    series: dict[int, list[tuple[float, float]]] = {}
+    for sample in getattr(metrics, "samples", []):
+        if sample.name != "memory_elements":
+            continue
+        series.setdefault(sample.rank, []).append((sample.t, sample.value))
+    for points in series.values():
+        points.sort(key=lambda p: p[0])
+    return series
+
+
+def _idle_fractions(metrics: "RunMetrics") -> list[float]:
+    from repro.cluster.trace import breakdown
+
+    if not metrics.trace or metrics.makespan_s <= 0.0:
+        return []
+    return [b.idle / b.makespan if b.makespan else 0.0 for b in breakdown(metrics)]
+
+
+def summarize_run(metrics: "RunMetrics") -> str:
+    """The ``repro-cube trace summarize`` report: one text block.
+
+    Sections: run header, per-phase makespan attribution (sorted by time,
+    with coverage), idle-skew across ranks, per-rank peak memory, comm
+    totals, fault log summary, and the metrics-registry counters.
+    """
+    lines: list[str] = []
+    lines.append(
+        f"run      backend={metrics.backend} ranks={metrics.num_ranks} "
+        f"makespan={metrics.makespan_s:.6f}s"
+    )
+    total_clock = sum(metrics.rank_clocks)
+    totals = phase_totals(metrics)
+    lines.append("")
+    lines.append("phase attribution (top-level spans, all ranks)")
+    if totals:
+        width = max(len(name) for name in totals)
+        for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * seconds / total_clock if total_clock > 0 else 0.0
+            lines.append(f"  {name:<{width}}  {seconds:12.6f}s  {pct:5.1f}%")
+        lines.append(f"  coverage: {phase_coverage(metrics):.1%} of total rank clock")
+    else:
+        lines.append("  (no spans recorded; op-level trace only)")
+
+    host_spans = [s for s in getattr(metrics, "spans", []) if s.rank < 0]
+    if host_spans:
+        lines.append("")
+        lines.append("host phases (wall clock, outside rank timelines)")
+        width = max(len(s.name) for s in host_spans)
+        for s in host_spans:
+            lines.append(f"  {s.name:<{width}}  {s.duration * 1e3:10.3f} ms")
+
+    fractions = _idle_fractions(metrics)
+    if fractions:
+        lines.append("")
+        spread = max(fractions) - min(fractions)
+        lines.append(
+            f"idle     min={min(fractions):.1%} max={max(fractions):.1%} "
+            f"skew={spread:.1%} across ranks"
+        )
+
+    peaks = metrics.rank_peak_memory_elements
+    if peaks:
+        lines.append(
+            f"memory   peak held-results per rank: max={max(peaks)} "
+            f"min={min(peaks)} elements"
+        )
+    comm = metrics.comm
+    lines.append(
+        f"comm     {human_bytes(comm.total_bytes)} "
+        f"({human_count(comm.total_elements)} elements, "
+        f"{comm.total_messages} messages, {len(comm.per_pair)} pairs)"
+    )
+    if metrics.faults.any:
+        lines.append(f"faults   {metrics.faults.summary()}")
+
+    registry = getattr(metrics, "registry", None)
+    if registry is not None and len(registry):
+        lines.append("")
+        lines.append("counters")
+        for counter in registry.counters():
+            lines.append(f"  {counter.full_name} = {counter.value}")
+        for gauge in registry.gauges():
+            lines.append(f"  {gauge.full_name} = {gauge.value:g}")
+        for hist in registry.histograms():
+            p50, p95, p99 = hist.percentiles()
+            lines.append(
+                f"  {hist.full_name} n={hist.count} "
+                f"p50={p50:.3f} p95={p95:.3f} p99={p99:.3f}"
+            )
+    return "\n".join(lines)
+
+
+def diff_runs(a: "RunMetrics", b: "RunMetrics") -> str:
+    """Compare two traced runs phase-by-phase (``trace diff`` output).
+
+    Shows per-phase seconds for both runs and the relative change, plus
+    makespan and comm-volume deltas.  Phases present in only one run show
+    ``-`` on the missing side.
+    """
+    ta, tb = phase_totals(a), phase_totals(b)
+    names = sorted(set(ta) | set(tb), key=lambda n: -(max(ta.get(n, 0.0), tb.get(n, 0.0))))
+    lines: list[str] = []
+
+    def _pct(x: float, y: float) -> str:
+        if x <= 0.0:
+            return "new" if y > 0 else "-"
+        return f"{100.0 * (y - x) / x:+.1f}%"
+
+    lines.append(
+        f"makespan  {a.makespan_s:.6f}s -> {b.makespan_s:.6f}s "
+        f"({_pct(a.makespan_s, b.makespan_s)})"
+    )
+    lines.append(
+        f"comm      {a.comm.total_bytes} B -> {b.comm.total_bytes} B "
+        f"({_pct(float(a.comm.total_bytes), float(b.comm.total_bytes))})"
+    )
+    if names:
+        width = max(len(n) for n in names)
+        lines.append("")
+        lines.append(f"  {'phase':<{width}}  {'run A (s)':>12}  {'run B (s)':>12}  delta")
+        for name in names:
+            va, vb = ta.get(name), tb.get(name)
+            sa = f"{va:12.6f}" if va is not None else f"{'-':>12}"
+            sb = f"{vb:12.6f}" if vb is not None else f"{'-':>12}"
+            lines.append(f"  {name:<{width}}  {sa}  {sb}  {_pct(va or 0.0, vb or 0.0)}")
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Spans, instants, samples, and the :class:`Tracer`: the timeline half
+of ``repro.obs``.
+
+A :class:`Span` is a named interval on one rank's clock with optional
+attributes and a parent (spans nest); an :class:`Instant` is a zero-width
+marker (a fault injection, a cache invalidation); a :class:`Sample` is a
+timestamped value of a named quantity (per-rank held-memory over time).
+
+Two recording styles coexist because the codebase has two kinds of code:
+
+- host-side / service code uses the context manager::
+
+      with tracer.span("serve.batch", queries=64):
+          ...
+
+- SPMD rank *programs* are generators that suspend at every ``yield``, so
+  a ``with`` block cannot bracket simulated time.  They read the clock
+  before the work and close the span after::
+
+      t0 = tracer.clock()
+      yield env.disk_read(nbytes)
+      tracer.end_span("build.input_read", t0)
+
+Each rank gets its own :class:`Tracer` (rank-safety by construction); the
+service shares one tracer across threads, appending under the GIL like
+every other counter in the repo.  When tracing is off, the module-level
+:data:`NULL_TRACER` singleton stands in: its ``enabled`` flag is False and
+instrumentation sites guard on it, so a disabled run executes no
+observability code at all (the property the ``BENCH_obs`` gate pins down).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Union
+
+__all__ = [
+    "Instant",
+    "NULL_TRACER",
+    "NullTracer",
+    "Sample",
+    "Span",
+    "Tracer",
+]
+
+AttrValue = Union[str, int, float, bool, None]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on one rank's clock.
+
+    ``rank`` is the SPMD rank, or ``-1`` for host-side phases (partition,
+    assembly) that happen outside the rank programs.  ``parent`` is the
+    name of the innermost enclosing span on the same tracer, or ``None``
+    for a top-level phase; the per-phase attribution in
+    :mod:`repro.obs.report` sums top-level spans only, so nesting never
+    double-counts.
+    """
+
+    name: str
+    rank: int
+    t_start: float
+    t_end: float
+    cat: str = "phase"
+    parent: str | None = None
+    attrs: Mapping[str, AttrValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.t_start} .. {self.t_end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """``t_end - t_start`` in clock seconds."""
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-width marker on one rank's clock (fault, invalidation)."""
+
+    name: str
+    rank: int
+    t: float
+    cat: str = "event"
+    attrs: Mapping[str, AttrValue] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One timestamped value of a named per-rank quantity."""
+
+    name: str
+    rank: int
+    t: float
+    value: float
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_attrs", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        attrs: Mapping[str, AttrValue],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._tracer._stack.append(self._name)
+        self._t0 = self._tracer.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        tr = self._tracer
+        t1 = tr.clock()
+        tr._stack.pop()
+        parent = tr._stack[-1] if tr._stack else None
+        tr.spans.append(
+            Span(
+                name=self._name,
+                rank=tr.rank,
+                t_start=self._t0,
+                t_end=t1,
+                cat=self._cat,
+                parent=parent,
+                attrs=self._attrs,
+            )
+        )
+
+
+class Tracer:
+    """Collects :class:`Span`/:class:`Instant`/:class:`Sample` streams for
+    one rank (or for the host, ``rank=-1``).
+
+    ``clock`` is any zero-argument callable returning seconds; the
+    simulator passes a closure over the rank's simulated clock, the
+    process backend passes monotonic-minus-epoch, and the default is
+    ``time.perf_counter`` for host-side use.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, rank: int = -1, clock: Callable[[], float] | None = None) -> None:
+        self.rank = rank
+        self.clock: Callable[[], float] = clock if clock is not None else time.perf_counter
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.samples: list[Sample] = []
+        self._stack: list[str] = []
+
+    def span(self, name: str, cat: str = "phase", **attrs: AttrValue) -> _SpanContext:
+        """Open a nested span as a context manager (host/service style)."""
+        return _SpanContext(self, name, cat, attrs)
+
+    def end_span(
+        self,
+        name: str,
+        t_start: float,
+        cat: str = "phase",
+        attrs: Mapping[str, AttrValue] | None = None,
+    ) -> float:
+        """Close a span opened by hand at ``t_start`` (rank-program style).
+
+        The parent is whatever context-manager span is currently open on
+        this tracer (usually none inside rank programs, where hand-opened
+        spans are flat phases).  Returns the span's end time so callers
+        can chain phases — starting the next span where this one ended
+        keeps interpreter overhead and scheduler stalls attributed to a
+        named phase instead of falling into coverage gaps (on real-clock
+        backends; on the simulator the clock cannot advance between
+        spans, so chaining changes nothing).
+        """
+        parent = self._stack[-1] if self._stack else None
+        t_end = self.clock()
+        self.spans.append(
+            Span(
+                name=name,
+                rank=self.rank,
+                t_start=t_start,
+                t_end=t_end,
+                cat=cat,
+                parent=parent,
+                attrs=attrs if attrs is not None else {},
+            )
+        )
+        return t_end
+
+    def instant(self, name: str, cat: str = "event", **attrs: AttrValue) -> None:
+        """Record a zero-width marker at the current clock."""
+        self.instants.append(
+            Instant(name=name, rank=self.rank, t=self.clock(), cat=cat, attrs=attrs)
+        )
+
+    def sample(self, name: str, value: float) -> None:
+        """Record a timestamped value of a named quantity."""
+        self.samples.append(Sample(name=name, rank=self.rank, t=self.clock(), value=value))
+
+
+class _NullSpanContext:
+    """No-op stand-in for :class:`_SpanContext`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: ``enabled`` is False and every method is a no-op.
+
+    Instrumentation sites in hot paths guard on ``tracer.enabled`` and skip
+    even the clock read, so this class exists for the call sites that do
+    not bother guarding (service code off the hot path).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(rank=-1, clock=lambda: 0.0)
+
+    def span(self, name: str, cat: str = "phase", **attrs: AttrValue) -> _SpanContext:
+        """No-op: returns a shared, do-nothing context manager."""
+        return _NULL_SPAN_CONTEXT  # type: ignore[return-value]
+
+    def end_span(
+        self,
+        name: str,
+        t_start: float,
+        cat: str = "phase",
+        attrs: Mapping[str, AttrValue] | None = None,
+    ) -> float:
+        """No-op."""
+        return 0.0
+
+    def instant(self, name: str, cat: str = "event", **attrs: AttrValue) -> None:
+        """No-op."""
+
+    def sample(self, name: str, value: float) -> None:
+        """No-op."""
+
+
+#: Shared disabled tracer; the default for every ``tracer`` field/argument.
+NULL_TRACER = NullTracer()

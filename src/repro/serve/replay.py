@@ -22,11 +22,11 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.olap.cube import DataCube
 from repro.olap.query import GroupByQuery, QueryEngine
 from repro.serve.service import CubeService
+from repro.util import percentile
 
 MODES = ("per-query", "batched", "cached")
 
@@ -73,32 +73,33 @@ class ServiceStats:
         )
 
 
-def _percentiles(latencies_s: list[float]) -> tuple[float, float, float]:
-    if not latencies_s:
-        return (0.0, 0.0, 0.0)
-    arr = np.asarray(latencies_s) * 1e3
-    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
-    return (float(p50), float(p95), float(p99))
-
-
 def replay(
     cube: DataCube,
     queries: Sequence[GroupByQuery],
     mode: str = "batched",
     batch_size: int = 256,
     cache_size: int = 4096,
+    metrics: MetricsRegistry | None = None,
 ) -> ServiceStats:
     """Replay ``queries`` against ``cube`` in ``mode``; fresh state per call.
 
     ``cache_size`` only applies to ``"cached"`` mode; ``"batched"`` runs
     with the cache off so the reported speedup is pure batching.
+
+    Per-query latencies are observed into a ``serve.latency_ms``
+    :class:`~repro.obs.Histogram` and the returned :class:`ServiceStats`
+    is assembled from the run's :class:`~repro.obs.MetricsRegistry`
+    (shared with the service).  Pass ``metrics`` to keep the registry
+    afterwards -- e.g. to export or merge across replays; omitted, a
+    private one is used and discarded with the stats computed.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; pick one of {MODES}")
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     queries = list(queries)
-    latencies: list[float] = []
+    registry = metrics if metrics is not None else MetricsRegistry()
+    latency_ms: Histogram = registry.histogram("serve.latency_ms")
     fallbacks = 0
     clock = time.perf_counter
 
@@ -108,37 +109,38 @@ def replay(
         for q in queries:
             t0 = clock()
             result = engine.execute(q)
-            latencies.append(clock() - t0)
+            latency_ms.observe((clock() - t0) * 1e3)
             fallbacks += result.is_fallback
         elapsed = clock() - start
         cells = engine.total_cells_scanned
         hits = misses = 0
     elif mode == "batched":
-        service = CubeService(cube, result_cache_size=0)
+        service = CubeService(cube, result_cache_size=0, metrics=registry)
         start = clock()
         for lo in range(0, len(queries), batch_size):
             chunk = queries[lo : lo + batch_size]
             t0 = clock()
             results = service.execute_batch(chunk)
             dt = clock() - t0
-            latencies.extend([dt / len(chunk)] * len(chunk))
+            for _ in chunk:
+                latency_ms.observe(dt / len(chunk) * 1e3)
             fallbacks += sum(r.is_fallback for r in results)
         elapsed = clock() - start
         cells = service.cells_scanned_actual
         hits, misses = service.cache.stats.hits, service.cache.stats.misses
     else:  # cached
-        service = CubeService(cube, result_cache_size=cache_size)
+        service = CubeService(cube, result_cache_size=cache_size, metrics=registry)
         start = clock()
         for q in queries:
             t0 = clock()
             result = service.execute(q)
-            latencies.append(clock() - t0)
+            latency_ms.observe((clock() - t0) * 1e3)
             fallbacks += result.is_fallback
         elapsed = clock() - start
         cells = service.cells_scanned_actual
         hits, misses = service.cache.stats.hits, service.cache.stats.misses
 
-    p50, p95, p99 = _percentiles(latencies)
+    p50, p95, p99 = percentile(latency_ms.observations, (50.0, 95.0, 99.0))
     total = hits + misses
     return ServiceStats(
         mode=mode,

@@ -23,6 +23,8 @@ import weakref
 from typing import Sequence
 
 from repro.core.lattice import Node
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import NULL_TRACER, Tracer
 from repro.olap.cube import DataCube
 from repro.olap.query import (
     CanonicalQuery,
@@ -45,23 +47,47 @@ class CubeService:
         The materialized :class:`DataCube` to serve from.
     result_cache_size:
         LRU capacity in entries; ``0`` disables result caching.
+    metrics:
+        :class:`~repro.obs.MetricsRegistry` to register the service's
+        counters in (``serve.queries``, ``serve.batches``,
+        ``serve.cells_scanned_*``, ``serve.refreshes`` and the cache's
+        ``serve.cache.*``).  Pass one to aggregate several services or to
+        export alongside a build's registry; omitted, the service keeps a
+        private one (exposed as :attr:`metrics`).
+    tracer:
+        :class:`~repro.obs.Tracer` receiving a ``serve.batch`` span per
+        miss batch and an instant per cache invalidation; default: the
+        no-op tracer.
+
+    The legacy integer attributes (``queries_served`` and friends) remain
+    readable -- they are now views over the registry counters.
 
     The service subscribes to the cube's refresh notifications through a
     weak reference, so dropping the service does not leak it: the next
     refresh unsubscribes the dead listener.
     """
 
-    def __init__(self, cube: DataCube, result_cache_size: int = 1024):
+    def __init__(
+        self,
+        cube: DataCube,
+        result_cache_size: int = 1024,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
         self.cube = cube
         self.engine = QueryEngine(cube)
-        self.cache = ResultCache(result_cache_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.cache = ResultCache(result_cache_size, metrics=self.metrics)
         self._cover_memo: dict[Node, Node | None | object] = {}
         self._canon_memo: dict[tuple, CanonicalQuery] = {}
-        self.queries_served = 0
-        self.batches_executed = 0
-        self.cells_scanned_actual = 0
-        self.cells_scanned_standalone = 0
-        self.refreshes_seen = 0
+        self._queries = self.metrics.counter("serve.queries")
+        self._batches = self.metrics.counter("serve.batches")
+        self._cells_actual = self.metrics.counter("serve.cells_scanned_actual")
+        self._cells_standalone = self.metrics.counter(
+            "serve.cells_scanned_standalone"
+        )
+        self._refreshes = self.metrics.counter("serve.refreshes")
         self.last_batch_report: BatchReport | None = None
         self_ref = weakref.ref(self)
 
@@ -73,6 +99,33 @@ class CubeService:
             return True
 
         cube.subscribe_refresh(_on_refresh)
+
+    # -- counter views (legacy attribute API) -------------------------------------
+
+    @property
+    def queries_served(self) -> int:
+        """Total queries answered (cache hits included)."""
+        return self._queries.value
+
+    @property
+    def batches_executed(self) -> int:
+        """Calls to :meth:`execute_batch` (``execute`` counts as one)."""
+        return self._batches.value
+
+    @property
+    def cells_scanned_actual(self) -> int:
+        """Cube cells actually read across all batched passes."""
+        return self._cells_actual.value
+
+    @property
+    def cells_scanned_standalone(self) -> int:
+        """Cells a per-query engine would have read for the same misses."""
+        return self._cells_standalone.value
+
+    @property
+    def refreshes_seen(self) -> int:
+        """Cube refresh notifications absorbed (each invalidates the cache)."""
+        return self._refreshes.value
 
     # -- pipeline pieces ---------------------------------------------------------
 
@@ -113,8 +166,12 @@ class CubeService:
         materialized views, so cover resolutions stay valid while every
         cached result is stale.
         """
-        self.refreshes_seen += 1
-        self.cache.invalidate()
+        self._refreshes.inc()
+        dropped = self.cache.invalidate()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "serve.cache.invalidated", cat="serve", dropped=dropped
+            )
 
     def invalidate(self) -> int:
         """Manually drop all cached results (also resets the cover memo).
@@ -152,20 +209,26 @@ class CubeService:
                 miss_indices.append(i)
         if miss_indices:
             miss_queries = [canonical[i] for i in miss_indices]
-            answers, report = run_batch(
-                self.engine, miss_queries, resolve_cover=self.resolve_cover
-            )
+            with self.tracer.span(
+                "serve.batch",
+                cat="serve",
+                queries=len(canonical),
+                misses=len(miss_queries),
+            ):
+                answers, report = run_batch(
+                    self.engine, miss_queries, resolve_cover=self.resolve_cover
+                )
             self._absorb_report(report)
             for i, result in zip(miss_indices, answers):
                 results[i] = result
                 self.cache.put(canonical[i], result)
-        self.queries_served += len(canonical)
-        self.batches_executed += 1
+        self._queries.inc(len(canonical))
+        self._batches.inc()
         return results  # type: ignore[return-value]
 
     def _absorb_report(self, report: BatchReport) -> None:
-        self.cells_scanned_actual += report.cells_scanned_actual
-        self.cells_scanned_standalone += report.cells_scanned_standalone
+        self._cells_actual.inc(report.cells_scanned_actual)
+        self._cells_standalone.inc(report.cells_scanned_standalone)
         self.last_batch_report = report
 
     # -- introspection ----------------------------------------------------------------

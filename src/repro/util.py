@@ -1,10 +1,28 @@
-"""Small shared helpers: node naming and formatting."""
+"""Small shared helpers: node naming, formatting, and percentiles."""
 
 from __future__ import annotations
 
 from typing import Sequence
 
 DEFAULT_DIM_LETTERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def percentile(values: Sequence[float], q: Sequence[float]) -> tuple[float, ...]:
+    """Linear-interpolation percentiles of ``values`` at each ``q`` in 0..100.
+
+    The single percentile implementation shared by
+    :class:`repro.serve.ServiceStats` and the observability histogram type
+    (:class:`repro.obs.Histogram`).  Matches ``numpy.percentile`` with the
+    default ``"linear"`` interpolation bit-for-bit; an empty input yields
+    ``0.0`` for every requested percentile rather than NaN.
+    """
+    qs = tuple(q)
+    if not values:
+        return tuple(0.0 for _ in qs)
+    import numpy as np
+
+    out = np.percentile(np.asarray(values, dtype=float), list(qs))
+    return tuple(float(v) for v in out)
 
 
 def node_name(node: Sequence[int]) -> str:

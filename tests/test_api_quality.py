@@ -33,6 +33,11 @@ MODULES = [
     "repro.cli",
     "repro.iceberg",
     "repro.iceberg.buc",
+    "repro.obs",
+    "repro.obs.export",
+    "repro.obs.metrics",
+    "repro.obs.report",
+    "repro.obs.span",
     "repro.cluster",
     "repro.cluster.collectives",
     "repro.cluster.faults",
@@ -196,7 +201,7 @@ def test_version():
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
     assert match is not None
-    assert repro.__version__ == match.group(1) == "1.3.0"
+    assert repro.__version__ == match.group(1) == "1.4.0"
 
 
 def test_deprecated_shims_warn_exactly_once_and_match_execute():

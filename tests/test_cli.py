@@ -262,3 +262,66 @@ class TestBackendOption:
             build_parser().parse_args(
                 ["construct", "--shape", "8,8", "--backend", "mpi"]
             )
+
+
+class TestTrace:
+    def test_export_then_summarize(self, tmp_path):
+        trace = tmp_path / "run.json"
+        code, text = run_cli(
+            "trace", "export", "--shape", "8,8,8", "--procs", "4",
+            "--out", str(trace),
+        )
+        assert code == 0
+        assert "spans" in text
+        assert trace.exists()
+        code, text = run_cli("trace", "summarize", str(trace))
+        assert code == 0
+        assert "phase attribution" in text
+        assert "build.reduce" in text
+
+    def test_export_jsonl_format(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, _text = run_cli(
+            "trace", "export", "--shape", "8,8", "--procs", "2",
+            "--format", "jsonl", "--out", str(trace),
+        )
+        assert code == 0
+        first = trace.read_text().splitlines()[0]
+        import json
+
+        assert json.loads(first)["type"] == "meta"
+
+    def test_diff_two_exports(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for procs, path in ((2, a), (4, b)):
+            run_cli(
+                "trace", "export", "--shape", "8,8,8", "--procs",
+                str(procs), "--out", str(path),
+            )
+        code, text = run_cli("trace", "diff", str(a), str(b))
+        assert code == 0
+        assert "makespan" in text
+        assert "build.writeback" in text
+
+    def test_check_lints_exported_trace(self, tmp_path):
+        trace = tmp_path / "run.json"
+        run_cli(
+            "trace", "export", "--shape", "8,6,4", "--procs", "4",
+            "--out", str(trace),
+        )
+        code, text = run_cli(
+            "check", "--shape", "8,6,4", "--procs", "4",
+            "--run-trace", str(trace),
+        )
+        assert code == 0
+        assert "lint of exported trace" in text
+
+    def test_construct_trace_out_writes_file(self, tmp_path):
+        trace = tmp_path / "c.json"
+        code, text = run_cli(
+            "construct", "--shape", "8,8", "--procs", "2",
+            "--trace-out", str(trace),
+        )
+        assert code == 0
+        assert "trace written to" in text
+        assert trace.exists()
