@@ -208,6 +208,22 @@ record (including any skip reason) is
 `benchmarks/results/BENCH_obs.json`.""",
         "t_obs",
     ),
+    (
+        "T-chaos — supervised recovery on real processes (extension)",
+        """Fault-tolerance extension beyond the paper: a seeded
+`kill:RANK@OP` SIGKILLs a real worker at the FT program's detection
+barrier, and the run must still produce the fault-free cube
+byte-for-byte.  Two recovery paths are timed against the fault-free
+checkpointed build: supervised *respawn* (the supervisor restarts the
+dead rank, which replays its committed checkpoint epoch) and *buddy*
+adoption (respawn budget zero: survivors detect the silence via
+heartbeat timeouts, the buddy re-reads the dead rank's partials).
+Asserted always: both paths recover bit-exact; only respawn rebuilds the
+rank.  The wall clocks, supervisor-observed time-to-recover, and
+redundant disk reads are records, not gates — the machine-readable copy
+is `benchmarks/results/BENCH_chaos.json`.""",
+        "t_chaos",
+    ),
 ]
 
 HEADER = """# EXPERIMENTS — paper vs measured

@@ -1,0 +1,146 @@
+"""BENCH-chaos: what surviving a real process kill costs.
+
+Three checkpointed builds on the process backend (real OS processes over
+shared memory), all of which must produce the identical cube:
+
+- fault-free (the baseline premium: checkpoint writes + detection round),
+- a seeded ``kill:RANK@OP`` at the detection barrier, recovered by the
+  supervisor *respawning* the dead rank from its committed checkpoint,
+- the same kill with the respawn budget at zero, recovered by the
+  surviving *buddy* adopting the dead rank's checkpointed partials.
+
+It emits ``benchmarks/results/BENCH_chaos.json`` with host wall clocks,
+the supervisor-observed time-to-recover (first ``recovery`` fault event
+minus the ``crash`` event, both on the run's shared monotonic epoch), and
+the redundant disk traffic each recovery path re-reads.  The assertions
+pin bit-exact recovery on both paths; the absolute seconds are records,
+not gates -- they depend on the host.
+"""
+
+import json
+import os
+import time
+
+from repro.cluster.faults import FaultPlan
+from repro.core.parallel import construct_cube_parallel
+from repro.exec import ProcessBackend
+
+from _harness import RESULTS_DIR, SCALE, dataset, emit_table, fmt_row
+
+if SCALE == "small":
+    SHAPE, BITS = (12, 10, 8), (1, 1, 0)
+else:
+    SHAPE, BITS = (48, 40, 32), (1, 1, 0)
+
+SPARSITY = 0.10
+VICTIM = 1
+#: Op index of the FT program's detection barrier: disk_read, compute,
+#: then one disk_write per first-level child -- the checkpoint is
+#: committed, so the kill lands at the worst-case durable point.
+KILL_AT = len(SHAPE) + 2
+
+
+def _timed(**kwargs):
+    data = dataset(SHAPE, SPARSITY, seed=31)
+    t0 = time.perf_counter()
+    run = construct_cube_parallel(data, BITS, checkpoint=True, **kwargs)
+    return run, time.perf_counter() - t0
+
+
+def _time_to_recover(stats) -> float | None:
+    crash = next((e.time for e in stats.events if e.kind == "crash"), None)
+    rec = next((e.time for e in stats.events if e.kind == "recovery"), None)
+    if crash is None or rec is None:
+        return None
+    return max(0.0, rec - crash)
+
+
+def _summary(run, wall, clean_reads):
+    # The killed incarnation's own reads die unreported with its queue,
+    # but it had paid exactly the victim's fault-free input read before
+    # the kill landed (the kill is at/after the detection barrier).  So
+    # the fault's redundant disk traffic -- the committed partials the
+    # recovery path re-reads -- is the total delta plus that lost read.
+    read = sum(run.metrics.rank_disk_bytes_read)
+    redundant = read - sum(clean_reads) + clean_reads[VICTIM]
+    return {
+        "wall_s": round(wall, 4),
+        "time_to_recover_s": _time_to_recover(run.metrics.faults),
+        "disk_bytes_read": int(read),
+        "redundant_disk_bytes_read": int(redundant),
+        "recoveries": run.metrics.faults.recoveries,
+        "respawns": run.metrics.faults.retries,
+    }
+
+
+def test_chaos_recovery_cost(benchmark):
+    clean, wall_clean = benchmark.pedantic(
+        lambda: _timed(backend="process"), rounds=1, iterations=1
+    )
+    clean_reads = clean.metrics.rank_disk_bytes_read
+
+    plan = FaultPlan().crash_at_op(VICTIM, KILL_AT)
+    respawn, wall_respawn = _timed(backend="process", fault_plan=plan)
+    buddy, wall_buddy = _timed(
+        backend=ProcessBackend(watchdog_s=60.0, max_respawns=0),
+        fault_plan=FaultPlan().crash_at_op(VICTIM, KILL_AT),
+    )
+
+    for name, run in (("respawn", respawn), ("buddy", buddy)):
+        assert run.metrics.faults.crashed_ranks == [VICTIM], name
+        assert run.metrics.faults.recoveries >= 1, name
+        assert set(run.results) == set(clean.results), name
+        for node, arr in clean.results.items():
+            assert arr.data.tobytes() == run.results[node].data.tobytes(), (
+                f"{name}: group-by {node} differs from the fault-free cube"
+            )
+    # Only the respawn path rebuilds the rank; the buddy path must not.
+    assert respawn.metrics.faults.retries >= 1
+    assert buddy.metrics.faults.retries == 0
+
+    variants = {
+        "fault_free": {
+            "wall_s": round(wall_clean, 4),
+            "time_to_recover_s": None,
+            "disk_bytes_read": int(sum(clean_reads)),
+            "redundant_disk_bytes_read": 0,
+            "recoveries": 0,
+            "respawns": 0,
+        },
+        "respawn": _summary(respawn, wall_respawn, clean_reads),
+        "buddy": _summary(buddy, wall_buddy, clean_reads),
+    }
+    report = {
+        "bench": "chaos",
+        "scale": SCALE,
+        "shape": list(SHAPE),
+        "bits": list(BITS),
+        "sparsity": SPARSITY,
+        "cpu_count": os.cpu_count(),
+        "fault_plan": f"kill:{VICTIM}@{KILL_AT}",
+        "bit_identical_to_fault_free": True,
+        "variants": variants,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_chaos.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    widths = [12, 10, 12, 14, 10]
+    lines = [
+        f"BENCH-chaos: kill:{VICTIM}@{KILL_AT} on the process backend "
+        f"({SHAPE}, p={2 ** sum(BITS)}, cpus={os.cpu_count()})",
+        fmt_row("variant", "wall(s)", "recover(s)", "extra read(B)",
+                "respawns", widths=widths),
+    ]
+    for name, v in variants.items():
+        ttr = v["time_to_recover_s"]
+        lines.append(
+            fmt_row(name, f"{v['wall_s']:.3f}",
+                    "--" if ttr is None else f"{ttr:.3f}",
+                    v["redundant_disk_bytes_read"], v["respawns"],
+                    widths=widths)
+        )
+    emit_table("t_chaos", lines)
+
+    benchmark.extra_info["variants"] = variants

@@ -128,6 +128,20 @@ RULE_LIST: tuple[Rule, ...] = (
         "per-rank idle-time fractions are badly skewed; some ranks wait on a serialized lead",
     ),
     Rule(
+        "TRACE106",
+        "warning",
+        "unrecovered-crash",
+        "a rank crashed but the trace records no recovery action; the run "
+        "completed without anyone adopting or replaying the lost work",
+    ),
+    Rule(
+        "TRACE107",
+        "warning",
+        "unaccounted-recovery",
+        "a recovery action references neither a committed checkpoint epoch "
+        "nor an input-block re-aggregation; the recovered data has no provenance",
+    ),
+    Rule(
         "GATE201",
         "error",
         "unused-import",

@@ -21,7 +21,12 @@ Rules (catalogued in :mod:`repro.analysis.diagnostics`):
   and no checkpoint read;
 - ``TRACE104`` a rank's measured peak held-results memory exceeds the
   Theorem 1/4 bound;
-- ``TRACE105`` per-rank idle fractions are badly skewed.
+- ``TRACE105`` per-rank idle fractions are badly skewed;
+- ``TRACE106`` a rank crashed but the trace shows no recovery action at
+  all (the run "succeeded" without anyone adopting the lost work);
+- ``TRACE107`` a recovery action references neither a committed
+  checkpoint epoch nor an input-block re-aggregation, so the recovered
+  data's provenance is unaccounted for.
 
 Requires a trace recorded with structured fields (``record_trace=True`` on
 ``run_spmd`` / ``trace=True`` on the constructors).
@@ -29,6 +34,7 @@ Requires a trace recorded with structured fields (``record_trace=True`` on
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 from typing import Mapping, Sequence, Union
 
@@ -150,6 +156,62 @@ def _memory_checks(
     return diags
 
 
+#: A recovery detail must account for the recovered data's provenance:
+#: either a committed checkpoint epoch or the original input block.
+_EPOCH_RE = re.compile(r"checkpoint epoch \d+")
+
+
+def _recovery_checks(trace: Sequence[TraceEvent]) -> list[Diagnostic]:
+    """TRACE106/107: every crash recovered, every recovery accounted for.
+
+    Both backends emit the same markers: zero-width ``fault`` events whose
+    detail starts with ``crash`` (the simulator's scheduled kill, the
+    supervisor's observed worker exit) and ``recover:`` events synthesized
+    from :meth:`~repro.cluster.runtime.RankEnv.note_recovery` actions
+    (checkpoint replay, buddy re-read, input-block re-aggregation).
+    """
+    crashes = [
+        ev for ev in trace
+        if ev.kind == "fault" and ev.detail.startswith("crash")
+    ]
+    recovers = [
+        ev for ev in trace
+        if ev.kind == "fault" and ev.detail.startswith("recover")
+    ]
+    diags: list[Diagnostic] = []
+    if crashes and not recovers:
+        for ev in crashes:
+            diags.append(
+                Diagnostic(
+                    "TRACE106",
+                    f"rank {ev.rank} crashed at t={ev.start:.3f} but the "
+                    f"trace records no recovery action anywhere in the run",
+                    rank=ev.rank,
+                    severity="warning",
+                    hint="a crashed rank's work must be adopted (buddy "
+                    "re-read / re-aggregation) or replayed by a respawn; a "
+                    "run that completes without either silently dropped it",
+                )
+            )
+    for ev in recovers:
+        detail = ev.detail
+        if _EPOCH_RE.search(detail) is None and "block" not in detail:
+            diags.append(
+                Diagnostic(
+                    "TRACE107",
+                    f"rank {ev.rank}'s recovery action ({detail!r}) references "
+                    f"neither a committed checkpoint epoch nor an input-block "
+                    f"re-aggregation",
+                    rank=ev.rank,
+                    severity="warning",
+                    hint="recovered data needs provenance: note the checkpoint "
+                    "epoch that was replayed, or the block that was "
+                    "re-aggregated",
+                )
+            )
+    return diags
+
+
 def _idle_skew_check(metrics: RunMetrics) -> list[Diagnostic]:
     """TRACE105: spread of per-rank idle fractions."""
     from repro.cluster.trace import breakdown
@@ -203,5 +265,6 @@ def lint_trace(
     report.extend(_timeout_checks(metrics.trace))
     if shape is not None and bits is not None:
         report.extend(_memory_checks(metrics, shape, bits))
+    report.extend(_recovery_checks(metrics.trace))
     report.extend(_idle_skew_check(metrics))
     return report

@@ -16,8 +16,10 @@ formats are versioned and validated on load.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -104,15 +106,29 @@ def save_partial(path: str | Path, rank: int, node: Node, arr: DenseArray) -> No
 
     Uncompressed on purpose: checkpoints are written on the hot path and
     re-read only during recovery, so codec time matters more than bytes.
+    Written atomically (tmp file + ``os.replace``): a reader -- the buddy
+    of a rank that crashed mid-write, or a respawned incarnation of that
+    rank -- sees either the complete archive or nothing, never a torn file.
     """
-    np.savez(
-        path,
-        format_version=np.int64(FORMAT_VERSION),
-        kind=np.bytes_(b"partial"),
-        rank=np.int64(rank),
-        dims=np.asarray(tuple(node), dtype=np.int64),
-        data=arr.data,
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
     )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(
+                fh,
+                format_version=np.int64(FORMAT_VERSION),
+                kind=np.bytes_(b"partial"),
+                rank=np.int64(rank),
+                dims=np.asarray(tuple(node), dtype=np.int64),
+                data=arr.data,
+            )
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def load_partial(path: str | Path) -> tuple[int, Node, DenseArray]:
@@ -131,14 +147,38 @@ class CheckpointStore:
     """A directory of per-(rank, node) partial-result checkpoints.
 
     Backs the fault-tolerant parallel construction: every rank persists its
-    first-level partials here, and a crashed rank's buddy re-reads them to
-    re-aggregate the lost partition.  Files are real ``.npz`` archives (via
-    :func:`save_partial`), so recovered data is bit-exact.
+    first-level partials here, and a crashed rank's buddy -- or, on the
+    supervised process backend, a respawned incarnation of the rank itself
+    -- re-reads them to rebuild the lost partition.  Files are real
+    ``.npz`` archives (via :func:`save_partial`, atomic), so recovered data
+    is bit-exact.
+
+    Checkpoints become *restorable* through per-rank epoch manifests: after
+    a rank writes all its partials it calls :meth:`commit`, which records
+    the node set under a monotonically increasing epoch number.  A reader
+    trusts only committed epochs (:meth:`committed_epoch` /
+    :meth:`load_committed`) -- individual files are atomic, but only the
+    manifest proves the *set* is complete.  The manifest write is itself
+    atomic, so a crash anywhere leaves the previous epoch intact.
     """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def preferred_root() -> Path:
+        """Best host-shared location for checkpoint directories.
+
+        ``/dev/shm`` when the platform mounts it (a RAM-backed tmpfs every
+        forked worker sees, so real-process recovery never waits on disk),
+        else the ordinary tempdir.  Both are per-host: the paper's model
+        assumes checkpoint storage reachable from any surviving rank.
+        """
+        shm = Path("/dev/shm")
+        if shm.is_dir() and os.access(shm, os.W_OK):
+            return shm
+        return Path(tempfile.gettempdir())
 
     def path(self, rank: int, node: Node) -> Path:
         return self.directory / f"ckpt-r{rank}-{node_name(tuple(node))}.npz"
@@ -163,6 +203,67 @@ class CheckpointStore:
                 f"expected rank {rank} node {tuple(node)}"
             )
         return arr
+
+    # -- epoch manifests ------------------------------------------------------
+
+    def _manifest_path(self, rank: int) -> Path:
+        return self.directory / f"ckpt-r{rank}.json"
+
+    def commit(self, rank: int, nodes: Sequence[Node]) -> int:
+        """Durably record that ``rank``'s partials for ``nodes`` are complete.
+
+        Returns the new epoch number (previous committed epoch + 1, starting
+        at 1).  Atomic: readers see the old manifest or the new one.
+        """
+        epoch = (self.committed_epoch(rank) or 0) + 1
+        manifest = {
+            "epoch": epoch,
+            "rank": rank,
+            "nodes": [node_name(tuple(nd)) for nd in nodes],
+        }
+        path = self._manifest_path(rank)
+        fd, tmp = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(manifest, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return epoch
+
+    def committed_epoch(self, rank: int) -> int | None:
+        """The rank's last committed epoch, or ``None`` if never committed."""
+        path = self._manifest_path(rank)
+        if not path.exists():
+            return None
+        with open(path) as fh:
+            return int(json.load(fh)["epoch"])
+
+    def load_committed(self, rank: int) -> tuple[int, dict[Node, DenseArray]] | None:
+        """Replay the rank's last committed checkpoint set.
+
+        Returns ``(epoch, {node: partial})`` with every node the manifest
+        lists, or ``None`` when there is no committed epoch (or any listed
+        file is missing -- a torn store is treated as no checkpoint rather
+        than a partial one).
+        """
+        path = self._manifest_path(rank)
+        if not path.exists():
+            return None
+        with open(path) as fh:
+            manifest = json.load(fh)
+        out: dict[Node, DenseArray] = {}
+        for name in manifest["nodes"]:
+            node = parse_node_name(name)
+            arr = self.load(rank, node)
+            if arr is None:
+                return None
+            out[node] = arr
+        return int(manifest["epoch"]), out
 
 
 def _check_header(f, kind: bytes) -> None:

@@ -143,6 +143,7 @@ def cmd_construct(args: argparse.Namespace, out) -> int:
     if fault_plan is not None:
         print(fault_plan.describe(), file=out)
     from repro.cluster.runtime import DeadlockError
+    from repro.exec import WorkerError
 
     try:
         run = plan.run_parallel(
@@ -157,6 +158,12 @@ def cmd_construct(args: argparse.Namespace, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
+    except WorkerError as exc:
+        print(f"construction failed: {exc}", file=out)
+        if not args.checkpoint:
+            print("hint: rerun with --checkpoint so the supervisor can "
+                  "respawn a crashed rank from its checkpoint", file=out)
+        return 1
     except DeadlockError as exc:
         print(f"construction stalled ({exc})", file=out)
         if args.checkpoint:
@@ -552,8 +559,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", type=_fault_plan, default=None,
                    metavar="SPEC",
                    help="inject faults, e.g. 'crash:3@0.5;drop:0.05;seed=7' "
-                        "(clauses: seed=N crash:R@T straggler:R@F "
-                        "nic:R@F[:LO-HI] drop:P[@S->D] dup:P[@S->D])")
+                        "(clauses: seed=N crash:R@T kill:R@OP straggler:R@F "
+                        "nic:R@F[:LO-HI] drop:P[@S->D] dup:P[@S->D]); "
+                        "with --backend process only kill/straggler/nic/dup "
+                        "are supported (time-based crash and drop are "
+                        "simulator-only)")
     p.add_argument("--checkpoint", action="store_true",
                    help="fault-tolerant run: checkpoint first-level partials "
                         "and recover a crashed rank via its buddy")

@@ -22,6 +22,14 @@ import math
 import random
 from dataclasses import dataclass, field
 
+#: Every fault kind a :class:`FaultPlan` can describe.  Execution backends
+#: declare the subset they can honor (``Backend.fault_capabilities``);
+#: ``crash`` is a *time-based* kill (simulated clocks only), ``crash_op`` a
+#: deterministic kill at an op index (reproducible on real processes too).
+ALL_FAULT_KINDS = frozenset(
+    {"crash", "crash_op", "straggler", "nic", "drop", "dup"}
+)
+
 
 # -- injected-fault descriptions (plan side) -----------------------------------------
 
@@ -117,6 +125,16 @@ class FaultStats:
     def any(self) -> bool:
         return bool(self.events)
 
+    def merge(self, other: "FaultStats") -> None:
+        """Fold another rank's (or the supervisor's) stats into this one.
+
+        The process backend gives every worker its own :class:`FaultStats`
+        and merges them host-side, so counters stay consistent with the
+        event log (each event is re-noted through :meth:`note`).
+        """
+        for ev in other.events:
+            self.note(ev.kind, ev.time, ev.rank, ev.detail)
+
     def summary(self) -> str:
         return (
             f"crashes={sorted(self.crashed_ranks)} "
@@ -146,6 +164,7 @@ class FaultPlan:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self.crashes: dict[int, float] = {}
+        self.crash_ops: dict[int, int] = {}
         self.stragglers: dict[int, float] = {}
         self.nic_degradations: list[NicDegradation] = []
         self.drops: list[MessageFaultRule] = []
@@ -160,6 +179,25 @@ class FaultPlan:
         if rank in self.crashes:
             raise ValueError(f"rank {rank} already has a crash scheduled")
         self.crashes[rank] = float(at_time)
+        return self
+
+    def crash_at_op(self, rank: int, op_index: int) -> "FaultPlan":
+        """Kill ``rank`` immediately before it executes its ``op_index``-th op.
+
+        Unlike :meth:`crash` (a simulated-time kill, meaningless on real
+        clocks), an op-index kill is deterministic on every backend: the
+        simulator closes the generator before interpreting that op, and the
+        process backend's :class:`~repro.exec.chaos.ChaosAgent` SIGKILLs the
+        worker at the same boundary.  Program code between yields has run;
+        the op itself (and everything after) has not -- identical crash
+        semantics either way, which is what makes cross-backend recovery
+        parity testable bit-for-bit.
+        """
+        if op_index < 0:
+            raise ValueError(f"op index must be non-negative, got {op_index}")
+        if rank in self.crash_ops:
+            raise ValueError(f"rank {rank} already has an op-index crash scheduled")
+        self.crash_ops[rank] = int(op_index)
         return self
 
     def straggler(self, rank: int, factor: float) -> "FaultPlan":
@@ -204,16 +242,37 @@ class FaultPlan:
     def empty(self) -> bool:
         return not (
             self.crashes
+            or self.crash_ops
             or self.stragglers
             or self.nic_degradations
             or self.drops
             or self.duplicates
         )
 
+    def kinds(self) -> frozenset[str]:
+        """The fault kinds this plan actually uses (subset of
+        :data:`ALL_FAULT_KINDS`); what backends check capabilities against."""
+        out = set()
+        if self.crashes:
+            out.add("crash")
+        if self.crash_ops:
+            out.add("crash_op")
+        if self.stragglers:
+            out.add("straggler")
+        if self.nic_degradations:
+            out.add("nic")
+        if self.drops:
+            out.add("drop")
+        if self.duplicates:
+            out.add("dup")
+        return frozenset(out)
+
     def describe(self) -> str:
         parts = []
         for rank, t in sorted(self.crashes.items()):
             parts.append(f"crash rank {rank} @ {t:g}s")
+        for rank, opn in sorted(self.crash_ops.items()):
+            parts.append(f"kill rank {rank} @ op {opn}")
         for rank, f in sorted(self.stragglers.items()):
             parts.append(f"straggler rank {rank} x{f:g}")
         for d in self.nic_degradations:
@@ -240,12 +299,15 @@ class FaultPlan:
 
             seed=SEED
             crash:RANK@TIME
+            kill:RANK@OP_INDEX
             straggler:RANK@FACTOR
             nic:RANK@FACTOR[:START-END]
             drop:PROB[@SRC->DST]
             dup:PROB[@SRC->DST]
 
-        ``SRC``/``DST`` may each be ``*`` (any).  Example::
+        ``SRC``/``DST`` may each be ``*`` (any).  ``kill`` is the
+        deterministic op-index variant of ``crash`` and is the form real
+        process backends can honor (SIGKILL at the op boundary).  Example::
 
             crash:3@0.5;straggler:1@4;drop:0.05@*->0;seed=7
         """
@@ -268,6 +330,9 @@ class FaultPlan:
         if kind == "crash":
             rank, _, t = rest.partition("@")
             self.crash(int(rank), float(t))
+        elif kind == "kill":
+            rank, _, opn = rest.partition("@")
+            self.crash_at_op(int(rank), int(opn))
         elif kind == "straggler":
             rank, _, f = rest.partition("@")
             self.straggler(int(rank), float(f))
@@ -322,6 +387,10 @@ class FaultController:
     def crash_time(self, rank: int) -> float | None:
         return self.plan.crashes.get(rank)
 
+    def crash_op(self, rank: int) -> int | None:
+        """Op index at which ``rank`` dies, or ``None``."""
+        return self.plan.crash_ops.get(rank)
+
     def compute_factor(self, rank: int) -> float:
         return self.plan.stragglers.get(rank, 1.0)
 
@@ -359,6 +428,9 @@ class _NullController:
     """Zero-cost stand-in when no fault plan is given."""
 
     def crash_time(self, rank: int) -> None:
+        return None
+
+    def crash_op(self, rank: int) -> None:
         return None
 
     def compute_factor(self, rank: int) -> float:

@@ -236,6 +236,10 @@ class RankEnv:
     rank: int
     num_ranks: int
     machine: MachineModel
+    #: 0 on the first execution of this rank; a supervised process backend
+    #: increments it on every respawn.  Fault-tolerant programs branch on it
+    #: to replay from the checkpoint store instead of re-reading input.
+    incarnation: int = 0
     clock: float = 0.0
     disk_bytes_written: int = 0
     disk_bytes_read: int = 0
@@ -318,6 +322,22 @@ class RankEnv:
 
     def held_keys(self) -> list[Any]:
         return list(self._held)
+
+
+def recovery_trace_events(fstats: FaultStats) -> list[TraceEvent]:
+    """Zero-width ``fault`` events for every recovery action in ``fstats``.
+
+    Recovery actions are noted through :meth:`RankEnv.note_recovery` (not
+    yielded ops), so without this synthesis they would be invisible to the
+    trace linter -- :mod:`repro.analysis.lint_trace` rules TRACE106/107
+    validate crashed runs by pairing ``crash`` markers with these
+    ``recover:`` markers.  Both backends append them to traced runs.
+    """
+    return [
+        TraceEvent(ev.rank, "fault", ev.time, ev.time, f"recover: {ev.detail}")
+        for ev in fstats.events
+        if ev.kind == "recovery"
+    ]
 
 
 _READY, _BLOCKED, _BARRIER, _DONE, _DEAD = range(5)
@@ -410,6 +430,8 @@ def run_spmd(
     blocked_on: list[RecvOp | None] = [None] * num_ranks
     blocked_deadline: list[float | None] = [None] * num_ranks
     crash_at = [ctl.crash_time(r) for r in range(num_ranks)]
+    crash_op_at = [ctl.crash_op(r) for r in range(num_ranks)]
+    ops_issued = [0] * num_ranks
     results: list[Any] = [None] * num_ranks
     trace: list[TraceEvent] = []
 
@@ -500,6 +522,15 @@ def run_spmd(
             except StopIteration as stop:
                 state[r] = _DONE
                 results[r] = stop.value
+                return
+            # Op-index kills fire at the yield boundary: program code before
+            # this yield has run, the op itself is never interpreted -- the
+            # exact semantics of the process backend's SIGKILL-at-op, which
+            # is what makes seeded crashes reproducible across backends.
+            opn = ops_issued[r]
+            ops_issued[r] += 1
+            if crash_op_at[r] is not None and opn == crash_op_at[r]:
+                kill(r, env.clock)
                 return
             resume_value = None
             if isinstance(op, ComputeOp):
@@ -666,6 +697,8 @@ def run_spmd(
                 _deadlock_report(num_ranks, state, blocked_on, envs, network, fstats)
             )
 
+    if record_trace and fstats.recoveries:
+        trace.extend(recovery_trace_events(fstats))
     spans = sorted(
         (s for env in envs for s in env.tracer.spans),
         key=lambda s: (s.t_start, s.t_end, s.rank),

@@ -126,19 +126,26 @@ class BuildConfig:
         return self.trace or self.trace_out is not None
 
     def _validate_backend(self) -> None:
-        """Resolve/validate the backend choice without instantiating it."""
+        """Resolve the backend choice and check declared capabilities.
+
+        Backends declare what they support (``fault_capabilities`` /
+        ``supports_machines``); the check is capability-driven, so a plan
+        restricted to a backend's supported fault kinds (e.g. op-index
+        kills on ``"process"``) is legal while unsupported kinds fail here,
+        at construction, naming exactly what the backend cannot honor.
+        """
         if isinstance(self.backend, str):
             # Imported lazily: repro.exec sits above repro.cluster, and a
             # module-level import here would be needlessly eager for the
             # overwhelmingly common sim-backend path.
-            from repro.exec.registry import available_backends
+            from repro.exec.registry import available_backends, get_backend
 
             if self.backend not in available_backends():
                 raise ValueError(
                     f"unknown backend {self.backend!r}; available: "
                     f"{', '.join(available_backends())}"
                 )
-            name = self.backend
+            backend_obj = get_backend(self.backend)
         else:
             from repro.exec.base import Backend
 
@@ -147,18 +154,10 @@ class BuildConfig:
                     "backend must be a registered name or a Backend "
                     f"instance, got {type(self.backend).__name__}"
                 )
-            name = self.backend.name
-        if name != "sim":
-            if self.fault_plan is not None:
-                raise ValueError(
-                    f"fault injection is simulator-only; backend {name!r} "
-                    "cannot honor fault_plan"
-                )
-            if self.machines is not None:
-                raise ValueError(
-                    f"per-rank machine models are simulator-only; backend "
-                    f"{name!r} cannot honor machines"
-                )
+            backend_obj = self.backend
+        from repro.exec.base import check_backend_options
+
+        check_backend_options(backend_obj, self.fault_plan, self.machines)
 
     def merged_with(self, **overrides: object) -> "BuildConfig":
         """Copy of this config with every non-UNSET override applied.

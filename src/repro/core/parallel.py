@@ -457,34 +457,68 @@ def _make_program_ft(
         tr = env.tracer
         traced = tr.enabled
 
+        # A respawned incarnation (supervised process backend) replays its
+        # own committed checkpoint instead of redoing the first level; only
+        # a committed epoch covering every child is trusted.
+        restored = store.load_committed(me) if env.incarnation > 0 else None
+        if restored is not None and any(
+            c not in restored[1] for c in root_step.children
+        ):
+            restored = None
+
         # Phases chain (see the fault-free program): `end_span` returns its
         # end time, which seeds the next span's start.
         t0 = tr.clock() if traced else 0.0
-        yield env.disk_read(block.nbytes)
-        if traced:
-            t0 = tr.end_span(
-                "build.input_read", t0, attrs={"nbytes": block.nbytes}
+        if restored is not None:
+            ep, parts = restored
+            for child in root_step.children:
+                arr = parts[child]
+                yield env.disk_read(arr.nbytes)
+                vlocal[me][child] = arr
+                env.alloc((me, child), arr.size)
+            env.note_recovery(
+                f"checkpoint epoch {ep}: rank {me} replayed first-level "
+                f"partials after respawn"
             )
+            if traced:
+                t0 = tr.end_span(
+                    "build.replay", t0,
+                    attrs={"epoch": ep, "children": len(root_step.children)},
+                )
+        else:
+            yield env.disk_read(block.nbytes)
+            if traced:
+                t0 = tr.end_span(
+                    "build.input_read", t0, attrs={"nbytes": block.nbytes}
+                )
 
-        # 1. First-level local aggregation + checkpoint.
-        outs, ops, sparse = first_level(block)
-        yield env.compute(ops, sparse=sparse)
-        for child, out in zip(root_step.children, outs):
-            vlocal[me][child] = out
-            env.alloc((me, child), out.size)
-        if traced:
-            t0 = tr.end_span(
-                "build.first_level", t0,
-                attrs={"node": node_name(root), "children": len(root_step.children)},
-            )
-        for child in root_step.children:
-            arr = vlocal[me][child]
-            store.save(me, child, arr)
-            yield env.disk_write(arr.nbytes)
-        if traced:
-            t0 = tr.end_span(
-                "build.checkpoint", t0, attrs={"children": len(root_step.children)}
-            )
+            # 1. First-level local aggregation + checkpoint.
+            outs, ops, sparse = first_level(block)
+            yield env.compute(ops, sparse=sparse)
+            for child, out in zip(root_step.children, outs):
+                vlocal[me][child] = out
+                env.alloc((me, child), out.size)
+            if traced:
+                t0 = tr.end_span(
+                    "build.first_level", t0,
+                    attrs={"node": node_name(root), "children": len(root_step.children)},
+                )
+            for child in root_step.children:
+                arr = vlocal[me][child]
+                store.save(me, child, arr)
+                yield env.disk_write(arr.nbytes)
+            # Commit makes the set restorable: a replaying reader trusts
+            # only the manifest, never a bag of individually-atomic files.
+            store.commit(me, root_step.children)
+            if env.incarnation > 0:
+                env.note_recovery(
+                    f"rank {me} re-aggregated first-level partials from its "
+                    f"input block after respawn (crash preceded the commit)"
+                )
+            if traced:
+                t0 = tr.end_span(
+                    "build.checkpoint", t0, attrs={"children": len(root_step.children)}
+                )
 
         # 2. Failure detection: barrier, then all-to-all heartbeats.  The
         # barrier aligns clocks so a live peer's heartbeat always lands
@@ -519,7 +553,11 @@ def _make_program_ft(
                 for child, arr in recovered.items():
                     yield env.disk_read(arr.nbytes)
                     vlocal[d][child] = arr
-                env.note_recovery(f"re-read rank {d} partials from checkpoint")
+                ep = store.committed_epoch(d) or 0
+                env.note_recovery(
+                    f"checkpoint epoch {ep}: re-read rank {d} partials "
+                    f"from checkpoint"
+                )
             else:
                 dblock = local_inputs[d]
                 yield env.disk_read(dblock.nbytes)
@@ -620,6 +658,10 @@ def _make_program_ft(
         return written
 
     setattr(program, "_cube_program", True)
+    # Replayable from the checkpoint store: the supervised process backend
+    # may respawn a crashed rank running this program (a plain program would
+    # recompute sends its peers already consumed).
+    setattr(program, "_restartable", True)
     return program
 
 
@@ -820,13 +862,19 @@ def construct_cube_parallel(
     tmpdir = None
     try:
         if checkpoint:
-            if checkpoint_dir is None:
-                tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
-                checkpoint_dir = tmpdir.name
             # Imported here, not at module top: persist itself imports
             # repro.core for Node, so a top-level import would be circular.
             from repro.arrays.persist import CheckpointStore
 
+            if checkpoint_dir is None:
+                # Prefer a RAM-backed host-shared root (/dev/shm): forked
+                # workers and respawned incarnations all see it, and
+                # recovery replay never waits on disk.
+                tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-ckpt-",
+                    dir=str(CheckpointStore.preferred_root()),
+                )
+                checkpoint_dir = tmpdir.name
             store = CheckpointStore(checkpoint_dir)
             program = _make_program_ft(
                 schedule, grid, local_inputs, n, measure, store, recv_timeout

@@ -11,27 +11,44 @@ vocabulary.  Two ship with the package:
   :mod:`multiprocessing`, with the per-rank input blocks placed in
   :mod:`multiprocessing.shared_memory` so local partitions are zero-copy;
   only cross-rank partial results are pickled.  Clocks are wall-clock
-  seconds.
+  seconds.  Every run is overseen by a :class:`Supervisor` that detects
+  worker death, respawns crashed ranks from the checkpoint store, and
+  turns unrecoverable failures into an enriched :class:`WorkerError`;
+  the process-compatible subset of a fault plan is injected in-worker by
+  a :class:`ChaosAgent` (:data:`PROCESS_FAULT_KINDS`).
 
 Because both backends drive the *same* generator program, the arithmetic
 (including the order of floating-point accumulation in reductions) is
 identical, and results are bit-for-bit the same across backends.  Select
 one by name through :func:`get_backend` or
 ``construct_cube_parallel(backend="process")``.
+
+What robustness options a backend accepts is capability-declared
+(:attr:`Backend.fault_capabilities`, :attr:`Backend.supports_machines`)
+and enforced by :func:`check_backend_options` -- the single check behind
+both ``BuildConfig`` validation and ``spawn_ranks``.
 """
 
-from repro.exec.base import Backend, ProgramFactory
-from repro.exec.process import ProcessBackend
+from repro.exec.base import Backend, ProgramFactory, check_backend_options
+from repro.exec.chaos import PROCESS_FAULT_KINDS, ChaosAgent
+from repro.exec.process import ProcessBackend, WorkerError
 from repro.exec.registry import available_backends, get_backend, register_backend
 from repro.exec.shm import SharedInputArena
 from repro.exec.sim import SimBackend
+from repro.exec.supervisor import RankIncident, Supervisor
 
 __all__ = [
     "Backend",
     "ProgramFactory",
     "SimBackend",
     "ProcessBackend",
+    "WorkerError",
+    "Supervisor",
+    "RankIncident",
+    "ChaosAgent",
+    "PROCESS_FAULT_KINDS",
     "SharedInputArena",
+    "check_backend_options",
     "get_backend",
     "register_backend",
     "available_backends",

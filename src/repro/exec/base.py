@@ -50,10 +50,33 @@ class Backend(abc.ABC):
     Subclasses implement :meth:`spawn_ranks` (and usually override
     :attr:`timeouts`); the op-vocabulary constructors are shared, which is
     what keeps programs backend-portable.
+
+    Robustness options are **capability-declared**, not policy-hard-coded:
+    a backend states which :class:`~repro.cluster.faults.FaultPlan` kinds
+    it can honor (:attr:`fault_capabilities`, a subset of
+    :data:`~repro.cluster.faults.ALL_FAULT_KINDS`) and whether per-rank
+    machine models mean anything on it (:attr:`supports_machines`).
+    :func:`check_backend_options` turns those declarations into the
+    construction-time ``ValueError`` that ``BuildConfig`` and
+    ``spawn_ranks`` both raise, so a new backend only declares what it
+    supports instead of every caller special-casing names.
     """
 
     #: Registry name; subclasses override.
     name: str = "abstract"
+
+    #: Whether per-rank machine cost models (``machines=``) are meaningful
+    #: on this backend.  Only cost-model-driven backends can honor them.
+    supports_machines: bool = False
+
+    #: :class:`~repro.cluster.faults.FaultPlan` kinds this backend can
+    #: inject (subset of :data:`~repro.cluster.faults.ALL_FAULT_KINDS`).
+    #: Empty by default: a backend must opt in to each fault kind.
+    fault_capabilities: frozenset[str] = frozenset()
+
+    def unsupported_fault_kinds(self, plan: FaultPlan) -> tuple[str, ...]:
+        """Fault kinds ``plan`` uses that this backend cannot honor."""
+        return tuple(sorted(plan.kinds() - self.fault_capabilities))
 
     # -- op vocabulary -------------------------------------------------------
 
@@ -140,3 +163,31 @@ class Backend(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def check_backend_options(
+    backend: Backend,
+    faults: FaultPlan | None = None,
+    machines: Sequence[MachineModel] | None = None,
+) -> None:
+    """Raise ``ValueError`` for options ``backend`` declares it cannot honor.
+
+    The single enforcement point behind both ``BuildConfig`` validation and
+    ``spawn_ranks`` guard rails.  Error messages name the exact unsupported
+    fault kinds and keep the historical ``simulator-only`` phrasing.
+    """
+    if faults is not None:
+        missing = backend.unsupported_fault_kinds(faults)
+        if missing:
+            supported = ", ".join(sorted(backend.fault_capabilities)) or "none"
+            raise ValueError(
+                f"fault kind(s) {', '.join(missing)} are simulator-only; "
+                f"backend {backend.name!r} supports: {supported}. "
+                f"Use backend='sim', or restrict the plan to supported kinds "
+                f"(e.g. kill:RANK@OP instead of crash:RANK@TIME)"
+            )
+    if machines is not None and not backend.supports_machines:
+        raise ValueError(
+            f"per-rank machine models are simulator-only; backend "
+            f"{backend.name!r} cannot honor machines"
+        )

@@ -1,12 +1,12 @@
-"""Real shared-memory execution of SPMD rank programs.
+"""Real shared-memory execution of SPMD rank programs, supervised.
 
 :class:`ProcessBackend` interprets the same generator rank programs the
 simulator runs, but on real OS processes: one forked worker per rank,
 per-rank :class:`multiprocessing.Queue` inboxes with MPI-style ``(src,
-tag)`` matching, a real :class:`multiprocessing.Barrier`, and input blocks
-staged in shared memory by :class:`~repro.exec.shm.SharedInputArena` (the
-fork inherits the mapping, so local partitions are read zero-copy; only
-cross-rank partials travel through pickled queue messages).
+tag)`` matching, and input blocks staged in shared memory by
+:class:`~repro.exec.shm.SharedInputArena` (the fork inherits the mapping,
+so local partitions are read zero-copy; only cross-rank partials travel
+through pickled queue messages).
 
 Because the *program* is identical -- same numpy kernels, same flat
 reduce-to-lead combine order -- results are bit-for-bit identical to the
@@ -17,8 +17,19 @@ volume) matches exactly.  What changes is the meaning of time: clocks and
 system-wide, so cross-process timestamps are comparable), and receive
 timeouts are shaped by :data:`~repro.cluster.runtime.MONOTONIC_TIMEOUTS`.
 
-The cost-model-only knobs of the simulator are rejected: fault injection
-and per-rank machine models raise ``ValueError`` here.
+Every run is overseen by a :class:`~repro.exec.supervisor.Supervisor` on
+the host: workers report results, errors, barrier arrivals, and periodic
+heartbeats on one control queue; barriers are the supervised protocol
+(``multiprocessing.Barrier`` breaks permanently when a participant dies),
+and a worker death is detected from its exit code, then respawned from the
+checkpoint store, declared dead for buddy recovery, or turned into an
+enriched :class:`WorkerError` post-mortem -- see :mod:`repro.exec.supervisor`.
+
+Robustness options are capability-declared: the fault kinds a real process
+can honor (:data:`~repro.exec.chaos.PROCESS_FAULT_KINDS`, interpreted
+in-worker by a :class:`~repro.exec.chaos.ChaosAgent`) are accepted, the
+rest -- and per-rank machine cost models -- raise ``ValueError`` through
+:func:`~repro.exec.base.check_backend_options`.
 """
 
 from __future__ import annotations
@@ -47,15 +58,57 @@ from repro.cluster.runtime import (
     SleepOp,
     TimeoutPolicy,
     TraceEvent,
+    recovery_trace_events,
 )
-from repro.exec.base import Backend, ProgramFactory
+from repro.exec.base import Backend, ProgramFactory, check_backend_options
+from repro.exec.chaos import NULL_CHAOS, PROCESS_FAULT_KINDS, ChaosAgent
 from repro.exec.shm import SharedInputArena
+from repro.exec.supervisor import (
+    BARRIER_TAG_BASE,
+    DEFAULT_MAX_RESPAWNS,
+    SUPERVISOR_RANK,
+    Supervisor,
+    _FatalFailure,
+)
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.span import Sample, Span, Tracer
 
+#: Minimum spacing of the heartbeats workers piggyback on the control
+#: queue at op boundaries (diagnostic context for post-mortems; liveness
+#: itself is judged from process exit codes, not heartbeat gaps).
+HEARTBEAT_INTERVAL_S = 0.25
+
 
 class WorkerError(RuntimeError):
-    """A worker process failed; carries the remote traceback."""
+    """A worker process (or the supervised run as a whole) failed.
+
+    Beyond the message, carries a structured post-mortem when the
+    supervisor produced one: the failing ``rank`` (``None`` for host-side
+    failures such as the watchdog), its ``exit_code`` and decoded
+    ``signal_name`` (``"SIGKILL"``) when it died on a signal, the
+    formatted ``post_mortem`` string, and per-rank
+    :class:`~repro.exec.supervisor.RankIncident` entries in ``incidents``
+    -- including the last trace events of surviving ranks on traced runs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        exit_code: int | None = None,
+        signal_name: str | None = None,
+        post_mortem: str = "",
+        incidents: Sequence[Any] = (),
+    ) -> None:
+        super().__init__(
+            f"{message}\n{post_mortem}" if post_mortem else message
+        )
+        self.rank = rank
+        self.exit_code = exit_code
+        self.signal_name = signal_name
+        self.post_mortem = post_mortem
+        self.incidents = list(incidents)
 
 
 def _drive(
@@ -64,28 +117,43 @@ def _drive(
     machine: MachineModel,
     program_factory: ProgramFactory,
     inboxes: Sequence[Any],
-    barrier: Any,
+    ctl_queue: Any,
     record_trace: bool,
     epoch: float,
     watchdog_s: float,
+    faults: FaultPlan | None,
+    incarnation: int,
+    epoch0: float | None,
 ) -> dict[str, Any]:
     """Interpret one rank's program in real time; returns its stats.
 
     The generator runs the actual numpy work between yields; ops are
-    interpreted as real communication (queue sends/receives, the shared
-    barrier) or as pure accounting (compute/disk charges, whose *real*
-    duration is the measured interval since the previous op).
+    interpreted as real communication (queue sends/receives, supervised
+    barriers) or as pure accounting (compute/disk charges, whose *real*
+    duration is the measured interval since the previous op).  A
+    :class:`~repro.exec.chaos.ChaosAgent` intercepts op boundaries for the
+    process-compatible fault subset; respawned incarnations run disarmed.
     """
+    fstats = FaultStats()
     env = RankEnv(
         rank=rank,
         num_ranks=num_ranks,
         machine=machine,
+        incarnation=incarnation,
+        _fault_stats=fstats,
         timeouts=MONOTONIC_TIMEOUTS,
+    )
+    chaos = (
+        ChaosAgent(faults, rank, incarnation, machine)
+        if faults is not None
+        else NULL_CHAOS
     )
     inbox = inboxes[rank]
     mailbox: dict[tuple[int, int], deque[Any]] = {}
     trace: list[TraceEvent] = []
     comm = CommStats()
+    barrier_seq = 0
+    last_hb = time.monotonic()
 
     def now() -> float:
         return time.monotonic() - epoch
@@ -95,15 +163,6 @@ def _drive(
         # registry; the host merges both when the stats come back.
         env.tracer = Tracer(rank=rank, clock=now)
         env.obs = MetricsRegistry()
-    # Align every rank's timeline at the spawn barrier so span/op start
-    # times are comparable across lanes (fork+import skew would otherwise
-    # show up as phantom head-of-run work on the late ranks).  The host's
-    # spawn-time epoch only bounds the pre-barrier watchdog; rebasing at
-    # the release instant keeps fork/setup skew out of every rank clock,
-    # so the makespan and the phase-coverage denominator measure the
-    # program, not process startup.
-    barrier.wait(timeout=watchdog_s)
-    epoch = time.monotonic()
 
     def await_message(src: int, tag: int, deadline: float | None) -> Any:
         """Next ``(src, tag)`` payload; :data:`RECV_TIMEOUT` past deadline."""
@@ -127,9 +186,40 @@ def _drive(
                 continue
             mailbox.setdefault((msrc, mtag), deque()).append(payload)
 
+    def sup_barrier() -> None:
+        """Supervised barrier: announce arrival, await the release token.
+
+        Survives rank death (the supervisor releases around declared-dead
+        ranks) and respawn (already-released sequences fast-forward), which
+        a shared ``multiprocessing.Barrier`` cannot.
+        """
+        nonlocal barrier_seq
+        seq = barrier_seq
+        barrier_seq += 1
+        ctl_queue.put(("barrier", rank, incarnation, seq))
+        await_message(SUPERVISOR_RANK, BARRIER_TAG_BASE + seq, None)
+
+    def heartbeat(op_index: int, op_kind: str) -> None:
+        nonlocal last_hb
+        t = time.monotonic()
+        if t - last_hb >= HEARTBEAT_INTERVAL_S:
+            last_hb = t
+            ctl_queue.put(("hb", rank, incarnation, op_index, op_kind, now()))
+
+    # Align every rank's timeline at the spawn barrier so span/op start
+    # times are comparable across lanes (fork+import skew would otherwise
+    # show up as phantom head-of-run work on the late ranks).  The host's
+    # spawn-time epoch only bounds the pre-barrier watchdog; rebasing at
+    # the release instant keeps fork/setup skew out of every rank clock.
+    # Respawned incarnations inherit the original cohort's epoch instead,
+    # so their events land on the same timeline as the run they rejoin.
+    sup_barrier()
+    epoch = epoch0 if epoch0 is not None else time.monotonic()
+
     gen = program_factory(env)
     resume: Any = None
     result: Any = None
+    op_index = 0
     t_prev = now()
     while True:
         try:
@@ -137,29 +227,65 @@ def _drive(
         except StopIteration as stop:
             result = stop.value
             break
+        # The chaos boundary: the program code *behind* this yield has run,
+        # the op itself has not been interpreted -- the same instant the
+        # simulator's op-indexed kill fires at, which is what makes seeded
+        # crashes land on the identical protocol state on both backends.
+        chaos.before_op(op_index)
         t_yield = now()
+        env.clock = t_yield
+        heartbeat(op_index, type(op).__name__)
         resume = None
         if isinstance(op, ComputeOp):
+            extra = chaos.compute_delay_s(t_yield - t_prev)
+            if extra > 0.0:
+                time.sleep(extra)
+                t_yield = now()
+                env.clock = t_yield
             env.compute_ops += op.element_ops
             if record_trace and t_yield > t_prev:
                 trace.append(TraceEvent(rank, "compute", t_prev, t_yield))
         elif isinstance(op, SendOp):
             nbytes = payload_nbytes(op.payload)
-            inboxes[op.dst].put((rank, op.tag, op.payload))
-            comm.record(rank, op.dst, nbytes, payload_elements(op.payload))
+            delay = chaos.send_delay_s(nbytes, t_yield)
+            if delay > 0.0:
+                time.sleep(delay)
+            copies = chaos.deliveries(op.dst)
+            for _ in range(copies):
+                inboxes[op.dst].put((rank, op.tag, op.payload))
+                # The simulator's network charges every posted copy, so a
+                # duplicated delivery counts twice here too.
+                comm.record(rank, op.dst, nbytes, payload_elements(op.payload))
+            t_done = now()
             if record_trace:
                 trace.append(
                     TraceEvent(
-                        rank, "send", t_yield, now(),
+                        rank, "send", t_yield, t_done,
                         f"to {op.dst} ({nbytes}B)",
                         peer=op.dst, tag=op.tag, nbytes=nbytes,
                     )
                 )
+            if copies > 1:
+                fstats.note(
+                    "duplicate", t_done, rank,
+                    f"{rank}->{op.dst} tag {op.tag} ({nbytes}B)",
+                )
+                if record_trace:
+                    trace.append(
+                        TraceEvent(
+                            rank, "fault", t_done, t_done,
+                            f"duplicate to {op.dst}",
+                            peer=op.dst, tag=op.tag, nbytes=nbytes,
+                        )
+                    )
         elif isinstance(op, RecvOp):
             deadline = None if op.timeout is None else t_yield + op.timeout
             resume = await_message(op.src, op.tag, deadline)
             t_done = now()
             if resume is RECV_TIMEOUT:
+                fstats.note(
+                    "timeout", t_done, rank, f"recv from {op.src} tag {op.tag}"
+                )
                 if record_trace:
                     trace.append(
                         TraceEvent(
@@ -195,11 +321,12 @@ def _drive(
             if record_trace:
                 trace.append(TraceEvent(rank, "wait", t_yield, now(), "sleep"))
         elif isinstance(op, BarrierOp):
-            barrier.wait(timeout=watchdog_s)
+            sup_barrier()
             if record_trace:
                 trace.append(TraceEvent(rank, "barrier", t_yield, now()))
         else:
             raise TypeError(f"rank {rank} yielded unknown op {op!r}")
+        op_index += 1
         t_prev = now()
 
     env.clock = now()
@@ -212,6 +339,7 @@ def _drive(
         "disk_bytes_read": env.disk_bytes_read,
         "comm": comm,
         "trace": trace,
+        "faults": fstats,
         "spans": env.tracer.spans if record_trace else [],
         "samples": env.tracer.samples if record_trace else [],
         "registry": env.obs if record_trace else None,
@@ -224,39 +352,55 @@ def _worker(
     machine: MachineModel,
     program_factory: ProgramFactory,
     inboxes: Sequence[Any],
-    barrier: Any,
-    result_queue: Any,
+    ctl_queue: Any,
     record_trace: bool,
     epoch: float,
     watchdog_s: float,
+    faults: FaultPlan | None,
+    incarnation: int,
+    epoch0: float | None,
 ) -> None:
     """Process entry point: drive the program, ship stats (or the error)."""
     try:
         stats = _drive(
-            rank, num_ranks, machine, program_factory, inboxes, barrier,
-            record_trace, epoch, watchdog_s,
+            rank, num_ranks, machine, program_factory, inboxes, ctl_queue,
+            record_trace, epoch, watchdog_s, faults, incarnation, epoch0,
         )
-        result_queue.put((rank, "ok", stats))
+        ctl_queue.put(("ok", rank, incarnation, stats))
     except BaseException:
-        result_queue.put((rank, "error", traceback.format_exc()))
+        ctl_queue.put(("error", rank, incarnation, traceback.format_exc()))
 
 
 class ProcessBackend(Backend):
     """Execute rank programs on real OS processes with shared-memory inputs.
 
     ``watchdog_s`` bounds every blocking wait (receives with no timeout,
-    barriers, the host's wait for worker results); exceeding it surfaces
-    the real-world analogue of the simulator's ``DeadlockError``.  Requires
-    the ``fork`` start method (program factories are closures; the fork
-    inherits them and the shared-memory input mapping without pickling).
+    barriers, the supervisor's wait for control-queue progress); exceeding
+    it surfaces the real-world analogue of the simulator's
+    ``DeadlockError``, with a post-mortem instead of a hang.
+    ``max_respawns`` is the per-rank respawn budget of the supervisor:
+    how many times one rank may be rebuilt from the checkpoint store
+    before it is declared dead and the program-level buddy protocol takes
+    over.  Requires the ``fork`` start method (program factories are
+    closures; the fork inherits them and the shared-memory input mapping
+    without pickling).
     """
 
     name = "process"
+    supports_machines = False
+    fault_capabilities = PROCESS_FAULT_KINDS
 
-    def __init__(self, watchdog_s: float = 120.0):
+    def __init__(
+        self,
+        watchdog_s: float = 120.0,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+    ):
         if watchdog_s <= 0:
             raise ValueError("watchdog_s must be positive")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
         self.watchdog_s = watchdog_s
+        self.max_respawns = max_respawns
         self._arena: SharedInputArena | None = None
 
     @property
@@ -279,15 +423,8 @@ class ProcessBackend(Backend):
         machines: Sequence[MachineModel] | None = None,
         faults: FaultPlan | None = None,
     ) -> RunMetrics:
-        """Fork one worker per rank and run the program to completion."""
-        if faults is not None:
-            raise ValueError(
-                "fault injection is simulator-only; use backend='sim'"
-            )
-        if machines is not None:
-            raise ValueError(
-                "per-rank machine models are simulator-only; use backend='sim'"
-            )
+        """Fork one worker per rank; supervise the cohort to completion."""
+        check_backend_options(self, faults, machines)
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
                 "ProcessBackend requires the 'fork' start method"
@@ -303,65 +440,74 @@ class ProcessBackend(Backend):
 
         ctx = multiprocessing.get_context("fork")
         inboxes = [ctx.Queue() for _ in range(num_ranks)]
-        result_queue = ctx.Queue()
-        barrier = ctx.Barrier(num_ranks)
-        epoch = time.monotonic()
-        procs = [
-            ctx.Process(
+        ctl_queue = ctx.Queue()
+        host_epoch = time.monotonic()
+        # Fault-tolerant programs mark themselves replayable-from-checkpoint;
+        # only those may be respawned (a plain program would recompute sends
+        # its peers already consumed, corrupting the protocol).
+        restartable = bool(getattr(program_factory, "_restartable", False))
+
+        def spawn(r: int, incarnation: int, epoch0: float | None) -> Any:
+            proc = ctx.Process(
                 target=_worker,
                 args=(
-                    r, num_ranks, mach, program_factory, inboxes, barrier,
-                    result_queue, record_trace, epoch, self.watchdog_s,
+                    r, num_ranks, mach, program_factory, inboxes, ctl_queue,
+                    record_trace, host_epoch, self.watchdog_s, faults,
+                    incarnation, epoch0,
                 ),
             )
-            for r in range(num_ranks)
-        ]
-        for p in procs:
-            p.start()
+            proc.start()
+            return proc
 
-        stats: list[dict[str, Any] | None] = [None] * num_ranks
-        error: tuple[int, str] | None = None
+        sup = Supervisor(
+            num_ranks,
+            inboxes,
+            ctl_queue,
+            spawn,
+            restartable=restartable,
+            watchdog_s=self.watchdog_s,
+            max_respawns=self.max_respawns,
+            record_trace=record_trace,
+        )
         try:
-            for _ in range(num_ranks):
-                try:
-                    rank, status, payload = result_queue.get(
-                        timeout=self.watchdog_s + 30.0
-                    )
-                except queue_mod.Empty:
-                    error = (-1, "worker result wait timed out")
-                    break
-                if status == "error":
-                    error = (rank, payload)
-                    break
-                stats[rank] = payload
-        finally:
-            if error is not None:
-                for p in procs:
-                    if p.is_alive():
-                        p.terminate()
-            for p in procs:
-                p.join(timeout=10.0)
-                if p.is_alive():  # pragma: no cover - defensive
-                    p.kill()
-                    p.join()
-        if error is not None:
-            rank, detail = error
-            where = f"rank {rank}" if rank >= 0 else "host"
-            raise WorkerError(f"{where} failed:\n{detail}")
+            stats = sup.run()
+        except _FatalFailure as failure:
+            if failure.remote_traceback is not None:
+                message = (
+                    f"rank {failure.rank} failed:\n{failure.remote_traceback}"
+                )
+            else:
+                message = failure.reason
+            raise WorkerError(
+                message,
+                rank=failure.rank,
+                exit_code=failure.exit_code,
+                signal_name=failure.signal_name,
+                post_mortem=sup.post_mortem(),
+                incidents=sup.incidents(),
+            ) from None
 
         comm = CommStats()
         trace: list[TraceEvent] = []
         spans: list[Span] = []
         samples: list[Sample] = []
         registry = MetricsRegistry() if record_trace else NULL_REGISTRY
+        fstats = FaultStats()
         for s in stats:
-            assert s is not None
+            if s is None:  # a declared-dead rank, recovered by its buddy
+                continue
             comm.merge(s["comm"])
             trace.extend(s["trace"])
             spans.extend(s.get("spans", []))
             samples.extend(s.get("samples", []))
+            if s.get("faults") is not None:
+                fstats.merge(s["faults"])
             if s.get("registry") is not None:
                 registry.merge(s["registry"])
+        fstats.merge(sup.fstats)
+        trace.extend(sup.host_trace)
+        if record_trace and fstats.recoveries:
+            trace.extend(recovery_trace_events(fstats))
         trace.sort(key=lambda ev: (ev.start, ev.end, ev.rank))
         spans.sort(key=lambda sp: (sp.t_start, sp.t_end, sp.rank))
         samples.sort(key=lambda sm: (sm.t, sm.rank))
@@ -382,7 +528,7 @@ class ProcessBackend(Backend):
             ],
             rank_results=[s["result"] for s in stats if s is not None],
             trace=trace,
-            faults=FaultStats(),
+            faults=fstats,
             backend=self.name,
             spans=spans,
             samples=samples,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro.cluster.faults import FaultPlan
+from repro.cluster.faults import ALL_FAULT_KINDS, FaultPlan
 from repro.cluster.machine import MachineModel
 from repro.cluster.metrics import RunMetrics
 from repro.cluster.runtime import SIMULATED_TIMEOUTS, TimeoutPolicy, run_spmd
@@ -16,12 +16,13 @@ class SimBackend(Backend):
 
     A thin adapter over :func:`repro.cluster.runtime.run_spmd`: clocks are
     simulated seconds under the machine cost model, execution is
-    deterministic, and the full robustness surface (fault plans, per-rank
-    machine models, heterogeneous studies) is available.  This is the only
-    backend that supports ``faults`` and ``machines``.
+    deterministic, and the full robustness surface (every fault kind,
+    per-rank machine models, heterogeneous studies) is available.
     """
 
     name = "sim"
+    supports_machines = True
+    fault_capabilities = ALL_FAULT_KINDS
 
     @property
     def timeouts(self) -> TimeoutPolicy:

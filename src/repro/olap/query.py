@@ -262,12 +262,18 @@ class QueryResult:
     is_fallback:
         True when no materialized view covered the query and the base
         fact array answered it.
+    stale:
+        True when the answer was served by a :class:`~repro.serve.CubeService`
+        in degraded mode: a rebuild/refresh failed, so the value reflects
+        the cube *before* the failed refresh.  Correct as of that older
+        cube -- flagged so consumers can surface the staleness.
     """
 
     values: np.ndarray | float
     served_by: tuple[str, ...]
     cells_scanned: int
     is_fallback: bool = False
+    stale: bool = False
 
     @property
     def served_from(self) -> tuple[str, ...]:

@@ -19,8 +19,10 @@ All three paths return results bit-identical to
 
 from __future__ import annotations
 
+import time
 import weakref
-from typing import Sequence
+from dataclasses import replace
+from typing import Callable, Sequence
 
 from repro.core.lattice import Node
 from repro.obs.metrics import MetricsRegistry
@@ -50,8 +52,8 @@ class CubeService:
     metrics:
         :class:`~repro.obs.MetricsRegistry` to register the service's
         counters in (``serve.queries``, ``serve.batches``,
-        ``serve.cells_scanned_*``, ``serve.refreshes`` and the cache's
-        ``serve.cache.*``).  Pass one to aggregate several services or to
+        ``serve.cells_scanned_*``, ``serve.refreshes``, the degraded-mode
+        ``serve.degraded.*`` family, and the cache's ``serve.cache.*``).  Pass one to aggregate several services or to
         export alongside a build's registry; omitted, the service keeps a
         private one (exposed as :attr:`metrics`).
     tracer:
@@ -88,6 +90,18 @@ class CubeService:
             "serve.cells_scanned_standalone"
         )
         self._refreshes = self.metrics.counter("serve.refreshes")
+        self._stale = False
+        self._degraded_queries = self.metrics.counter("serve.degraded.queries")
+        self._degraded_entered = self.metrics.counter("serve.degraded.entered")
+        self._degraded_recovered = self.metrics.counter(
+            "serve.degraded.recovered"
+        )
+        self._rebuild_failures = self.metrics.counter(
+            "serve.degraded.rebuild_failures"
+        )
+        self._rebuild_retries = self.metrics.counter(
+            "serve.degraded.rebuild_retries"
+        )
         self.last_batch_report: BatchReport | None = None
         self_ref = weakref.ref(self)
 
@@ -126,6 +140,15 @@ class CubeService:
     def refreshes_seen(self) -> int:
         """Cube refresh notifications absorbed (each invalidates the cache)."""
         return self._refreshes.value
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is in degraded (stale-serving) mode.
+
+        Entered when :meth:`refresh_with` exhausts its retries; every
+        answer is flagged ``stale=True`` until a later rebuild succeeds.
+        """
+        return self._stale
 
     # -- pipeline pieces ---------------------------------------------------------
 
@@ -182,6 +205,61 @@ class CubeService:
         self._cover_memo.clear()
         return self.cache.invalidate()
 
+    def refresh_with(
+        self,
+        rebuild: Callable[[], None],
+        max_retries: int = 3,
+        backoff_s: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> bool:
+        """Run ``rebuild`` (which refreshes :attr:`cube`) with graceful degradation.
+
+        ``rebuild`` is any callable that brings the cube up to date -- e.g.
+        a delta application, or a full reconstruction on a real backend
+        that may crash.  Failures are retried up to ``max_retries`` times
+        with exponential backoff (``backoff_s * 2**attempt`` between
+        attempts); if every attempt raises, the service **keeps serving**:
+        it enters degraded mode, answering from the pre-failure cube with
+        every result flagged ``stale=True``, and returns ``False`` instead
+        of raising.  The next successful ``rebuild`` (through this method)
+        exits degraded mode.
+
+        Observability: ``serve.degraded.rebuild_failures`` and
+        ``.rebuild_retries`` count attempts, ``.entered`` / ``.recovered``
+        count mode transitions, and the tracer gets
+        ``serve.degraded.enter`` / ``serve.degraded.exit`` instants.
+        """
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        last_error: BaseException | None = None
+        for attempt in range(max_retries + 1):
+            if attempt:
+                self._rebuild_retries.inc()
+                sleep(backoff_s * 2 ** (attempt - 1))
+            try:
+                rebuild()
+            except Exception as exc:
+                self._rebuild_failures.inc()
+                last_error = exc
+                continue
+            if self._stale:
+                self._stale = False
+                self._degraded_recovered.inc()
+                if self.tracer.enabled:
+                    self.tracer.instant("serve.degraded.exit", cat="serve")
+            return True
+        if not self._stale:
+            self._stale = True
+            self._degraded_entered.inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "serve.degraded.enter",
+                    cat="serve",
+                    error=repr(last_error),
+                    attempts=max_retries + 1,
+                )
+        return False
+
     # -- serving -------------------------------------------------------------------
 
     def execute(self, query: GroupByQuery | CanonicalQuery) -> QueryResult:
@@ -224,6 +302,13 @@ class CubeService:
                 self.cache.put(canonical[i], result)
         self._queries.inc(len(canonical))
         self._batches.inc()
+        if self._stale:
+            # Degraded mode: flag copies, never the cached entries -- the
+            # cache outlives the degradation and must stay unflagged.
+            self._degraded_queries.inc(len(canonical))
+            results = [
+                replace(r, stale=True) for r in results  # type: ignore[arg-type]
+            ]
         return results  # type: ignore[return-value]
 
     def _absorb_report(self, report: BatchReport) -> None:
@@ -241,8 +326,9 @@ class CubeService:
     def describe(self) -> str:
         """One-paragraph summary of what the service has done so far."""
         s = self.cache.stats
+        mode = " [DEGRADED: serving stale results]" if self._stale else ""
         return (
-            f"CubeService: {self.queries_served} queries in "
+            f"CubeService{mode}: {self.queries_served} queries in "
             f"{self.batches_executed} batches; cache "
             f"{s.hits}h/{s.misses}m ({s.hit_rate:.1%}), "
             f"{s.evictions} evictions, {s.invalidations} invalidations; "

@@ -163,3 +163,62 @@ class TestMemoryRule:
     def test_bound_check_skipped_without_shape(self, clean_metrics):
         report = lint_trace(clean_metrics)
         assert all(d.rule != "TRACE104" for d in report)
+
+
+class TestRecoveryRules:
+    def test_unrecovered_crash_fires_trace106(self):
+        # Rank 1 is killed and nobody adopts its work: the run completes
+        # only because rank 0 never depended on it -- a silent fallback.
+        def program(env):
+            yield env.sleep(1.0)
+            yield env.sleep(1.0)
+
+        m = run_spmd(
+            2, program, record_trace=True, faults=FaultPlan().crash(1, at_time=0.5)
+        )
+        report = lint_trace(m)
+        hits = [d for d in report if d.rule == "TRACE106"]
+        assert len(hits) == 1
+        assert hits[0].rank == 1
+        assert hits[0].severity == "warning"
+
+    def test_recovered_crash_does_not_fire_trace106(self):
+        def program(env):
+            yield env.sleep(1.0)
+            if env.rank == 0:
+                env.note_recovery("checkpoint epoch 1: adopted rank 1 partials")
+
+        m = run_spmd(
+            2, program, record_trace=True, faults=FaultPlan().crash(1, at_time=0.5)
+        )
+        report = lint_trace(m)
+        assert all(d.rule not in ("TRACE106", "TRACE107") for d in report)
+
+    def test_unaccounted_recovery_fires_trace107(self):
+        # A recovery marker that cites neither a committed epoch nor an
+        # input-block re-aggregation has no provenance.
+        def program(env):
+            yield env.sleep(1.0)
+            if env.rank == 0:
+                env.note_recovery("trusted uncommitted partials from /tmp")
+
+        m = run_spmd(
+            2, program, record_trace=True, faults=FaultPlan().crash(1, at_time=0.5)
+        )
+        report = lint_trace(m)
+        hits = [d for d in report if d.rule == "TRACE107"]
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert report.ok  # warnings never fail the gate
+
+    def test_block_reaggregation_counts_as_provenance(self):
+        def program(env):
+            yield env.sleep(1.0)
+            if env.rank == 0:
+                env.note_recovery("re-aggregated rank 1 partials from its block")
+
+        m = run_spmd(
+            2, program, record_trace=True, faults=FaultPlan().crash(1, at_time=0.5)
+        )
+        report = lint_trace(m)
+        assert all(d.rule != "TRACE107" for d in report)

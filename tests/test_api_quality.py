@@ -64,10 +64,12 @@ MODULES = [
     "repro.core.spanning_tree",
     "repro.exec",
     "repro.exec.base",
+    "repro.exec.chaos",
     "repro.exec.process",
     "repro.exec.registry",
     "repro.exec.shm",
     "repro.exec.sim",
+    "repro.exec.supervisor",
     "repro.olap",
     "repro.olap.cube",
     "repro.olap.granularity",
@@ -201,7 +203,7 @@ def test_version():
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
     assert match is not None
-    assert repro.__version__ == match.group(1) == "1.4.0"
+    assert repro.__version__ == match.group(1) == "1.5.0"
 
 
 def test_deprecated_shims_warn_exactly_once_and_match_execute():

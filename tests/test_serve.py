@@ -411,3 +411,77 @@ class TestQueryResultShape:
         r = QueryEngine(cube).execute(GroupByQuery(("branch",)))
         assert r.is_fallback is True
         assert r.served_by == BASE
+
+
+class TestDegradedServing:
+    """Graceful degradation: a failed rebuild never takes serving down."""
+
+    def test_successful_rebuild_stays_fresh(self, cube):
+        svc = CubeService(cube)
+        calls = []
+        assert svc.refresh_with(lambda: calls.append(1)) is True
+        assert calls == [1]
+        assert svc.degraded is False
+        r = svc.execute(GroupByQuery(("item",)))
+        assert r.stale is False
+
+    def test_failed_rebuild_serves_stale_flagged_results(self, cube):
+        svc = CubeService(cube)
+        before = svc.execute(GroupByQuery(("item",))).values.copy()
+
+        def crash():
+            raise RuntimeError("rank 1 died mid-rebuild")
+
+        slept = []
+        ok = svc.refresh_with(crash, max_retries=2, sleep=slept.append)
+        assert ok is False
+        assert svc.degraded is True
+        # Exponential backoff between the 3 attempts.
+        assert slept == [0.05, 0.1]
+        # Serving continues, values unchanged, every answer flagged.
+        r = svc.execute(GroupByQuery(("item",)))
+        assert r.stale is True
+        assert np.array_equal(r.values, before)
+        assert "DEGRADED" in svc.describe()
+
+    def test_degraded_counters_and_recovery(self, cube):
+        svc = CubeService(cube)
+
+        def crash():
+            raise RuntimeError("still down")
+
+        svc.refresh_with(crash, max_retries=1, sleep=lambda s: None)
+        svc.execute_batch([GroupByQuery(("item",)), GroupByQuery(("year",))])
+        m = {c.name: c.value for c in svc.metrics.counters()}
+        assert m["serve.degraded.entered"] == 1
+        assert m["serve.degraded.queries"] == 2
+        assert m["serve.degraded.rebuild_failures"] == 2
+        assert m["serve.degraded.rebuild_retries"] == 1
+
+        # The next successful rebuild exits degraded mode.
+        assert svc.refresh_with(lambda: None) is True
+        assert svc.degraded is False
+        r = svc.execute(GroupByQuery(("item",)))
+        assert r.stale is False
+        m = {c.name: c.value for c in svc.metrics.counters()}
+        assert m["serve.degraded.recovered"] == 1
+
+    def test_cache_entries_are_never_flagged(self, cube):
+        # A hit cached while fresh must come back stale-flagged during
+        # degradation but fresh again after recovery: the flag lives on
+        # copies, not on the cached entries.
+        svc = CubeService(cube)
+        q = GroupByQuery(("item",))
+        svc.execute(q)
+        svc.refresh_with(
+            lambda: (_ for _ in ()).throw(RuntimeError("down")),
+            max_retries=0,
+        )
+        assert svc.execute(q).stale is True
+        assert svc.refresh_with(lambda: None) is True
+        assert svc.execute(q).stale is False
+
+    def test_negative_retries_rejected(self, cube):
+        svc = CubeService(cube)
+        with pytest.raises(ValueError, match="max_retries"):
+            svc.refresh_with(lambda: None, max_retries=-1)
