@@ -195,6 +195,22 @@ smaller hosts) is `benchmarks/results/BENCH_backend.json`.""",
         "t_backend",
     ),
     (
+        "T-sched — construction schedulers head-to-head (extension)",
+        """Scheduler extension beyond the paper: the Fig 5 schedule against
+the MapReduce-style batch shuffle (arXiv:1709.10072) and order-k marginal
+planners (arXiv:1509.08855) on the same simulated cluster, same dataset
+sweep.  Asserted always: fig5's measured volume equals the Theorem 3
+closed form exactly at every point, every scheduler's measured volume
+equals the closed form it declares, no rank's peak exceeds its declared
+memory bound, and the shuffle strategy never moves fewer elements than
+the Theorem 3 lower bound — the paper's optimality, measured against
+real alternatives rather than asserted.  For partial cubes the ranking
+flips: the shuffle-based marginals planner skips the pruned tree's
+stepping-stone ancestors and wins on both volume and memory.  The
+machine-readable record is `benchmarks/results/BENCH_sched.json`.""",
+        "t_sched",
+    ),
+    (
         "T-obs — telemetry overhead (extension)",
         """Observability extension beyond the paper: the unified telemetry
 subsystem (`repro.obs` — spans, metrics registry, Chrome-trace export)

@@ -16,6 +16,11 @@ serving layer with result caching and batched execution
 backend (:mod:`repro.exec`): ``"sim"`` interprets the rank programs on
 the deterministic cluster simulator, ``"process"`` runs them on real OS
 processes over shared memory -- producing bit-identical aggregates.
+The *planner* half of a build is pluggable too (:mod:`repro.sched`):
+``"fig5"`` runs the paper's communication/memory-optimal schedule,
+``"shuffle"`` the MapReduce-style batch shuffle, and ``"marginals-<k>"``
+materializes only the order-``k`` group-bys -- any scheduler on any
+backend, selected with ``scheduler=`` anywhere a build starts.
 Every layer reports through one telemetry subsystem (:mod:`repro.obs`):
 hierarchical spans, a metrics registry, and Chrome-trace/Perfetto export
 (``trace=True`` / ``trace_out=`` on a build, ``metrics=`` on a service).
@@ -82,6 +87,12 @@ from repro.olap import (
     QueryResult,
     Schema,
 )
+from repro.sched import (
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
 from repro.serve import CubeService, ServiceStats
 
 
@@ -117,7 +128,7 @@ def _version() -> str:
 
         return version("repro")
     except Exception:
-        return "1.4.0"
+        return "1.6.0"
 
 
 __version__ = _version()
@@ -148,6 +159,10 @@ __all__ = [
     "SimBackend",
     "available_backends",
     "get_backend",
+    "Scheduler",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
     "MetricsRegistry",
     "Tracer",
     "load_run",

@@ -39,7 +39,6 @@ from repro.core.parallel import (
     PLocalAggregate,
     PStep,
     PWriteBack,
-    parallel_schedule,
 )
 
 __all__ = [
@@ -153,7 +152,7 @@ def enumerate_comm_schedule(
 ) -> CommSchedule:
     """Symbolically execute the Fig 5 plan; no simulator, no data.
 
-    Mirrors :func:`repro.core.parallel._make_program` exactly: for every
+    Mirrors :func:`repro.core.parallel.make_fig5_program` exactly: for every
     ``PFinalize`` step, each reduction group's non-leads send their partial
     (sized by the lead's portion of the child) to the lead, tagged with the
     step index; the lead receives in group order.  ``detection_round=True``
@@ -174,7 +173,9 @@ def enumerate_comm_schedule(
     lengths = _block_lengths(shape, bits)
     labels = [grid.label(r) for r in range(grid.size)]
     if schedule is None:
-        schedule = parallel_schedule(n)
+        from repro.sched.fig5 import fig5_schedule
+
+        schedule = fig5_schedule(n)
 
     ops: list[SymOp] = []
     current = [0] * grid.size
@@ -365,6 +366,8 @@ class PlanVerification:
     closed_form_volume_elements: int
     predicted_peak_memory_elements: int
     memory_bound_elements: int
+    #: Spec of the scheduler whose comm schedule was verified.
+    scheduler: str = "fig5"
 
     @property
     def ok(self) -> bool:
@@ -375,14 +378,21 @@ class PlanVerification:
         return list(self.report.diagnostics)
 
     def describe(self) -> str:
+        # The paper's closed forms are only claimed for the fig5 schedule;
+        # other schedulers verify against their own declared forms.
+        if self.scheduler == "fig5":
+            vol_label, mem_label = "Theorem 3", "Theorem 4 bound"
+        else:
+            vol_label = f"declared by {self.scheduler!r}"
+            mem_label = f"memory bound declared by {self.scheduler!r}"
         head = (
             f"plan shape={self.schedule.shape} bits={self.schedule.bits} "
             f"p={self.schedule.num_ranks}: "
             f"{self.schedule.total_messages} messages, "
             f"volume {self.predicted_volume_elements} elements "
-            f"(Theorem 3: {self.closed_form_volume_elements}), "
+            f"({vol_label}: {self.closed_form_volume_elements}), "
             f"peak memory {self.predicted_peak_memory_elements} elements "
-            f"(Theorem 4 bound: {self.memory_bound_elements})"
+            f"({mem_label}: {self.memory_bound_elements})"
         )
         return head + "\n" + self.report.format()
 
@@ -392,32 +402,89 @@ def verify_plan(
     bits: Sequence[int],
     schedule: Sequence[PStep] | None = None,
     detection_round: bool = False,
+    scheduler: object | None = None,
 ) -> PlanVerification:
-    """Statically verify a partition + aggregation-tree plan.
+    """Statically verify a partition + scheduler plan.
 
     Runs every protocol check of :func:`verify_schedule` on the enumerated
     schedule, then checks the closed forms: the enumerated element volume
-    must equal Theorem 3 exactly (only claimed for the default full-cube
-    schedule), and the symbolic per-rank memory peak must stay within the
-    Theorem 1/4 bound.
+    must equal the scheduler's declared volume exactly -- Theorem 3 for the
+    default ``fig5`` schedule -- (SPMD006), and the symbolic per-rank
+    memory peak must stay within the scheduler's declared memory bound --
+    Theorem 1/4 for ``fig5`` -- (SPMD007).
+
+    ``scheduler`` selects whose communication schedule to enumerate (a
+    registered spec or :class:`~repro.sched.base.Scheduler` instance);
+    it is mutually exclusive with the fig5-specific ``schedule`` override
+    and ``detection_round``.
     """
     shape = tuple(shape)
     bits = tuple(bits)
+
+    is_fig5 = scheduler is None or (isinstance(scheduler, str) and scheduler == "fig5")
+    if not is_fig5:
+        if schedule is not None or detection_round:
+            raise ValueError(
+                "scheduler= is mutually exclusive with the fig5-specific "
+                "schedule= and detection_round= overrides"
+            )
+        from repro.sched import resolve_scheduler
+
+        sched_obj = resolve_scheduler(scheduler)
+        sched_obj.validate_shape(shape)
+        sym = sched_obj.enumerate_comm(shape, bits)
+        report = DiagnosticReport(verify_schedule(sym))
+        spec = sched_obj.spec
+        closed_form = sched_obj.declared_volume(shape, bits)
+        if sym.total_elements != closed_form:
+            report.add(
+                Diagnostic(
+                    "SPMD006",
+                    f"enumerated volume {sym.total_elements} != scheduler "
+                    f"{spec!r}'s declared closed form {closed_form}",
+                    hint="the scheduler's program and its declared_volume "
+                    "disagree on some edge's portion size",
+                )
+            )
+        bound = sched_obj.declared_memory_bound(shape, bits)
+        peak = sym.max_peak_memory_elements
+        if peak > bound:
+            worst = max(range(sym.num_ranks), key=lambda r: sym.rank_peak_memory_elements[r])
+            report.add(
+                Diagnostic(
+                    "SPMD007",
+                    f"symbolic peak {peak} elements on rank {worst} exceeds "
+                    f"scheduler {spec!r}'s declared memory bound {bound}",
+                    rank=worst,
+                    hint="free partials as soon as they are shipped or "
+                    "written back, or raise the declared bound",
+                )
+            )
+        return PlanVerification(
+            schedule=sym,
+            report=report,
+            predicted_volume_elements=sym.total_elements,
+            closed_form_volume_elements=closed_form,
+            predicted_peak_memory_elements=peak,
+            memory_bound_elements=bound,
+            scheduler=spec,
+        )
+
     default_schedule = schedule is None
-    sched = enumerate_comm_schedule(
+    sym = enumerate_comm_schedule(
         shape,
         bits,
         schedule=schedule,
         detection_round=detection_round,
     )
-    report = DiagnosticReport(verify_schedule(sched))
+    report = DiagnosticReport(verify_schedule(sym))
 
     closed_form = total_comm_volume(shape, bits)
-    if default_schedule and sched.total_elements != closed_form:
+    if default_schedule and sym.total_elements != closed_form:
         report.add(
             Diagnostic(
                 "SPMD006",
-                f"enumerated volume {sched.total_elements} != Theorem 3 closed "
+                f"enumerated volume {sym.total_elements} != Theorem 3 closed "
                 f"form {closed_form}",
                 hint="the schedule finalizes some child on the wrong edge or "
                 "with the wrong portion size",
@@ -425,9 +492,9 @@ def verify_plan(
         )
 
     bound = parallel_memory_bound_exact(shape, bits)
-    peak = sched.max_peak_memory_elements
+    peak = sym.max_peak_memory_elements
     if peak > bound:
-        worst = max(range(sched.num_ranks), key=lambda r: sched.rank_peak_memory_elements[r])
+        worst = max(range(sym.num_ranks), key=lambda r: sym.rank_peak_memory_elements[r])
         report.add(
             Diagnostic(
                 "SPMD007",
@@ -440,9 +507,9 @@ def verify_plan(
         )
 
     return PlanVerification(
-        schedule=sched,
+        schedule=sym,
         report=report,
-        predicted_volume_elements=sched.total_elements,
+        predicted_volume_elements=sym.total_elements,
         closed_form_volume_elements=closed_form,
         predicted_peak_memory_elements=peak,
         memory_bound_elements=bound,

@@ -77,10 +77,21 @@ class BuildConfig:
         deterministic simulator, ``"process"`` real OS processes with
         shared-memory inputs) or a :class:`~repro.exec.base.Backend`
         instance.  Results are bit-identical across backends.
+    scheduler:
+        Construction scheduler: a registered spec (``"fig5"`` default,
+        ``"shuffle"``, ``"marginals-<k>"``, ``"marginals-<k>-shuffle"``)
+        or a :class:`~repro.sched.base.Scheduler` instance.  The
+        scheduler owns cuboid ordering and the comm schedule; the backend
+        owns how ranks exchange bytes, so any scheduler runs on any
+        backend.
 
     Every cross-field constraint is validated here, at construction, so a
     bad combination fails before any work starts -- whether the config was
     built directly or funneled from legacy keywords via :meth:`merged_with`.
+    Scheduler capability combinations are checked the same way the backend
+    ones are: the scheduler declares what its program can honor
+    (checkpointing, schedule overrides, chunked messages), and a violation
+    raises naming the exact option.
     """
 
     machine: MachineModel | None = None
@@ -98,6 +109,7 @@ class BuildConfig:
     checkpoint_dir: str | Path | None = None
     recv_timeout: float | None = None
     backend: Any = "sim"
+    scheduler: Any = "fig5"
 
     def __post_init__(self) -> None:
         if self.reduction not in ("flat", "binomial"):
@@ -119,6 +131,7 @@ class BuildConfig:
                     "max_message_elements"
                 )
         self._validate_backend()
+        self._validate_scheduler()
 
     @property
     def effective_trace(self) -> bool:
@@ -158,6 +171,33 @@ class BuildConfig:
         from repro.exec.base import check_backend_options
 
         check_backend_options(backend_obj, self.fault_plan, self.machines)
+
+    def _validate_scheduler(self) -> None:
+        """Resolve the scheduler choice and check its declared capabilities.
+
+        Schedulers declare which build options their program can honor
+        (:meth:`repro.sched.base.Scheduler.validate_options`); a violation
+        fails here, at construction, naming the exact option -- the same
+        contract :func:`repro.exec.base.check_backend_options` gives the
+        backend axis.
+        """
+        if isinstance(self.scheduler, str) and self.scheduler == "fig5":
+            # The default scheduler supports every build option (the
+            # cross-field rules above already ran); skip the import on the
+            # overwhelmingly common path.
+            return
+        # Imported lazily: repro.sched sits above repro.core, and only
+        # non-default configs need it.
+        from repro.sched import resolve_scheduler
+
+        sched = resolve_scheduler(self.scheduler)
+        sched.validate_options(
+            reduction=self.reduction,
+            checkpoint=self.checkpoint,
+            max_message_elements=self.max_message_elements,
+            tree=self.tree,
+            schedule=self.schedule,
+        )
 
     def merged_with(self, **overrides: object) -> "BuildConfig":
         """Copy of this config with every non-UNSET override applied.

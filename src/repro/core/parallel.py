@@ -111,33 +111,36 @@ class PWriteBack:
 PStep = PLocalAggregate | PFinalize | PWriteBack
 
 
+#: Deprecation shims that have already warned (one warning per process).
+_DEPRECATED_WARNED: set[str] = set()
+
+
+def _warn_once(old: str, new: str) -> None:
+    if old in _DEPRECATED_WARNED:
+        return
+    _DEPRECATED_WARNED.add(old)
+    import warnings
+
+    warnings.warn(
+        f"{old} is deprecated; use {new} (schedule construction moved to "
+        f"the repro.sched scheduler registry)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def parallel_schedule(n: int, tree: Any = None) -> list[PStep]:
-    """Linearize Fig 5: local aggregation, right-to-left finalize + recurse.
+    """Deprecated alias of :func:`repro.sched.fig5.fig5_schedule`.
 
-    ``tree`` may be any object with the spanning-tree traversal API
-    (``children`` / ``is_leaf`` / ``aggregated_dim``); defaults to the
-    aggregation tree.  Baselines pass alternative trees.
+    Schedule construction now lives with the scheduler implementations in
+    :mod:`repro.sched`; this shim warns once per process and delegates.
     """
-    if tree is None:
-        tree = AggregationTree(n)
-    root = full_node(n)
-    steps: list[PStep] = []
+    _warn_once(
+        "repro.core.parallel.parallel_schedule", "repro.sched.fig5_schedule"
+    )
+    from repro.sched.fig5 import fig5_schedule
 
-    def evaluate(node: Node) -> None:
-        kids = tree.children(node)
-        if kids:
-            steps.append(PLocalAggregate(node, tuple(kids)))
-        for child in reversed(kids):
-            steps.append(PFinalize(child, tree.aggregated_dim(child)))
-            if tree.is_leaf(child):
-                steps.append(PWriteBack(child))
-            else:
-                evaluate(child)
-        if node != root:
-            steps.append(PWriteBack(node))
-
-    evaluate(root)
-    return steps
+    return fig5_schedule(n, tree=tree)
 
 
 # -- result container ----------------------------------------------------------------
@@ -152,6 +155,8 @@ class ParallelResult:
     bits: tuple[int, ...]
     shape: tuple[int, ...]
     expected_comm_volume_elements: int
+    #: Spec of the scheduler that planned this run (``"fig5"`` default).
+    scheduler: str = "fig5"
 
     @property
     def comm_volume_elements(self) -> int:
@@ -207,7 +212,7 @@ def _make_combiner(measure: Measure) -> Callable[[Any, Any], Any]:
     return combine
 
 
-def _make_program(
+def make_fig5_program(
     schedule: list[PStep],
     grid: ProcessorGrid,
     local_inputs: list[SparseArray | DenseArray],
@@ -216,6 +221,14 @@ def _make_program(
     measure: Measure = SUM,
     max_message_elements: int | None = None,
 ) -> Callable[[RankEnv], Generator[Op, Any, dict[Node, DenseArray]]]:
+    """Build the Fig 5 rank program for ``schedule`` (the step-list IR).
+
+    This is the interpreter behind the ``fig5`` and ``marginals-<k>``
+    schedulers: one generator per rank walking the shared step list, with
+    the reduction collectives doing the communication.  Kept here (not in
+    :mod:`repro.sched`) because the step dataclasses, the fault-tolerant
+    variant, and the partial-materialization path all share it.
+    """
     reduce_fn = {"flat": reduce_to_lead, "binomial": reduce_binomial}[reduction]
     combine = _make_combiner(measure)
     all_dims = tuple(range(n))
@@ -390,7 +403,7 @@ def _make_program_ft(
     store: CheckpointStore,
     recv_timeout: float | None,
 ) -> Callable[[RankEnv], Generator[Op, Any, dict[int, dict[Node, DenseArray]]]]:
-    """Fault-tolerant variant of :func:`_make_program` (flat reduction only).
+    """Fault-tolerant variant of :func:`make_fig5_program` (flat reduction only).
 
     Differences from the paper's fragile program:
 
@@ -728,9 +741,10 @@ def construct_cube_parallel(
     checkpoint_dir: str | Path | None = UNSET,
     recv_timeout: float | None = UNSET,
     backend: Any = UNSET,
+    scheduler: Any = UNSET,
     config: BuildConfig | None = None,
 ) -> ParallelResult:
-    """Construct the full data cube on an execution backend (Fig 5).
+    """Construct the data cube on an execution backend.
 
     All options live on :class:`~repro.core.config.BuildConfig` and may be
     passed either as ``config=BuildConfig(...)`` or as the individual
@@ -795,6 +809,12 @@ def construct_cube_parallel(
         default) runs the deterministic simulator; ``"process"`` runs the
         same program on real OS processes with shared-memory inputs and
         reports wall-clock metrics.  Results are bit-identical either way.
+    scheduler:
+        Construction scheduler -- a registered spec (``"fig5"`` default,
+        ``"shuffle"``, ``"marginals-<k>"``, ``"marginals-<k>-shuffle"``)
+        or a :class:`~repro.sched.base.Scheduler` instance.  The scheduler
+        owns cuboid ordering and the comm schedule; every scheduler runs
+        on every backend.  See :mod:`repro.sched`.
     config:
         A :class:`~repro.core.config.BuildConfig` carrying any/all of the
         above; individual keywords take precedence.
@@ -815,6 +835,7 @@ def construct_cube_parallel(
         checkpoint_dir=checkpoint_dir,
         recv_timeout=recv_timeout,
         backend=backend,
+        scheduler=scheduler,
     )
     machine = cfg.machine
     reduction = cfg.reduction
@@ -839,6 +860,11 @@ def construct_cube_parallel(
     backend_obj = (
         cfg.backend if isinstance(cfg.backend, Backend) else get_backend(cfg.backend)
     )
+    # Resolve the construction scheduler (options validated by BuildConfig;
+    # imported lazily for the same layering reason as repro.exec above).
+    from repro.sched import resolve_scheduler
+
+    sched_obj = resolve_scheduler(cfg.scheduler)
     if isinstance(array, np.ndarray):
         array = DenseArray.full_cube_input(array)
     shape = tuple(array.shape)
@@ -846,6 +872,7 @@ def construct_cube_parallel(
     if len(bits) != len(shape):
         raise ValueError("bits must have one entry per dimension")
     n = len(shape)
+    sched_obj.validate_shape(shape)
     grid = ProcessorGrid(bits)
     # Validate the partition against the shape early.
     BlockPartition(shape, grid.parts)
@@ -856,8 +883,20 @@ def construct_cube_parallel(
     host_tr = Tracer(rank=-1) if trace else NULL_TRACER
     with host_tr.span("build.partition", ranks=grid.size):
         local_inputs = backend_obj.prepare_inputs(_extract_local_inputs(array, grid))
-    if schedule is None:
-        schedule = parallel_schedule(n, tree=tree)
+    # Fig 5 -- or an explicit schedule/tree override, which BuildConfig
+    # restricts to the fig5 scheduler -- runs through the exact pre-split
+    # code path (bit-identity is pinned by the golden regression test);
+    # every other scheduler supplies its own rank program.
+    fig5_path = (
+        sched_obj.spec == "fig5"
+        or schedule is not None
+        or tree is not None
+        or checkpoint
+    )
+    if fig5_path and schedule is None:
+        from repro.sched.fig5 import fig5_schedule
+
+        schedule = fig5_schedule(n, tree=tree)
 
     tmpdir = None
     try:
@@ -876,13 +915,25 @@ def construct_cube_parallel(
                 )
                 checkpoint_dir = tmpdir.name
             store = CheckpointStore(checkpoint_dir)
+            assert schedule is not None  # set above: checkpoint is fig5_path
             program = _make_program_ft(
                 schedule, grid, local_inputs, n, measure, store, recv_timeout
             )
-        else:
-            program = _make_program(
+        elif fig5_path:
+            assert schedule is not None  # set above on every fig5 path
+            program = make_fig5_program(
                 schedule, grid, local_inputs, n, reduction, measure,
                 max_message_elements,
+            )
+        else:
+            program = sched_obj.rank_program(
+                shape,
+                bits,
+                grid,
+                local_inputs,
+                reduction=reduction,
+                measure=measure,
+                max_message_elements=max_message_elements,
             )
         metrics = backend_obj.spawn_ranks(
             grid.size, program, machine=machine, record_trace=trace,
@@ -920,12 +971,21 @@ def construct_cube_parallel(
 
         write_chrome_trace(metrics, cfg.trace_out)
 
+    # Explicit schedule/tree overrides keep the historical full-cube closed
+    # form (partial materialization substitutes its own afterwards); plain
+    # scheduler runs carry the scheduler's declared volume -- identical to
+    # Theorem 3 for fig5.
+    if schedule is not None or tree is not None:
+        expected_volume = total_comm_volume(shape, bits)
+    else:
+        expected_volume = sched_obj.declared_volume(shape, bits)
     return ParallelResult(
         results=results,
         metrics=metrics,
         bits=bits,
         shape=shape,
-        expected_comm_volume_elements=total_comm_volume(shape, bits),
+        expected_comm_volume_elements=expected_volume,
+        scheduler=sched_obj.spec,
     )
 
 

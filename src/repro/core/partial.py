@@ -80,33 +80,20 @@ def required_closure(targets: Iterable[Sequence[int]], n: int) -> set[Node]:
 def pruned_parallel_schedule(
     n: int, targets: Iterable[Sequence[int]]
 ) -> list[PStep]:
-    """The Fig 5 schedule restricted to the targets' ancestral closure.
+    """Deprecated alias of :func:`repro.sched.marginals.pruned_schedule`.
 
-    Nodes in the closure but not targeted are computed, used, and then
-    discarded (freed without a disk write).
+    Schedule construction now lives with the scheduler implementations in
+    :mod:`repro.sched`; this shim warns once per process and delegates.
     """
-    targets = _check_targets(targets, n)
-    needed = required_closure(targets, n)
-    tree = AggregationTree(n)
-    root = full_node(n)
-    steps: list[PStep] = []
+    from repro.core.parallel import _warn_once
 
-    def evaluate(node: Node) -> None:
-        kids = [k for k in tree.children(node) if k in needed]
-        if kids:
-            steps.append(PLocalAggregate(node, tuple(kids)))
-        for child in reversed(kids):
-            steps.append(PFinalize(child, tree.aggregated_dim(child)))
-            child_kids = [k for k in tree.children(child) if k in needed]
-            if not child_kids:
-                steps.append(PWriteBack(child, discard=child not in targets))
-            else:
-                evaluate(child)
-        if node != root:
-            steps.append(PWriteBack(node, discard=node not in targets))
+    _warn_once(
+        "repro.core.partial.pruned_parallel_schedule",
+        "repro.sched.pruned_schedule",
+    )
+    from repro.sched.marginals import pruned_schedule
 
-    evaluate(root)
-    return steps
+    return pruned_schedule(n, targets)
 
 
 def partial_comm_volume(
@@ -135,7 +122,9 @@ def construct_partial_cube_parallel(
     """Materialize only ``targets`` (and transient ancestors) in parallel."""
     shape = tuple(array.shape)
     n = len(shape)
-    schedule = pruned_parallel_schedule(n, targets)
+    from repro.sched.marginals import pruned_schedule
+
+    schedule = pruned_schedule(n, targets)
     res = construct_cube_parallel(
         array,
         bits,
@@ -172,7 +161,9 @@ def construct_partial_cube_sequential(
     write_order: list[Node] = []
     results: dict[Node, DenseArray] = {}
 
-    for step in pruned_parallel_schedule(n, targets_set):
+    from repro.sched.marginals import pruned_schedule
+
+    for step in pruned_schedule(n, targets_set):
         if isinstance(step, PLocalAggregate):
             parent = array if step.node == root else held[step.node]
             if isinstance(parent, SparseArray):

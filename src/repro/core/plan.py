@@ -55,12 +55,18 @@ class CubePlan:
         ``original_shape`` permuted into plan order (non-increasing).
     bits:
         Bits of partitioning per plan position (Theorem 8 optimum).
+    scheduler:
+        Spec of the construction scheduler this plan was made for
+        (``"fig5"`` default; see :mod:`repro.sched`).  ``run_parallel``
+        uses it unless overridden, and the volume/memory properties
+        report the scheduler's declared forms.
     """
 
     original_shape: tuple[int, ...]
     order: tuple[int, ...]
     ordered_shape: tuple[int, ...]
     bits: tuple[int, ...]
+    scheduler: str = "fig5"
 
     @property
     def n(self) -> int:
@@ -72,7 +78,13 @@ class CubePlan:
 
     @property
     def comm_volume_elements(self) -> int:
-        return total_comm_volume(self.ordered_shape, self.bits)
+        if self.scheduler == "fig5":
+            return total_comm_volume(self.ordered_shape, self.bits)
+        from repro.sched import get_scheduler
+
+        return get_scheduler(self.scheduler).declared_volume(
+            self.ordered_shape, self.bits
+        )
 
     @property
     def sequential_memory_bound_elements(self) -> int:
@@ -80,7 +92,13 @@ class CubePlan:
 
     @property
     def parallel_memory_bound_elements(self) -> int:
-        return parallel_memory_bound_exact(self.ordered_shape, self.bits)
+        if self.scheduler == "fig5":
+            return parallel_memory_bound_exact(self.ordered_shape, self.bits)
+        from repro.sched import get_scheduler
+
+        return get_scheduler(self.scheduler).declared_memory_bound(
+            self.ordered_shape, self.bits
+        )
 
     # -- node translation ---------------------------------------------------------
 
@@ -164,6 +182,7 @@ class CubePlan:
         checkpoint_dir: str | Path | None = UNSET,
         recv_timeout: float | None = UNSET,
         backend: object = UNSET,
+        scheduler: object = UNSET,
         config: BuildConfig | None = None,
     ) -> ParallelResult:
         """Construct the cube on an execution backend; results re-keyed.
@@ -173,10 +192,12 @@ class CubePlan:
         :class:`~repro.core.config.BuildConfig` via ``config=`` or as the
         legacy keywords (which override the config's fields).  ``backend``
         selects the executor (``"sim"`` default, ``"process"`` for real
-        OS processes).
+        OS processes); ``scheduler`` defaults to the plan's own.
         """
         from repro.core.parallel import construct_cube_parallel
 
+        if scheduler is UNSET and self.scheduler != "fig5":
+            scheduler = self.scheduler
         ordered = self.transpose_input(array)
         result = construct_cube_parallel(
             ordered,
@@ -192,6 +213,7 @@ class CubePlan:
             checkpoint_dir=checkpoint_dir,
             recv_timeout=recv_timeout,
             backend=backend,
+            scheduler=scheduler,
             config=config,
         )
         if result.results is not None:
@@ -241,23 +263,42 @@ class CubePlan:
         return result
 
     def describe(self) -> str:
+        sched = "" if self.scheduler == "fig5" else f" scheduler={self.scheduler}"
         return (
             f"CubePlan: shape={self.original_shape} order={self.order} "
             f"ordered={self.ordered_shape} partition={describe_partition(self.bits)} "
             f"p={self.num_processors} comm={self.comm_volume_elements} elements"
+            f"{sched}"
         )
 
 
-def plan_cube(shape: Sequence[int], num_processors: int = 1) -> CubePlan:
+def plan_cube(
+    shape: Sequence[int],
+    num_processors: int = 1,
+    scheduler: object = "fig5",
+) -> CubePlan:
     """Pick the optimal ordering and partition for ``shape`` on ``p`` procs.
 
     ``num_processors`` must be a power of two (paper assumption).
+    ``scheduler`` is a registered spec or
+    :class:`~repro.sched.base.Scheduler` instance; it is validated against
+    the shape here (e.g. ``marginals-<k>`` needs ``k < n_dims``) and
+    recorded on the plan.
     """
     shape = tuple(shape)
     if not shape:
         raise ValueError("need at least one dimension")
     if not _is_power_of_two(num_processors):
         raise ValueError(f"num_processors must be a power of two, got {num_processors}")
+    if isinstance(scheduler, str) and scheduler == "fig5":
+        spec = "fig5"
+    else:
+        # Imported lazily: only non-default schedulers need the registry.
+        from repro.sched import resolve_scheduler
+
+        sched_obj = resolve_scheduler(scheduler)
+        sched_obj.validate_shape(shape)
+        spec = sched_obj.spec
     order = canonical_order(shape)
     ordered = apply_order(shape, order)
     k = num_processors.bit_length() - 1
@@ -267,4 +308,5 @@ def plan_cube(shape: Sequence[int], num_processors: int = 1) -> CubePlan:
         order=order,
         ordered_shape=ordered,
         bits=bits,
+        scheduler=spec,
     )

@@ -48,13 +48,21 @@ class DataCube:
         keep_base: bool = True,
         measure: Measure | str = SUM,
         backend: str = "sim",
+        scheduler: str | object = "fig5",
     ) -> "DataCube":
         """Plan and construct the cube.
 
         ``num_processors == 1`` runs the sequential Fig 3 algorithm;
-        otherwise the Fig 5 parallel algorithm on the selected execution
+        otherwise the parallel algorithm on the selected execution
         backend (``"sim"``: the deterministic simulator; ``"process"``:
         real OS processes -- bit-identical aggregates either way).
+        ``scheduler`` picks the construction planner (see
+        :mod:`repro.sched`): ``"fig5"`` (default) materializes the full
+        cube with the paper's schedule, ``"shuffle"`` via a MapReduce-style
+        batch shuffle, and ``"marginals-<k>"`` only the order-``k``
+        group-bys -- queries over unmaterialized group-bys are still
+        answered from the nearest materialized ancestor (or the base
+        array) by :class:`repro.olap.query.QueryEngine`.
         ``measure`` is any distributive measure (default SUM).
         """
         if tuple(data.shape) != schema.shape:
@@ -62,9 +70,17 @@ class DataCube:
                 f"data shape {tuple(data.shape)} != schema shape {schema.shape}"
             )
         measure = get_measure(measure)
-        plan = plan_cube(schema.shape, num_processors=num_processors)
+        plan = plan_cube(
+            schema.shape, num_processors=num_processors, scheduler=scheduler
+        )
+        restricted = cls._scheduler_targets(plan)
         if num_processors == 1:
-            run = plan.run_sequential(data, measure=measure)
+            if restricted is not None:
+                run = plan.run_partial(
+                    data, restricted, parallel=False, measure=measure
+                )
+            else:
+                run = plan.run_sequential(data, measure=measure)
             aggregates = run.results
         else:
             run = plan.run_parallel(
@@ -83,6 +99,23 @@ class DataCube:
             build_stats=run,
             measure_name=measure.name,
         )
+
+    @staticmethod
+    def _scheduler_targets(plan: CubePlan) -> list[Node] | None:
+        """The plan scheduler's restricted target set, in original dims.
+
+        ``None`` means the scheduler materializes the full cube.  Used to
+        route single-processor builds of target-restricted schedulers
+        (``marginals-<k>``) through the pruned sequential constructor.
+        """
+        if plan.scheduler == "fig5":
+            return None
+        from repro.sched import get_scheduler
+
+        targets = get_scheduler(plan.scheduler).target_nodes(plan.n)
+        if targets is None:
+            return None
+        return [plan.to_original_node(t) for t in targets]
 
     @classmethod
     def build_partial(

@@ -1,0 +1,53 @@
+"""Pluggable construction schedulers: the planner half of a build.
+
+This package separates *what to compute in what order* (the scheduler)
+from *how ranks exchange bytes* (the execution backend,
+:mod:`repro.exec`).  A :class:`~repro.sched.base.Scheduler` owns cuboid
+ordering, reduction-lead routing, and the communication schedule; it emits
+an ordinary generator rank-program over the portable op vocabulary, so
+every scheduler runs unchanged on every backend.
+
+Three strategies ship registered (:mod:`repro.sched.registry`):
+
+- ``fig5`` -- the paper's Fig 5 SPMD schedule (communication and memory
+  optimal; extracted bit-identically from the previously hardwired path);
+- ``shuffle`` -- MapReduce-style batch-shuffle materialization
+  (arXiv:1709.10072);
+- ``marginals-<k>`` / ``marginals-<k>-shuffle`` -- only the order-``k``
+  group-bys (arXiv:1509.08855), with either base strategy.
+
+Select one with ``BuildConfig(scheduler=...)``,
+``plan_cube(..., scheduler=...)``, ``DataCube.build(..., scheduler=...)``,
+or ``repro-cube construct --scheduler ...``; compare them with
+``repro-cube sched compare``.
+"""
+
+from repro.sched.base import ProgramFactory, Scheduler
+from repro.sched.fig5 import Fig5Scheduler, fig5_schedule
+from repro.sched.marginals import MarginalsScheduler, order_k_nodes, pruned_schedule
+from repro.sched.registry import (
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    register_scheduler_family,
+    resolve_scheduler,
+)
+from repro.sched.shuffle import ShuffleScheduler, shuffle_comm_volume, shuffle_targets
+
+__all__ = [
+    "Fig5Scheduler",
+    "MarginalsScheduler",
+    "ProgramFactory",
+    "Scheduler",
+    "ShuffleScheduler",
+    "available_schedulers",
+    "fig5_schedule",
+    "get_scheduler",
+    "order_k_nodes",
+    "pruned_schedule",
+    "register_scheduler",
+    "register_scheduler_family",
+    "resolve_scheduler",
+    "shuffle_comm_volume",
+    "shuffle_targets",
+]

@@ -1,0 +1,180 @@
+"""The :class:`Scheduler` protocol: who decides *what moves where, when*.
+
+A scheduler owns the planning half of a parallel cube construction --
+cuboid ordering, reduction-lead routing, and the communication schedule --
+while the execution backend (:mod:`repro.exec`) owns the other half: how
+ranks actually exchange bytes.  The split means any scheduler runs on any
+backend unchanged: a scheduler emits an ordinary generator rank-program
+over the portable op vocabulary (``send`` / ``recv`` / ``compute`` /
+``disk_read`` / ``disk_write``), and both the deterministic simulator and
+the real-process backend interpret it.
+
+Each scheduler also *declares* its analytical invariants -- a closed-form
+(or exactly computed) communication volume and a per-rank memory bound --
+so :func:`repro.analysis.verify_plan.verify_plan` can check the statically
+enumerated schedule against the scheduler's own claims, the same way the
+Fig 5 schedule is checked against the paper's Theorem 3 and Theorem 4.
+
+Concrete schedulers register under a name (:mod:`repro.sched.registry`):
+
+``fig5``
+    The paper's Fig 5 SPMD schedule (communication and memory optimal).
+``shuffle``
+    MapReduce-style batch-shuffle materialization (arXiv:1709.10072).
+``marginals-<k>`` / ``marginals-<k>-shuffle``
+    Only the order-``k`` group-bys (arXiv:1509.08855), planned with either
+    base strategy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
+
+from repro.arrays.dense import DenseArray
+from repro.arrays.measures import Measure, SUM
+from repro.arrays.sparse import SparseArray
+from repro.cluster.runtime import Op, RankEnv
+from repro.cluster.topology import ProcessorGrid
+from repro.core.lattice import Node
+
+if TYPE_CHECKING:
+    from repro.analysis.verify_plan import CommSchedule
+    from repro.core.plan import CubePlan
+
+#: A rank program factory: called once per run, returns the generator each
+#: rank executes.  The factory closes over the per-rank input blocks.
+ProgramFactory = Callable[[RankEnv], Generator[Op, Any, dict[Node, DenseArray]]]
+
+
+class Scheduler(abc.ABC):
+    """Strategy object that plans one parallel cube construction.
+
+    Subclasses set :attr:`name` (the registry family name), implement the
+    four planning methods, and may override :meth:`validate_options` /
+    :meth:`validate_shape` to reject option combinations their program
+    cannot honor -- at configuration time, before any work starts.
+    """
+
+    #: Registry family name (``"fig5"``, ``"shuffle"``, ``"marginals"``).
+    name: str = "abstract"
+
+    @property
+    def spec(self) -> str:
+        """The full registry spec, including parameters (``"marginals-2"``).
+
+        ``get_scheduler(s.spec)`` reconstructs an equivalent scheduler.
+        """
+        return self.name
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, shape: Sequence[int], num_processors: int = 1) -> "CubePlan":
+        """Pick ordering + partition for ``shape`` under this scheduler.
+
+        Delegates to :func:`repro.core.plan.plan_cube`; the returned plan
+        carries this scheduler's spec so ``plan.run_parallel`` uses it.
+        """
+        from repro.core.plan import plan_cube
+
+        return plan_cube(shape, num_processors, scheduler=self)
+
+    def validate_shape(self, shape: Sequence[int]) -> None:
+        """Reject shapes this scheduler cannot plan (default: none)."""
+
+    def target_nodes(self, n: int) -> tuple[Node, ...] | None:
+        """The group-bys this scheduler materializes, in program order.
+
+        ``None`` means the full cube (every proper subset of the ``n``
+        dimensions); a tuple restricts materialization (marginals).
+        """
+        return None
+
+    # -- execution ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def rank_program(
+        self,
+        shape: tuple[int, ...],
+        bits: tuple[int, ...],
+        grid: ProcessorGrid,
+        local_inputs: Sequence[SparseArray | DenseArray],
+        *,
+        reduction: str = "flat",
+        measure: Measure = SUM,
+        max_message_elements: int | None = None,
+    ) -> ProgramFactory:
+        """Build the backend-portable rank program for one construction."""
+
+    # -- declared invariants ------------------------------------------------
+
+    @abc.abstractmethod
+    def enumerate_comm(
+        self, shape: Sequence[int], bits: Sequence[int]
+    ) -> "CommSchedule":
+        """Symbolically enumerate every send/recv the program will post.
+
+        The result feeds :func:`repro.analysis.verify_plan.verify_schedule`
+        (SPMD001-005) and is checked against :meth:`declared_volume` and
+        :meth:`declared_memory_bound` (SPMD006/007).
+        """
+
+    @abc.abstractmethod
+    def declared_volume(self, shape: Sequence[int], bits: Sequence[int]) -> int:
+        """Exact communication volume (elements) this scheduler claims."""
+
+    @abc.abstractmethod
+    def declared_memory_bound(
+        self, shape: Sequence[int], bits: Sequence[int]
+    ) -> int:
+        """Per-rank held-results memory bound (elements) this scheduler claims."""
+
+    # -- option validation --------------------------------------------------
+
+    def validate_options(
+        self,
+        *,
+        reduction: str = "flat",
+        checkpoint: bool = False,
+        max_message_elements: int | None = None,
+        tree: object | None = None,
+        schedule: object | None = None,
+    ) -> None:
+        """Reject build options this scheduler's program cannot honor.
+
+        The default implementation covers every non-``fig5`` scheduler:
+        checkpointed (fault-tolerant) construction, explicit tree/schedule
+        overrides, and chunked reduction messages are all features of the
+        Fig 5 program.  Error messages name the exact option, matching the
+        :func:`repro.exec.base.check_backend_options` style.
+        """
+        if checkpoint:
+            raise ValueError(
+                f"checkpointed construction is a 'fig5'-scheduler feature "
+                f"(its program emits the checkpoint/detection/recovery "
+                f"rounds); scheduler {self.spec!r} cannot honor "
+                f"checkpoint=True. Use scheduler='fig5' or drop checkpoint"
+            )
+        if tree is not None or schedule is not None:
+            raise ValueError(
+                f"explicit tree/schedule overrides apply to the 'fig5' "
+                f"scheduler only; scheduler {self.spec!r} plans its own "
+                f"schedule. Use scheduler='fig5' or drop the override"
+            )
+        if max_message_elements is not None:
+            raise ValueError(
+                f"max_message_elements (chunked reduction messages) is a "
+                f"'fig5'-scheduler option; scheduler {self.spec!r} ships "
+                f"whole partials. Use scheduler='fig5' or drop "
+                f"max_message_elements"
+            )
+        if reduction not in ("flat", "binomial"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+
+    def describe(self) -> str:
+        """One-line human description (shown by ``repro-cube sched list``)."""
+        doc = (type(self).__doc__ or "").strip().splitlines()
+        return doc[0] if doc else self.spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.spec!r}>"

@@ -1,0 +1,99 @@
+"""Name-based registry of construction schedulers.
+
+Mirrors :mod:`repro.exec.registry`: ``get_scheduler("fig5")`` /
+``get_scheduler("shuffle")`` return a *fresh* scheduler instance per call,
+and third-party schedulers join via :func:`register_scheduler`.  On top of
+exact names, the registry understands parameterized *families*:
+``get_scheduler("marginals-2")`` and ``get_scheduler("marginals-2-shuffle")``
+construct :class:`~repro.sched.marginals.MarginalsScheduler` instances with
+the order parsed out of the spec.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.sched.base import Scheduler
+from repro.sched.fig5 import Fig5Scheduler
+from repro.sched.marginals import MarginalsScheduler
+from repro.sched.shuffle import ShuffleScheduler
+
+_REGISTRY: dict[str, Callable[[], Scheduler]] = {}
+#: Parameterized families: template (for error messages / listings) ->
+#: parser returning a scheduler or ``None`` when the spec does not match.
+_FAMILIES: dict[str, Callable[[str], Scheduler | None]] = {}
+
+
+def register_scheduler(name: str, factory: Callable[[], Scheduler]) -> None:
+    """Register ``factory`` under ``name`` (overwrites an existing entry).
+
+    ``factory`` is called with no arguments and must return a fresh
+    :class:`~repro.sched.base.Scheduler` each time.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("scheduler name must be a non-empty string")
+    _REGISTRY[name] = factory
+
+
+def register_scheduler_family(
+    template: str, parser: Callable[[str], Scheduler | None]
+) -> None:
+    """Register a parameterized spec family (e.g. ``marginals-<k>``).
+
+    ``parser`` receives the full spec string and returns a scheduler, or
+    ``None`` when the spec is not of this family; ``template`` is the
+    human-readable form shown in listings and error messages.
+    """
+    if not template or not isinstance(template, str):
+        raise ValueError("scheduler family template must be a non-empty string")
+    _FAMILIES[template] = parser
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Registered scheduler specs (exact names plus family templates), sorted."""
+    return tuple(sorted(set(_REGISTRY) | set(_FAMILIES)))
+
+
+def get_scheduler(spec: str) -> Scheduler:
+    """A fresh scheduler for ``spec`` (exact name or parameterized family)."""
+    factory = _REGISTRY.get(spec)
+    if factory is not None:
+        return factory()
+    for parser in _FAMILIES.values():
+        sched = parser(spec)
+        if sched is not None:
+            return sched
+    raise ValueError(
+        f"unknown scheduler {spec!r}; available: "
+        f"{', '.join(available_schedulers())}"
+    )
+
+
+def resolve_scheduler(scheduler: object) -> Scheduler:
+    """Normalize a spec string or :class:`Scheduler` instance to an instance."""
+    if isinstance(scheduler, Scheduler):
+        return scheduler
+    if isinstance(scheduler, str):
+        return get_scheduler(scheduler)
+    raise TypeError(
+        "scheduler must be a registered spec string or a Scheduler "
+        f"instance, got {type(scheduler).__name__}"
+    )
+
+
+_MARGINALS_RE = re.compile(r"^marginals-(\d+)(-shuffle)?$")
+
+
+def _parse_marginals(spec: str) -> Scheduler | None:
+    m = _MARGINALS_RE.match(spec)
+    if m is None:
+        return None
+    k = int(m.group(1))
+    base = "shuffle" if m.group(2) else "fig5"
+    return MarginalsScheduler(k, base=base)
+
+
+register_scheduler("fig5", Fig5Scheduler)
+register_scheduler("shuffle", ShuffleScheduler)
+register_scheduler_family("marginals-<k>[-shuffle]", _parse_marginals)

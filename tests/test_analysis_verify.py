@@ -191,11 +191,11 @@ class TestClosedFormRules:
         assert v.report.errors[0].rank is not None
 
     def test_custom_schedule_skips_volume_claim(self):
-        from repro.core.parallel import parallel_schedule
+        from repro.sched import fig5_schedule
 
         # A truncated schedule moves less data than the full cube; that is
         # legal for run_partial-style plans, so SPMD006 must not fire.
-        schedule = parallel_schedule(2)[:1]
+        schedule = fig5_schedule(2)[:1]
         v = verify_plan((4, 4), (1, 1), schedule=schedule)
         assert all(d.rule != "SPMD006" for d in v.report)
 

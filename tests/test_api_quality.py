@@ -78,6 +78,12 @@ MODULES = [
     "repro.olap.schema",
     "repro.olap.view_selection",
     "repro.olap.workload",
+    "repro.sched",
+    "repro.sched.base",
+    "repro.sched.fig5",
+    "repro.sched.marginals",
+    "repro.sched.registry",
+    "repro.sched.shuffle",
     "repro.serve",
     "repro.serve.batch",
     "repro.serve.cache",
@@ -110,7 +116,8 @@ def test_module_list_is_complete():
 @pytest.mark.parametrize(
     "name",
     ["repro", "repro.arrays", "repro.cluster", "repro.core", "repro.exec",
-     "repro.olap", "repro.serve", "repro.tiling", "repro.baselines"],
+     "repro.olap", "repro.sched", "repro.serve", "repro.tiling",
+     "repro.baselines"],
 )
 def test_dunder_all_resolves(name):
     mod = importlib.import_module(name)
@@ -127,7 +134,11 @@ CURATED_TOP_LEVEL = [
     "QueryEngine",
     "QueryResult",
     "Schema",
+    "Scheduler",
     "ServiceStats",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
 ]
 
 
@@ -203,7 +214,7 @@ def test_version():
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
     assert match is not None
-    assert repro.__version__ == match.group(1) == "1.5.0"
+    assert repro.__version__ == match.group(1) == "1.6.0"
 
 
 def test_deprecated_shims_warn_exactly_once_and_match_execute():

@@ -26,7 +26,7 @@ from repro.cluster.runtime import (
     run_spmd,
 )
 from repro.core.config import BuildConfig
-from repro.core.parallel import _make_program, construct_cube_parallel
+from repro.core.parallel import construct_cube_parallel, make_fig5_program
 from repro.exec import (
     Backend,
     ProcessBackend,
@@ -74,12 +74,13 @@ class TestRegistry:
 def _cube_program_factory():
     from repro.arrays.measures import SUM
     from repro.cluster.topology import ProcessorGrid
-    from repro.core.parallel import _extract_local_inputs, parallel_schedule
+    from repro.core.parallel import _extract_local_inputs
+    from repro.sched import fig5_schedule
 
     data = DenseArray.full_cube_input(np.arange(32, dtype=float).reshape(8, 4))
     grid = ProcessorGrid((1, 0))
-    return _make_program(
-        parallel_schedule(2), grid, _extract_local_inputs(data, grid),
+    return make_fig5_program(
+        fig5_schedule(2), grid, _extract_local_inputs(data, grid),
         2, "flat", SUM, None,
     )
 

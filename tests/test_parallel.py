@@ -12,15 +12,15 @@ from repro.core.parallel import (
     PLocalAggregate,
     PWriteBack,
     construct_cube_parallel,
-    parallel_schedule,
     sequential_fraction_at_first_level,
 )
 from repro.core.sequential import verify_cube
+from repro.sched import fig5_schedule
 
 
 class TestSchedule:
     def test_finalize_follows_local_aggregate(self):
-        steps = parallel_schedule(3)
+        steps = fig5_schedule(3)
         produced = set()
         for step in steps:
             if isinstance(step, PLocalAggregate):
@@ -29,7 +29,7 @@ class TestSchedule:
                 assert step.child in produced
 
     def test_writeback_after_finalize(self):
-        steps = parallel_schedule(4)
+        steps = fig5_schedule(4)
         finalized = set()
         for step in steps:
             if isinstance(step, PFinalize):
@@ -38,7 +38,7 @@ class TestSchedule:
                 assert step.node in finalized
 
     def test_every_node_finalized_once(self):
-        steps = parallel_schedule(4)
+        steps = fig5_schedule(4)
         finals = [s.child for s in steps if isinstance(s, PFinalize)]
         assert len(finals) == len(set(finals)) == 2 ** 4 - 1
 
@@ -46,7 +46,7 @@ class TestSchedule:
         from repro.core.aggregation_tree import AggregationTree
 
         tree = AggregationTree(3)
-        for step in parallel_schedule(3):
+        for step in fig5_schedule(3):
             if isinstance(step, PFinalize):
                 assert step.dim == tree.aggregated_dim(step.child)
 

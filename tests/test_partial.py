@@ -10,9 +10,9 @@ from repro.core.partial import (
     construct_partial_cube_parallel,
     construct_partial_cube_sequential,
     partial_comm_volume,
-    pruned_parallel_schedule,
     required_closure,
 )
+from repro.sched import pruned_schedule
 from repro.core.comm_model import total_comm_volume
 from repro.core.sequential import cube_reference
 
@@ -130,7 +130,7 @@ class TestPrunedSchedule:
         n = 4
         targets = [(0,), (1, 2)]
         closure = required_closure(targets, n)
-        for step in pruned_parallel_schedule(n, targets):
+        for step in pruned_schedule(n, targets):
             if isinstance(step, PLocalAggregate):
                 assert set(step.children) <= closure
             elif isinstance(step, PWriteBack):
@@ -141,6 +141,6 @@ class TestPrunedSchedule:
 
         n = 4
         targets = {(0,)}
-        for step in pruned_parallel_schedule(n, targets):
+        for step in pruned_schedule(n, targets):
             if isinstance(step, PWriteBack):
                 assert step.discard == (step.node not in targets)

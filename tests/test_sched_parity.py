@@ -1,0 +1,152 @@
+"""Cross-scheduler parity: every scheduler, on both backends, agrees.
+
+Two layers of identity are claimed and tested here:
+
+- **sim vs process**: the same scheduler's rank program interpreted by the
+  simulator and by real OS processes produces byte-identical aggregates
+  (the PR-4 property, now quantified over schedulers);
+- **parallel vs sequential**: with integer-valued data (every partial sum
+  stays exact below 2**53), any scheduler's parallel result equals the
+  sequential Fig 3 constructor bit-for-bit regardless of reduction order.
+
+Float summation order differs between schedulers, so the sequential
+comparison deliberately uses integer-valued float data; sim-vs-process
+parity needs no such restriction and runs on uniform floats too.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.dataset import random_sparse
+from repro.arrays.sparse import SparseArray
+from repro.core.parallel import construct_cube_parallel
+from repro.core.sequential import construct_cube_sequential
+from repro.sched import get_scheduler
+
+SCHEDULERS = ["fig5", "shuffle", "marginals-1", "marginals-1-shuffle"]
+
+# Shapes in canonical non-increasing order; p = 2**sum(bits) covers
+# 2, 4, and 8; n covers 2..5 (reused from the backend-parity suite).
+CURATED = [
+    ((8, 4), (1, 0)),
+    ((8, 6, 4), (1, 1, 0)),
+    ((8, 4, 4, 2), (1, 1, 1, 0)),
+    ((6, 5, 4, 3, 2), (1, 1, 0, 0, 0)),
+]
+
+
+def _integer_sparse(shape, sparsity, seed):
+    """Sparse data whose values are small integers stored as floats.
+
+    Integer-valued float sums are exact (well below 2**53), so any
+    combine order yields the same bytes -- which is what lets a parallel
+    run be compared bit-for-bit against the sequential constructor.
+    """
+    rng = np.random.default_rng(seed)
+    dense = np.where(
+        rng.random(shape) < sparsity, rng.integers(1, 100, shape), 0
+    ).astype(float)
+    return SparseArray.from_dense(dense)
+
+
+def _assert_bytes_equal(results_a, results_b, label):
+    assert set(results_a) == set(results_b), label
+    for node, arr in results_a.items():
+        other = results_b[node]
+        assert arr.data.dtype == other.data.dtype
+        assert arr.data.shape == other.data.shape
+        assert arr.data.tobytes() == other.data.tobytes(), (
+            f"group-by {node} differs: {label}"
+        )
+
+
+@pytest.mark.parametrize("spec", SCHEDULERS)
+@pytest.mark.parametrize("shape,bits", CURATED)
+def test_parallel_bit_identical_to_sequential(spec, shape, bits):
+    data = _integer_sparse(shape, 0.3, seed=sum(shape))
+    seq = construct_cube_sequential(data)
+    run = construct_cube_parallel(data, bits, scheduler=spec)
+    targets = get_scheduler(spec).target_nodes(len(shape))
+    expected = (
+        dict(seq.results)
+        if targets is None
+        else {t: seq.results[t] for t in targets}
+    )
+    _assert_bytes_equal(expected, run.results, f"{spec} vs sequential")
+
+
+@pytest.mark.parametrize("spec", SCHEDULERS)
+@pytest.mark.parametrize("shape,bits", CURATED)
+def test_sim_process_parity_per_scheduler(spec, shape, bits):
+    data = random_sparse(shape, sparsity=0.3, seed=sum(shape))
+    sim = construct_cube_parallel(data, bits, scheduler=spec, backend="sim")
+    proc = construct_cube_parallel(
+        data, bits, scheduler=spec, backend="process"
+    )
+    _assert_bytes_equal(sim.results, proc.results, f"{spec} sim vs process")
+    assert sim.metrics.comm.total_elements == proc.metrics.comm.total_elements
+    assert sim.metrics.comm.total_messages == proc.metrics.comm.total_messages
+    declared = get_scheduler(spec).declared_volume(shape, bits)
+    assert sim.metrics.comm.total_elements == declared
+
+
+@pytest.mark.parametrize("spec", ["shuffle", "marginals-2", "marginals-2-shuffle"])
+def test_binomial_reduction_matches_flat(spec):
+    # Integer-valued data: combine-tree shape cannot change the bytes.
+    shape, bits = (8, 6, 4), (1, 1, 1)
+    data = _integer_sparse(shape, 0.3, seed=7)
+    flat = construct_cube_parallel(data, bits, scheduler=spec, reduction="flat")
+    binom = construct_cube_parallel(
+        data, bits, scheduler=spec, reduction="binomial"
+    )
+    _assert_bytes_equal(flat.results, binom.results, f"{spec} flat vs binomial")
+
+
+@pytest.mark.parametrize("spec", SCHEDULERS)
+def test_dense_input_parity(spec):
+    shape, bits = (8, 6, 4), (2, 1, 0)
+    size = int(np.prod(shape))
+    data = np.arange(size, dtype=float).reshape(shape)
+    seq = construct_cube_sequential(data)
+    run = construct_cube_parallel(data, bits, scheduler=spec)
+    targets = get_scheduler(spec).target_nodes(len(shape))
+    expected = (
+        dict(seq.results)
+        if targets is None
+        else {t: seq.results[t] for t in targets}
+    )
+    _assert_bytes_equal(expected, run.results, f"{spec} dense vs sequential")
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    dims=st.lists(
+        st.sampled_from([8, 4, 2]), min_size=2, max_size=5
+    ).map(lambda d: tuple(sorted(d, reverse=True))),
+    k=st.integers(min_value=1, max_value=3),
+    spec=st.sampled_from(SCHEDULERS),
+    sparsity=st.floats(min_value=0.05, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_parity_random(dims, k, spec, sparsity, seed):
+    bits = [0] * len(dims)
+    for _ in range(k):
+        for i, d in enumerate(dims):
+            if 2 ** (bits[i] + 1) <= d:
+                bits[i] += 1
+                break
+    bits = tuple(bits)
+    data = _integer_sparse(dims, sparsity, seed=seed)
+    seq = construct_cube_sequential(data)
+    sim = construct_cube_parallel(data, bits, scheduler=spec, backend="sim")
+    proc = construct_cube_parallel(data, bits, scheduler=spec, backend="process")
+    targets = get_scheduler(spec).target_nodes(len(dims))
+    expected = (
+        dict(seq.results)
+        if targets is None
+        else {t: seq.results[t] for t in targets}
+    )
+    _assert_bytes_equal(expected, sim.results, f"{spec} sim vs sequential")
+    _assert_bytes_equal(sim.results, proc.results, f"{spec} sim vs process")
