@@ -211,6 +211,22 @@ machine-readable record is `benchmarks/results/BENCH_sched.json`.""",
         "t_sched",
     ),
     (
+        "T-model — model-checker certification (extension)",
+        """Static-analysis extension beyond the paper: the rank-program
+model checker (`repro.analysis.model`) consumes every scheduler's
+symbolic instruction streams and certifies the protocol rather than
+spot-checking it.  Asserted always: every scheduler is deadlock-free
+with zero diagnostics at every sweep point (exhaustive interleaving
+exploration with persistent-set reduction, never near the state cap),
+the fault-tolerant detection round stays certified under its full
+crash sweep with every survivor timing out exactly once, and the
+static ledger high-water equals the simulator's measured per-rank
+memory peaks element for element.  Certification wall time is a
+record, not a gate — the machine-readable copy is
+`benchmarks/results/BENCH_model.json`.""",
+        "t_model",
+    ),
+    (
         "T-obs — telemetry overhead (extension)",
         """Observability extension beyond the paper: the unified telemetry
 subsystem (`repro.obs` — spans, metrics registry, Chrome-trace export)

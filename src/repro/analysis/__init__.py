@@ -1,15 +1,20 @@
 """Static and post-hoc analysis of cube-construction plans and runs.
 
-Three layers, one diagnostic vocabulary (:mod:`repro.analysis.diagnostics`):
+Four layers, one diagnostic vocabulary (:mod:`repro.analysis.diagnostics`):
 
 - :mod:`repro.analysis.verify_plan` -- prove protocol and closed-form
   properties of a partition + aggregation-tree plan *before* running it;
+- :mod:`repro.analysis.model` -- the rank-program model checker:
+  happens-before race detection, exhaustive-interleaving deadlock
+  certification, and static memory-lifetime analysis over any registered
+  scheduler's symbolic op streams;
 - :mod:`repro.analysis.lint_trace` -- audit a recorded run's trace *after*
   the fact, including fault-injection runs;
 - :mod:`repro.analysis.repo_gate` -- the in-repo subset of the repo's
   static-analysis gate (ruff/mypy run the full version in CI).
 
-The ``repro-cube check`` CLI verb fronts the plan verifier.
+The ``repro-cube check`` CLI verb fronts the plan verifier and (with
+``--model``) the model checker.
 """
 
 from repro.analysis.diagnostics import (
@@ -20,6 +25,14 @@ from repro.analysis.diagnostics import (
     format_diagnostics,
 )
 from repro.analysis.lint_trace import lint_trace
+from repro.analysis.model import (
+    ModelCheckResult,
+    ModelProgram,
+    check_model,
+    crosscheck_trace,
+    hb_from_trace,
+    parse_kill,
+)
 from repro.analysis.repo_gate import run_gate
 from repro.analysis.verify_plan import (
     CommSchedule,
@@ -34,12 +47,18 @@ __all__ = [
     "CommSchedule",
     "Diagnostic",
     "DiagnosticReport",
+    "ModelCheckResult",
+    "ModelProgram",
     "PlanVerification",
     "RULES",
     "Rule",
+    "check_model",
+    "crosscheck_trace",
     "enumerate_comm_schedule",
     "format_diagnostics",
+    "hb_from_trace",
     "lint_trace",
+    "parse_kill",
     "run_gate",
     "seed_defect",
     "verify_plan",

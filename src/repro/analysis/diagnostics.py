@@ -45,7 +45,8 @@ class Rule:
 #: Every rule, in catalog order.  Ids are permanent: retired rules keep
 #: their number.  The SPMD block is the static plan verifier
 #: (:mod:`repro.analysis.verify_plan`), TRACE the post-hoc linter
-#: (:mod:`repro.analysis.lint_trace`), GATE the in-repo source gate
+#: (:mod:`repro.analysis.lint_trace`), MC the rank-program model checker
+#: (:mod:`repro.analysis.model`), GATE the in-repo source gate
 #: (:mod:`repro.analysis.repo_gate`).
 RULE_LIST: tuple[Rule, ...] = (
     Rule(
@@ -140,6 +141,56 @@ RULE_LIST: tuple[Rule, ...] = (
         "unaccounted-recovery",
         "a recovery action references neither a committed checkpoint epoch "
         "nor an input-block re-aggregation; the recovered data has no provenance",
+    ),
+    Rule(
+        "MC301",
+        "error",
+        "hb-tag-race",
+        "two messages on one (src, dst, tag) channel are unordered by "
+        "happens-before; FIFO delivery order is a race, not a guarantee",
+    ),
+    Rule(
+        "MC302",
+        "error",
+        "ambiguous-recv-match",
+        "an interleaving exists in which a receive matches while two or "
+        "more messages are in flight on its channel; which payload pairs "
+        "is scheduler-dependent",
+    ),
+    Rule(
+        "MC303",
+        "error",
+        "barrier-mismatch",
+        "ranks disagree on the number of barrier episodes; some rank "
+        "arrives at a barrier its peers never join",
+    ),
+    Rule(
+        "MC304",
+        "error",
+        "causal-cycle",
+        "the happens-before relation contains a cycle: a chain of message "
+        "and program-order edges requires an event to precede itself",
+    ),
+    Rule(
+        "MC305",
+        "error",
+        "deadlock",
+        "exhaustive interleaving exploration reached a state in which no "
+        "rank can step; the wait-for graph is the counterexample",
+    ),
+    Rule(
+        "MC306",
+        "error",
+        "fault-deadlock",
+        "under a kill:RANK@OP fault scenario a surviving rank blocks on a "
+        "receive from the dead rank with no timeout fallback",
+    ),
+    Rule(
+        "MC307",
+        "error",
+        "lifetime-overflow",
+        "the block-liveness memory high-water exceeds the scheduler's "
+        "declared memory bound (or the requested --mem-cap)",
     ),
     Rule(
         "GATE201",

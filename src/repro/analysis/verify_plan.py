@@ -29,7 +29,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
-from repro.arrays.chunking import split_points
+from repro.arrays.chunking import grid_block_lengths, portion_elements
 from repro.cluster.topology import ProcessorGrid
 from repro.core.comm_model import total_comm_volume
 from repro.core.lattice import Node
@@ -127,23 +127,6 @@ class CommSchedule:
         return max(self.rank_peak_memory_elements, default=0)
 
 
-def _block_lengths(shape: Sequence[int], bits: Sequence[int]) -> list[list[int]]:
-    """Per-dimension block lengths, indexed by the label coordinate."""
-    out: list[list[int]] = []
-    for s, b in zip(shape, bits):
-        pts = split_points(s, 2**b)
-        out.append([hi - lo for lo, hi in zip(pts, pts[1:])])
-    return out
-
-
-def _portion_elements(node: Node, label: Sequence[int], lengths: list[list[int]]) -> int:
-    """Elements of ``node``'s portion held by the rank with ``label``."""
-    size = 1
-    for d in node:
-        size *= lengths[d][label[d]]
-    return size
-
-
 def enumerate_comm_schedule(
     shape: Sequence[int],
     bits: Sequence[int],
@@ -170,7 +153,7 @@ def enumerate_comm_schedule(
         raise ValueError("shape and bits must have equal length")
     n = len(shape)
     grid = ProcessorGrid(bits)
-    lengths = _block_lengths(shape, bits)
+    lengths = grid_block_lengths(shape, grid.parts)
     labels = [grid.label(r) for r in range(grid.size)]
     if schedule is None:
         from repro.sched.fig5 import fig5_schedule
@@ -198,14 +181,14 @@ def enumerate_comm_schedule(
                 if not grid.holds_node(rank, step.node):
                     continue
                 for child in step.children:
-                    current[rank] += _portion_elements(child, labels[rank], lengths)
+                    current[rank] += portion_elements(child, labels[rank], lengths)
                 peak[rank] = max(peak[rank], current[rank])
         elif isinstance(step, PFinalize):
             if grid.parts[step.dim] == 1:
                 continue  # dimension not partitioned: already final
             for lead in grid.holders(step.child):
                 group = grid.reduction_group(lead, step.dim)
-                elements = _portion_elements(step.child, labels[lead], lengths)
+                elements = portion_elements(step.child, labels[lead], lengths)
                 for member in group[1:]:
                     ops.append(
                         SymSend(member, lead, step_idx, elements, step=step_idx, edge=step.child)
@@ -217,7 +200,7 @@ def enumerate_comm_schedule(
             for rank in range(grid.size):
                 if not grid.holds_node(rank, step.node):
                     continue
-                current[rank] -= _portion_elements(step.node, labels[rank], lengths)
+                current[rank] -= portion_elements(step.node, labels[rank], lengths)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown step {step!r}")
 

@@ -34,6 +34,46 @@ def split_points(size: int, parts: int) -> tuple[int, ...]:
     return tuple((b * size) // parts for b in range(parts + 1))
 
 
+def block_lengths(size: int, parts: int) -> list[int]:
+    """Length of every block of a balanced split, indexed by block number.
+
+    ``block_lengths(10, 4) == [2, 3, 2, 3]`` -- the successive differences
+    of :func:`split_points`.
+    """
+    pts = split_points(size, parts)
+    return [hi - lo for lo, hi in zip(pts, pts[1:])]
+
+
+def grid_block_lengths(shape: Sequence[int], parts: Sequence[int]) -> list[list[int]]:
+    """Per-dimension block lengths, indexed by the label coordinate.
+
+    ``out[d][c]`` is the length of dimension ``d``'s block ``c`` under the
+    balanced split into ``parts[d]`` pieces.  This is the one shared home
+    of the split arithmetic that the static plan verifier, the scheduler
+    enumerations, and the model checker all rely on being *identical* --
+    the symbolic element counts are exact only because every consumer
+    derives portions from the same boundaries.
+    """
+    return [
+        block_lengths(s, m) for s, m in zip(shape, parts, strict=True)
+    ]
+
+
+def portion_elements(
+    dims: Sequence[int], label: Sequence[int], lengths: Sequence[Sequence[int]]
+) -> int:
+    """Elements of the portion kept along ``dims`` by the rank at ``label``.
+
+    ``lengths`` comes from :func:`grid_block_lengths`; a group-by node that
+    keeps dimensions ``dims`` leaves the rank with the product of its block
+    lengths along exactly those dimensions.
+    """
+    size = 1
+    for d in dims:
+        size *= lengths[d][label[d]]
+    return size
+
+
 def block_bounds(size: int, parts: int, block: int) -> tuple[int, int]:
     """Half-open ``(lo, hi)`` range of ``block`` in a balanced split."""
     if not 0 <= block < parts:

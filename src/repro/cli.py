@@ -550,11 +550,41 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         print(report.format(), file=out)
         ok = ok and match and report.ok
 
+    if args.model:
+        from repro.analysis import check_model, parse_kill
+
+        try:
+            kill = parse_kill(args.kill) if args.kill else None
+            result = check_model(
+                shape,
+                bits,
+                scheduler=args.scheduler,
+                detection_round=args.detection_round,
+                kill=kill,
+                mem_cap_bytes=args.mem_cap,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(result.certificate(), file=out)
+        print(result.report.format(), file=out)
+        ok = ok and result.report.ok and result.certified
+
     if args.run_trace:
         report = lint_trace(args.run_trace, shape=shape, bits=bits)
         print(f"lint of exported trace {args.run_trace}:", file=out)
         print(report.format(), file=out)
         ok = ok and report.ok
+        if args.model:
+            from repro.analysis import crosscheck_trace
+
+            parity = crosscheck_trace(args.run_trace)
+            print(
+                f"lint vs model happens-before on {args.run_trace}:",
+                file=out,
+            )
+            print(parity.describe(), file=out)
+            ok = ok and parity.agree
 
     if args.gate:
         from pathlib import Path
@@ -802,6 +832,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--run-trace", default=None, metavar="PATH",
                    help="lint an exported run trace (Chrome JSON or JSONL "
                         "from repro.obs) instead of executing one")
+    p.add_argument("--model", action="store_true",
+                   help="run the rank-program model checker: happens-before "
+                        "races, exhaustive-interleaving deadlock "
+                        "certification, and static memory lifetimes (MC3xx)")
+    p.add_argument("--mem-cap", type=int, default=None, metavar="BYTES",
+                   help="with --model: also require every rank's static "
+                        "memory high-water to fit in BYTES")
+    p.add_argument("--kill", default=None, metavar="RANK@OP",
+                   help="with --model: check one fault scenario (crash RANK "
+                        "before its OP-th model op) instead of the "
+                        "fault-free program")
     p.add_argument("--gate", action="store_true",
                    help="also run the in-repo static-analysis gate over src")
     _add_backend_arg(p)

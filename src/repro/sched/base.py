@@ -39,6 +39,7 @@ from repro.cluster.topology import ProcessorGrid
 from repro.core.lattice import Node
 
 if TYPE_CHECKING:
+    from repro.analysis.model.ops import ModelProgram
     from repro.analysis.verify_plan import CommSchedule
     from repro.core.plan import CubePlan
 
@@ -118,6 +119,41 @@ class Scheduler(abc.ABC):
         (SPMD001-005) and is checked against :meth:`declared_volume` and
         :meth:`declared_memory_bound` (SPMD006/007).
         """
+
+    def symbolic_ops(
+        self,
+        shape: Sequence[int],
+        bits: Sequence[int],
+        *,
+        detection_round: bool = False,
+        kill: tuple[int, int] | None = None,
+    ) -> "ModelProgram":
+        """Per-rank symbolic instruction streams for the model checker.
+
+        The returned :class:`~repro.analysis.model.ops.ModelProgram` must
+        reflect the requested scenario: ``detection_round`` selects the
+        fault-tolerant program (heartbeats + timeout receives), ``kill``
+        crashes one rank at a model-op index.  The default implementation
+        projects :meth:`enumerate_comm` onto per-rank streams -- program
+        order is the enumeration order, which holds for every built-in
+        enumerator -- and truncates for ``kill``; it cannot model
+        ``detection_round`` (only ``fig5`` has a fault-tolerant program).
+        Built-in schedulers override this with exact builders that also
+        carry the alloc/free ledger, enabling the MC307 lifetime check.
+        """
+        if detection_round:
+            raise ValueError(
+                f"scheduler {self.spec!r} has no fault-tolerant program to "
+                f"model; detection_round applies to 'fig5' only"
+            )
+        from repro.analysis.model.ops import from_comm_schedule, truncate_at
+
+        prog = from_comm_schedule(
+            self.enumerate_comm(shape, bits), scheduler=self.spec
+        )
+        if kill is not None:
+            prog = truncate_at(prog, kill)
+        return prog
 
     @abc.abstractmethod
     def declared_volume(self, shape: Sequence[int], bits: Sequence[int]) -> int:

@@ -40,6 +40,7 @@ from repro.sched.base import ProgramFactory, Scheduler
 from repro.sched.shuffle import ShuffleScheduler, shuffle_comm_volume
 
 if TYPE_CHECKING:
+    from repro.analysis.model.ops import ModelProgram
     from repro.analysis.verify_plan import CommSchedule
     from repro.core.parallel import PStep
 
@@ -188,6 +189,32 @@ class MarginalsScheduler(Scheduler):
         return enumerate_comm_schedule(
             shape, bits, schedule=pruned_schedule(n, self.target_nodes(n))
         )
+
+    def symbolic_ops(
+        self,
+        shape: Sequence[int],
+        bits: Sequence[int],
+        *,
+        detection_round: bool = False,
+        kill: tuple[int, int] | None = None,
+    ) -> "ModelProgram":
+        """Exact streams of the pruned-Fig-5 or restricted-shuffle program."""
+        n = len(shape)
+        self.validate_shape(shape)
+        if detection_round:
+            raise ValueError(
+                f"scheduler {self.spec!r} has no fault-tolerant program to "
+                f"model; detection_round applies to 'fig5' only"
+            )
+        if self.base == "shuffle":
+            return self._shuffle(n).symbolic_ops(shape, bits, kill=kill)
+        from repro.analysis.model.ops import truncate_at
+        from repro.analysis.model.programs import fig5_model_program
+
+        prog = fig5_model_program(shape, bits, targets=self.target_nodes(n))
+        if kill is not None:
+            prog = truncate_at(prog, kill)
+        return prog
 
     def declared_volume(self, shape: Sequence[int], bits: Sequence[int]) -> int:
         """Lemma-1 sum over the pruned tree, or the shuffle closed form."""

@@ -42,7 +42,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Iterable, Sequence
 
 from repro.arrays.aggregate import aggregate_dense, aggregate_sparse_multi
-from repro.arrays.chunking import split_points
+from repro.arrays.chunking import grid_block_lengths, portion_elements
 from repro.arrays.dense import DenseArray
 from repro.arrays.measures import Measure, SUM
 from repro.arrays.sparse import SparseArray
@@ -54,6 +54,7 @@ from repro.sched.base import ProgramFactory, Scheduler
 from repro.util import node_name
 
 if TYPE_CHECKING:
+    from repro.analysis.model.ops import ModelProgram
     from repro.analysis.verify_plan import CommSchedule
 
 
@@ -95,26 +96,6 @@ def shuffle_comm_volume(
                 q *= 2 ** bits[d]
         total += (q - 1) * node_size(t, shape)
     return total
-
-
-def _portion_lengths(
-    shape: Sequence[int], bits: Sequence[int]
-) -> list[list[int]]:
-    """Per-dimension block lengths indexed by the label coordinate."""
-    out: list[list[int]] = []
-    for s, b in zip(shape, bits):
-        pts = split_points(s, 2**b)
-        out.append([hi - lo for lo, hi in zip(pts, pts[1:])])
-    return out
-
-
-def _portion_elements(
-    node: Node, label: Sequence[int], lengths: list[list[int]]
-) -> int:
-    size = 1
-    for d in node:
-        size *= lengths[d][label[d]]
-    return size
 
 
 class ShuffleScheduler(Scheduler):
@@ -286,14 +267,14 @@ class ShuffleScheduler(Scheduler):
             raise ValueError("shape and bits must have equal length")
         n = len(shape)
         grid = ProcessorGrid(bits)
-        lengths = _portion_lengths(shape, bits)
+        lengths = grid_block_lengths(shape, grid.parts)
         labels = [grid.label(r) for r in range(grid.size)]
         targets = self.target_nodes(n)
 
         # Map-phase ledger: every rank holds one partial per target, and
         # memory only shrinks afterwards -- so the peak is the map total.
         current = [
-            sum(_portion_elements(t, labels[r], lengths) for t in targets)
+            sum(portion_elements(t, labels[r], lengths) for t in targets)
             for r in range(grid.size)
         ]
         peak = list(current)
@@ -317,7 +298,7 @@ class ShuffleScheduler(Scheduler):
                         continue
                     next_live.append(lead)
                     group = grid.reduction_group(lead, d)
-                    elements = _portion_elements(t, labels[lead], lengths)
+                    elements = portion_elements(t, labels[lead], lengths)
                     for member in group[1:]:
                         ops.append(
                             SymSend(
@@ -332,7 +313,7 @@ class ShuffleScheduler(Scheduler):
                         current[member] -= elements
                 live = next_live
             for holder in live:
-                current[holder] -= _portion_elements(t, labels[holder], lengths)
+                current[holder] -= portion_elements(t, labels[holder], lengths)
 
         return CommSchedule(
             shape=shape,
@@ -341,6 +322,30 @@ class ShuffleScheduler(Scheduler):
             ops=list(ops),
             rank_peak_memory_elements=peak,
         )
+
+    def symbolic_ops(
+        self,
+        shape: Sequence[int],
+        bits: Sequence[int],
+        *,
+        detection_round: bool = False,
+        kill: tuple[int, int] | None = None,
+    ) -> "ModelProgram":
+        """Exact shuffle streams with the map-phase alloc/free ledger."""
+        if detection_round:
+            raise ValueError(
+                f"scheduler {self.spec!r} has no fault-tolerant program to "
+                f"model; detection_round applies to 'fig5' only"
+            )
+        from repro.analysis.model.ops import truncate_at
+        from repro.analysis.model.programs import shuffle_model_program
+
+        prog = shuffle_model_program(
+            shape, bits, self.target_nodes(len(shape))
+        )
+        if kill is not None:
+            prog = truncate_at(prog, kill)
+        return prog
 
     def declared_volume(self, shape: Sequence[int], bits: Sequence[int]) -> int:
         """The exact closed form ``sum_T (q_T - 1) * |T|``."""
@@ -353,11 +358,11 @@ class ShuffleScheduler(Scheduler):
         shape = tuple(shape)
         bits = tuple(bits)
         grid = ProcessorGrid(bits)
-        lengths = _portion_lengths(shape, bits)
+        lengths = grid_block_lengths(shape, grid.parts)
         targets = self.target_nodes(len(shape))
         return max(
             sum(
-                _portion_elements(t, grid.label(r), lengths) for t in targets
+                portion_elements(t, grid.label(r), lengths) for t in targets
             )
             for r in range(grid.size)
         )

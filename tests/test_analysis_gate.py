@@ -136,7 +136,7 @@ class TestDiagnosticsVocabulary:
     def test_catalog_ids_are_namespaced_and_severities_valid(self):
         for rule_id, rule in RULES.items():
             assert rule.id == rule_id
-            assert rule_id[:-3] in ("SPMD", "TRACE", "GATE")
+            assert rule_id[:-3] in ("SPMD", "TRACE", "MC", "GATE")
             assert rule.severity in SEVERITIES
             assert rule.title and rule.summary
 

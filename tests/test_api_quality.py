@@ -14,6 +14,13 @@ MODULES = [
     "repro.analysis",
     "repro.analysis.diagnostics",
     "repro.analysis.lint_trace",
+    "repro.analysis.model",
+    "repro.analysis.model.checker",
+    "repro.analysis.model.explore",
+    "repro.analysis.model.hb",
+    "repro.analysis.model.lifetime",
+    "repro.analysis.model.ops",
+    "repro.analysis.model.programs",
     "repro.analysis.repo_gate",
     "repro.analysis.verify_plan",
     "repro.arrays",
@@ -214,7 +221,7 @@ def test_version():
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
     assert match is not None
-    assert repro.__version__ == match.group(1) == "1.6.0"
+    assert repro.__version__ == match.group(1) == "1.7.0"
 
 
 def test_deprecated_shims_warn_exactly_once_and_match_execute():

@@ -1,0 +1,132 @@
+"""Exhaustive interleaving exploration: deadlock certification (MC305),
+fault-scenario deadlocks (MC306), and dynamic races (MC302)."""
+
+import pytest
+
+from repro.analysis.model import explore, seed_model_defect
+from repro.sched import get_scheduler
+
+SHAPE, BITS = (4, 4, 4), (1, 1, 0)
+SCHEDULERS = ["fig5", "shuffle", "marginals-2", "marginals-2-shuffle"]
+
+
+def clean_program(spec="fig5", shape=SHAPE, bits=BITS, **kwargs):
+    return get_scheduler(spec).symbolic_ops(shape, bits, **kwargs)
+
+
+class TestCertification:
+    @pytest.mark.parametrize("spec", SCHEDULERS)
+    def test_clean_program_is_certified_deadlock_free(self, spec):
+        result = explore(clean_program(spec))
+        assert result.certified
+        assert result.diagnostics == []
+        assert not result.truncated
+        assert result.terminals >= 1
+        assert "certified deadlock-free" in result.summary()
+
+    def test_deterministic_program_has_no_branch_points(self):
+        # Every channel in a clean fig5 program carries its messages in
+        # FIFO order with a single sender and receiver, so DPOR finds no
+        # co-enabled conflicting pair to branch on.
+        result = explore(clean_program())
+        assert result.branch_points == 0
+
+    def test_ft_detection_round_is_certified(self):
+        result = explore(clean_program(detection_round=True))
+        assert result.certified
+        assert result.timeouts_fired == 0
+
+    def test_ft_kill_scenario_survivors_time_out_and_proceed(self):
+        # The kill is baked into the program (symbolic_ops models the
+        # survivors' perception of the dead rank); each survivor's recv
+        # from it falls back to its timeout exactly once.
+        p = 4
+        prog = clean_program(detection_round=True, kill=(1, 0))
+        result = explore(prog)
+        assert result.certified, result.summary()
+        assert result.timeouts_fired == p - 1
+
+    def test_external_kill_of_barrier_participant_deadlocks(self):
+        # Truncating a rank out of an FT program from the outside (no
+        # perception modelling) strands the survivors at the barrier:
+        # the explorer must report that honestly as MC306.
+        prog = clean_program(detection_round=True)
+        result = explore(prog, kill=(1, 0))
+        assert not result.certified
+        assert "MC306" in {d.rule for d in result.diagnostics}
+
+    def test_max_states_cap_truncates_instead_of_certifying(self):
+        result = explore(clean_program(), max_states=3)
+        assert result.truncated
+        assert not result.certified
+        assert "truncated" in result.summary()
+
+
+class TestDeadlocks:
+    def test_dropped_send_fires_mc305(self):
+        bad = seed_model_defect(clean_program(), "dropped-send")
+        result = explore(bad)
+        assert not result.certified
+        rules = {d.rule for d in result.diagnostics}
+        assert "MC305" in rules
+        msg = next(d for d in result.diagnostics if d.rule == "MC305")
+        assert "wait" in msg.message.lower()
+
+    def test_barrier_skip_fires_mc305(self):
+        bad = seed_model_defect(
+            clean_program(detection_round=True), "barrier-skip"
+        )
+        result = explore(bad)
+        assert "MC305" in {d.rule for d in result.diagnostics}
+
+    def test_causal_cycle_fires_mc305(self):
+        bad = seed_model_defect(clean_program(), "causal-cycle")
+        result = explore(bad)
+        assert "MC305" in {d.rule for d in result.diagnostics}
+
+    @pytest.mark.parametrize("spec", SCHEDULERS)
+    def test_kill_on_plain_program_fires_mc306(self, spec):
+        # Plain construction has no recv timeouts: killing any rank
+        # mid-run deadlocks the peers that still expect its data, and
+        # because the scenario is a fault injection the diagnostic is
+        # MC306 (fault-induced), not MC305 (inherent).
+        result = explore(clean_program(spec), kill=(1, 0))
+        assert not result.certified
+        rules = {d.rule for d in result.diagnostics}
+        assert "MC306" in rules
+        assert "MC305" not in rules
+
+
+class TestDynamicRaces:
+    def test_tag_race_fires_mc302(self):
+        bad = seed_model_defect(clean_program(), "tag-race")
+        result = explore(bad)
+        assert "MC302" in {d.rule for d in result.diagnostics}
+        assert result.branch_points > 0
+
+    def test_tag_race_on_shuffle_fires_mc302(self):
+        bad = seed_model_defect(clean_program("shuffle"), "tag-race")
+        result = explore(bad)
+        assert "MC302" in {d.rule for d in result.diagnostics}
+
+    def test_mc302_reported_once_per_channel(self):
+        bad = seed_model_defect(clean_program(), "tag-race")
+        result = explore(bad)
+        races = [d for d in result.diagnostics if d.rule == "MC302"]
+        channels = [d.message for d in races]
+        assert len(channels) == len(set(channels))
+
+
+class TestScaling:
+    @pytest.mark.parametrize("procs", [2, 4, 8])
+    def test_certification_scales_with_procs(self, procs):
+        # Distribute log2(procs) partition bits over a 4-dim shape; the
+        # explorer must close the state space without hitting the cap.
+        k = procs.bit_length() - 1
+        shape = (4, 4, 4, 4)
+        bits = tuple([1] * k + [0] * (len(shape) - k))
+        prog = clean_program("fig5", shape=shape, bits=bits)
+        assert prog.num_ranks == procs
+        result = explore(prog)
+        assert result.certified
+        assert result.states < 200_000
