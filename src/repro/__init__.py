@@ -15,7 +15,8 @@ serving layer with result caching and batched execution
 (:mod:`repro.serve`).  Construction runs on a pluggable execution
 backend (:mod:`repro.exec`): ``"sim"`` interprets the rank programs on
 the deterministic cluster simulator, ``"process"`` runs them on real OS
-processes over shared memory -- producing bit-identical aggregates.
+processes over shared memory, and ``"thread"`` on GIL-releasing threads
+with a persistent worker pool -- all producing bit-identical aggregates.
 The *planner* half of a build is pluggable too (:mod:`repro.sched`):
 ``"fig5"`` runs the paper's communication/memory-optimal schedule,
 ``"shuffle"`` the MapReduce-style batch shuffle, and ``"marginals-<k>"``
@@ -69,9 +70,12 @@ from repro.exec import (
     Backend,
     ProcessBackend,
     SimBackend,
+    ThreadBackend,
+    WorkerPool,
     available_backends,
     get_backend,
 )
+from repro.registry import Registry
 from repro.obs import (
     MetricsRegistry,
     Tracer,
@@ -128,7 +132,7 @@ def _version() -> str:
 
         return version("repro")
     except Exception:
-        return "1.6.0"
+        return "1.8.0"
 
 
 __version__ = _version()
@@ -157,6 +161,9 @@ __all__ = [
     "Backend",
     "ProcessBackend",
     "SimBackend",
+    "ThreadBackend",
+    "WorkerPool",
+    "Registry",
     "available_backends",
     "get_backend",
     "Scheduler",

@@ -1,0 +1,72 @@
+"""The single deprecation seam for the ``repro`` package.
+
+Every backwards-compatibility shim routes through :func:`deprecated`, so
+the warning format is uniform, each message names its replacement and the
+version it was deprecated in, and tests can reset the once-per-process
+state in one place (:func:`reset_warnings`) instead of reaching into the
+module that happens to host each shim.
+
+Shim inventory (each has a test asserting the warning names the
+replacement):
+
+- ``repro.core.parallel.parallel_schedule`` -> ``repro.sched.fig5_schedule``
+- ``repro.core.partial.pruned_parallel_schedule`` -> ``repro.sched.pruned_schedule``
+- ``repro.cluster.runtime.run_spmd`` called directly with a cube program
+  -> ``repro.exec`` backends / ``construct_cube_parallel``
+- ``repro.olap.query.QueryAnswer`` -> ``QueryResult``
+- ``QueryResult.served_from`` -> ``QueryResult.served_by``
+- ``QueryEngine.answer`` / ``answer_many`` -> ``execute`` / ``execute_many``
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["deprecated", "reset_warnings"]
+
+#: Keys of once-per-process shims that have already warned.
+_WARNED: set[str] = set()
+
+
+def deprecated(
+    what: str,
+    *,
+    instead: str,
+    since: str,
+    removal: str | None = None,
+    extra: str | None = None,
+    once: bool = False,
+    key: str | None = None,
+    stacklevel: int = 3,
+) -> bool:
+    """Emit the standard :class:`DeprecationWarning` for a legacy shim.
+
+    The message always reads ``"{what} is deprecated; use {instead} (...)"``
+    so every warning names its replacement.  ``since`` / ``removal`` are
+    version strings; ``extra`` is an optional clarifying clause.  With
+    ``once=True`` the warning fires at most once per process (keyed on
+    ``key`` or ``what``); returns whether a warning was actually emitted.
+
+    The default ``stacklevel=3`` attributes the warning to the caller of
+    the shim (warn -> deprecated -> shim -> caller).
+    """
+    if once:
+        k = key if key is not None else what
+        if k in _WARNED:
+            return False
+        _WARNED.add(k)
+    detail = f"deprecated since v{since}"
+    if removal is not None:
+        detail += f", removal planned for v{removal}"
+    tail = f" ({extra}; {detail})" if extra else f" ({detail})"
+    warnings.warn(
+        f"{what} is deprecated; use {instead}{tail}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return True
+
+
+def reset_warnings() -> None:
+    """Forget which once-per-process shims have warned (test helper)."""
+    _WARNED.clear()

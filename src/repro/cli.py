@@ -33,6 +33,7 @@ All output is plain text; every command is deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -83,14 +84,69 @@ def _time_label(backend: str) -> str:
 
 
 def _add_backend_arg(p: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--backend`` option to a subparser."""
+    """Attach the shared ``--backend`` / ``--pool`` options to a subparser."""
+    from repro.exec.registry import available_backends
+
     p.add_argument(
         "--backend",
-        choices=["sim", "process"],
+        choices=list(available_backends()),
         default="sim",
-        help="execution backend: 'sim' (deterministic simulator, default) "
-             "or 'process' (real OS processes over shared memory)",
+        help="execution backend: 'sim' (deterministic simulator, default), "
+             "'process' (real OS processes over shared memory), or "
+             "'thread' (GIL-releasing threads in this process); "
+             "see 'backends list'",
     )
+    p.add_argument(
+        "--pool",
+        action="store_true",
+        help="warm a persistent worker pool before the build and reuse it "
+             "across every build this command runs (pooling backends only, "
+             "e.g. --backend thread)",
+    )
+
+
+@contextlib.contextmanager
+def _cli_backend(args: argparse.Namespace):
+    """The ``backend=`` value for builds, honoring ``--pool``.
+
+    Without ``--pool`` this is just the name string (each build creates
+    and closes its own backend).  With it, one backend instance with a
+    warmed worker pool is opened here and passed to every build --
+    caller-owned instances keep their pool across builds -- then closed
+    on exit.  A non-pooling backend raises ``ValueError`` (rendered by
+    each subcommand's standard error path).
+    """
+    if not getattr(args, "pool", False):
+        yield args.backend
+        return
+    from repro.exec.registry import backend_metadata, get_backend
+
+    meta = backend_metadata(args.backend)
+    if not meta.get("supports_pooling", False):
+        pooling = ", ".join(
+            name
+            for name in available_backends_with_pooling()
+        ) or "(none)"
+        raise ValueError(
+            f"--pool requires a pooling backend; {args.backend!r} does not "
+            f"support persistent worker pools (pooling backends: {pooling})"
+        )
+    backend = get_backend(args.backend)
+    try:
+        yield backend.open()
+    finally:
+        backend.close()
+
+
+def available_backends_with_pooling() -> list[str]:
+    """Registered backend names whose metadata declares pooling support."""
+    from repro.exec.registry import BACKENDS
+
+    return [
+        e.name
+        for e in BACKENDS.entries()
+        if e.metadata.get("supports_pooling", False)
+    ]
 
 
 def _scheduler_spec(text: str) -> str:
@@ -180,15 +236,16 @@ def cmd_construct(args: argparse.Namespace, out) -> int:
     from repro.exec import WorkerError
 
     try:
-        run = plan.run_parallel(
-            data,
-            collect_results=args.verify,
-            fault_plan=fault_plan,
-            checkpoint=args.checkpoint,
-            recv_timeout=args.recv_timeout,
-            backend=args.backend,
-            trace_out=args.trace_out,
-        )
+        with _cli_backend(args) as backend:
+            run = plan.run_parallel(
+                data,
+                collect_results=args.verify,
+                fault_plan=fault_plan,
+                checkpoint=args.checkpoint,
+                recv_timeout=args.recv_timeout,
+                backend=backend,
+                trace_out=args.trace_out,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
@@ -355,10 +412,15 @@ def cmd_build(args: argparse.Namespace, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    run = plan.run_parallel(
-        data, measure=args.measure, backend=args.backend,
-        trace_out=args.trace_out,
-    )
+    try:
+        with _cli_backend(args) as backend:
+            run = plan.run_parallel(
+                data, measure=args.measure, backend=backend,
+                trace_out=args.trace_out,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     save_cube(args.out, run.results, args.shape, measure_name=args.measure)
     kind = "simulated" if run.backend == "sim" else "real"
     print(
@@ -528,10 +590,11 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         for s in shape:
             size *= s
         data = np.arange(size, dtype=float).reshape(shape)
-        run = construct_cube_parallel(
-            data, bits, trace=True, collect_results=False,
-            backend=args.backend, scheduler=args.scheduler,
-        )
+        with _cli_backend(args) as backend:
+            run = construct_cube_parallel(
+                data, bits, trace=True, collect_results=False,
+                backend=backend, scheduler=args.scheduler,
+            )
         # The trace linter's memory rule checks the Theorem 4 bound, which
         # is only claimed for the fig5 schedule; other schedulers get the
         # protocol/timing rules plus verify_plan's declared-bound check.
@@ -598,19 +661,25 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     return 0 if ok else 1
 
 
+def cmd_backends(args: argparse.Namespace, out) -> int:
+    """``backends``: list registered execution backends and capabilities."""
+    from repro.exec.registry import BACKENDS
+
+    # Same rendering code path as `sched list` (Registry.render_list).
+    for line in BACKENDS.render_list():
+        print(line, file=out)
+    return 0
+
+
 def cmd_sched(args: argparse.Namespace, out) -> int:
     """``sched``: list registered schedulers or compare them on one build."""
-    from repro.sched import available_schedulers, get_scheduler
+    from repro.sched import get_scheduler
+    from repro.sched.registry import SCHEDULERS
 
     if args.sched_cmd == "list":
-        for spec in available_schedulers():
-            if "<" in spec:
-                # A family template; describe a representative instance.
-                example = spec.replace("<k>", "1").replace("[-shuffle]", "")
-                desc = get_scheduler(example).describe()
-                print(f"{spec}: {desc}", file=out)
-            else:
-                print(f"{spec}: {get_scheduler(spec).describe()}", file=out)
+        # Same rendering code path as `backends list` (Registry.render_list).
+        for line in SCHEDULERS.render_list():
+            print(line, file=out)
         return 0
 
     # compare
@@ -644,32 +713,38 @@ def cmd_sched(args: argparse.Namespace, out) -> int:
     ok = True
     from repro.core.parallel import construct_cube_parallel
 
-    for sparsity in sparsities:
-        data = random_sparse(shape, sparsity, seed=args.seed)
-        for spec in specs:
-            sched = get_scheduler(spec)
-            run = construct_cube_parallel(
-                data, bits, scheduler=spec, collect_results=False
-            )
-            declared = sched.declared_volume(shape, bits)
-            match = run.comm_volume_elements == declared
-            ok = ok and match
-            n_nodes = len(sched.target_nodes(len(shape)) or []) or 2 ** len(shape) - 1
-            print(
-                f"{sparsity:>9.2f} {spec:>22} {n_nodes:>9} "
-                f"{run.comm_volume_elements:>13} "
-                f"{run.metrics.comm.total_messages:>6} "
-                f"{run.max_peak_memory_elements:>9} "
-                f"{run.simulated_time_s:>11.4f}"
-                f"{'' if match else '  VOLUME MISMATCH'}",
-                file=out,
-            )
-        if "fig5" in specs:
-            theorem3 = total_comm_volume(shape, bits)
-            fig5_declared = get_scheduler("fig5").declared_volume(shape, bits)
-            if fig5_declared != theorem3:
-                ok = False
-                print("  fig5 declared volume != Theorem 3", file=out)
+    with contextlib.ExitStack() as stack:
+        backend = stack.enter_context(_cli_backend(args))
+        for sparsity in sparsities:
+            data = random_sparse(shape, sparsity, seed=args.seed)
+            for spec in specs:
+                sched = get_scheduler(spec)
+                run = construct_cube_parallel(
+                    data, bits, scheduler=spec, collect_results=False,
+                    backend=backend,
+                )
+                declared = sched.declared_volume(shape, bits)
+                match = run.comm_volume_elements == declared
+                ok = ok and match
+                n_nodes = (
+                    len(sched.target_nodes(len(shape)) or [])
+                    or 2 ** len(shape) - 1
+                )
+                print(
+                    f"{sparsity:>9.2f} {spec:>22} {n_nodes:>9} "
+                    f"{run.comm_volume_elements:>13} "
+                    f"{run.metrics.comm.total_messages:>6} "
+                    f"{run.max_peak_memory_elements:>9} "
+                    f"{run.simulated_time_s:>11.4f}"
+                    f"{'' if match else '  VOLUME MISMATCH'}",
+                    file=out,
+                )
+            if "fig5" in specs:
+                theorem3 = total_comm_volume(shape, bits)
+                fig5_declared = get_scheduler("fig5").declared_volume(shape, bits)
+                if fig5_declared != theorem3:
+                    ok = False
+                    print("  fig5 declared volume != Theorem 3", file=out)
     if "fig5" in specs and ok:
         print(
             f"fig5 volume equals Theorem 3 closed form "
@@ -695,9 +770,10 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
 
         data = random_sparse(args.shape, args.sparsity, seed=args.seed)
         plan = plan_cube(args.shape, num_processors=args.procs)
-        run = plan.run_parallel(
-            data, trace=True, collect_results=False, backend=args.backend
-        )
+        with _cli_backend(args) as backend:
+            run = plan.run_parallel(
+                data, trace=True, collect_results=False, backend=backend
+            )
         if args.format == "chrome":
             write_chrome_trace(run.metrics, args.out)
         else:
@@ -850,6 +926,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
+        "backends",
+        help="list registered execution backends (repro.exec)",
+    )
+    bsub = p.add_subparsers(dest="backends_cmd", required=True)
+
+    bp = bsub.add_parser(
+        "list", help="name every registered backend and its capabilities"
+    )
+    bp.set_defaults(fn=cmd_backends)
+
+    p = sub.add_parser(
         "sched",
         help="list or compare construction schedulers (repro.sched)",
     )
@@ -873,6 +960,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated scheduler specs "
                          "(default: fig5,shuffle,marginals-1)")
     sp.add_argument("--seed", type=int, default=0)
+    _add_backend_arg(sp)
     sp.set_defaults(fn=cmd_sched)
 
     p = sub.add_parser(

@@ -38,7 +38,6 @@ Robustness layer (all optional, zero simulated cost when unused):
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
@@ -342,9 +341,10 @@ def recovery_trace_events(fstats: FaultStats) -> list[TraceEvent]:
 
 _READY, _BLOCKED, _BARRIER, _DONE, _DEAD = range(5)
 
-#: One-release deprecation latch: driving a cube-build program through
-#: ``run_spmd`` directly (instead of a :mod:`repro.exec` backend) warns once.
-_warned_direct_cube_build = False
+#: Key of the once-per-process deprecation latch (in ``repro._compat``) for
+#: driving a cube-build program through ``run_spmd`` directly instead of a
+#: :mod:`repro.exec` backend.
+_DIRECT_CUBE_BUILD_KEY = "run_spmd.cube_program"
 
 
 def run_spmd(
@@ -383,19 +383,17 @@ def run_spmd(
     same program can also run on real processes.  Generic SPMD programs are
     unaffected.
     """
-    global _warned_direct_cube_build
-    if (
-        not _via_backend
-        and getattr(program_factory, "_cube_program", False)
-        and not _warned_direct_cube_build
-    ):
-        _warned_direct_cube_build = True
-        warnings.warn(
-            "calling run_spmd directly for cube builds is deprecated; use "
-            "repro.exec.get_backend('sim').spawn_ranks(...) or "
-            "construct_cube_parallel(backend='sim') instead",
-            DeprecationWarning,
-            stacklevel=2,
+    if not _via_backend and getattr(program_factory, "_cube_program", False):
+        from repro._compat import deprecated
+
+        deprecated(
+            "calling run_spmd directly for cube builds",
+            instead="repro.exec.get_backend('sim').spawn_ranks(...) or "
+            "construct_cube_parallel(backend='sim')",
+            since="1.7.0",
+            removal="2.0.0",
+            once=True,
+            key=_DIRECT_CUBE_BUILD_KEY,
         )
     if machines is not None:
         if len(machines) != num_ranks:

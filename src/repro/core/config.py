@@ -151,13 +151,10 @@ class BuildConfig:
             # Imported lazily: repro.exec sits above repro.cluster, and a
             # module-level import here would be needlessly eager for the
             # overwhelmingly common sim-backend path.
-            from repro.exec.registry import available_backends, get_backend
+            from repro.exec.registry import get_backend
 
-            if self.backend not in available_backends():
-                raise ValueError(
-                    f"unknown backend {self.backend!r}; available: "
-                    f"{', '.join(available_backends())}"
-                )
+            # Unknown names raise the registry's ValueError (available
+            # names plus a "did you mean ...?" suggestion).
             backend_obj = get_backend(self.backend)
         else:
             from repro.exec.base import Backend

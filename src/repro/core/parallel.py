@@ -48,9 +48,10 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
 
 import numpy as np
 
+import repro._compat as _compat
 from repro.arrays.aggregate import aggregate_dense, aggregate_sparse_multi
 from repro.arrays.chunking import BlockPartition
-from repro.arrays.dense import DenseArray
+from repro.arrays.dense import DEFAULT_DTYPE, DenseArray
 from repro.arrays.measures import Measure, SUM, get_measure
 from repro.arrays.sparse import SparseArray
 from repro.cluster.collectives import (
@@ -74,6 +75,7 @@ from repro.util import node_name
 if TYPE_CHECKING:
     from repro.arrays.persist import CheckpointStore
     from repro.cluster.faults import FaultStats
+    from repro.exec.shm import SharedOutputArena
 
 
 # -- parallel schedule -------------------------------------------------------------
@@ -111,21 +113,22 @@ class PWriteBack:
 PStep = PLocalAggregate | PFinalize | PWriteBack
 
 
-#: Deprecation shims that have already warned (one warning per process).
-_DEPRECATED_WARNED: set[str] = set()
+#: Deprecation shims that have already warned -- an alias of the shared
+#: ``repro._compat`` once-per-process state (cleared by
+#: ``repro._compat.reset_warnings``); kept under the historical name for
+#: callers that reset it here.
+_DEPRECATED_WARNED = _compat._WARNED
 
 
 def _warn_once(old: str, new: str) -> None:
-    if old in _DEPRECATED_WARNED:
-        return
-    _DEPRECATED_WARNED.add(old)
-    import warnings
-
-    warnings.warn(
-        f"{old} is deprecated; use {new} (schedule construction moved to "
-        f"the repro.sched scheduler registry)",
-        DeprecationWarning,
-        stacklevel=3,
+    _compat.deprecated(
+        old,
+        instead=new,
+        since="1.6.0",
+        removal="2.0.0",
+        extra="schedule construction moved to the repro.sched scheduler registry",
+        once=True,
+        stacklevel=4,
     )
 
 
@@ -220,7 +223,8 @@ def make_fig5_program(
     reduction: str,
     measure: Measure = SUM,
     max_message_elements: int | None = None,
-) -> Callable[[RankEnv], Generator[Op, Any, dict[Node, DenseArray]]]:
+    outputs: "SharedOutputArena | None" = None,
+) -> Callable[[RankEnv], Generator[Op, Any, dict[Node, Any]]]:
     """Build the Fig 5 rank program for ``schedule`` (the step-list IR).
 
     This is the interpreter behind the ``fig5`` and ``marginals-<k>``
@@ -228,17 +232,28 @@ def make_fig5_program(
     the reduction collectives doing the communication.  Kept here (not in
     :mod:`repro.sched`) because the step dataclasses, the fault-tolerant
     variant, and the partial-materialization path all share it.
+
+    When ``outputs`` is a :class:`~repro.exec.shm.SharedOutputArena`, each
+    lead writes its finalized portion straight into the arena's
+    global-shaped slot at write-back time and returns a lightweight
+    :class:`~repro.exec.shm.StagedResult` marker instead of the array --
+    the host collects the assembled node from shared memory, so nothing
+    is pickled back through result queues.  A portion the arena cannot
+    take (dtype/shape mismatch) falls back to the normal in-band return.
     """
     reduce_fn = {"flat": reduce_to_lead, "binomial": reduce_binomial}[reduction]
     combine = _make_combiner(measure)
     all_dims = tuple(range(n))
     root = full_node(n)
 
-    def program(env: RankEnv) -> Generator[Op, Any, dict[Node, DenseArray]]:
+    if outputs is not None:
+        from repro.exec.shm import StagedResult
+
+    def program(env: RankEnv) -> Generator[Op, Any, dict[Node, Any]]:
         rank = env.rank
         block = local_inputs[rank]
         local: dict[Node, DenseArray] = {}
-        written: dict[Node, DenseArray] = {}
+        written: dict[Node, Any] = {}
         # Spans use the explicit clock/end_span style: a generator suspends
         # at every yield, so a `with` block cannot bracket backend time.
         # `traced` is False on untraced runs and every tracer touch below is
@@ -346,12 +361,18 @@ def make_fig5_program(
                 env.free(step.node)
                 if not step.discard:
                     yield env.disk_write(out.nbytes)
+                    staged = outputs is not None and outputs.stage(
+                        rank, step.node, out.data
+                    )
                     if traced:
                         t0 = tr.end_span(
                             "build.writeback", t0,
-                            attrs={"node": node_name(step.node)},
+                            attrs={"node": node_name(step.node), "staged": staged},
                         )
-                    written[step.node] = out
+                    if staged:
+                        written[step.node] = StagedResult(step.node, out.nbytes)
+                    else:
+                        written[step.node] = out
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown step {step!r}")
 
@@ -700,17 +721,26 @@ def _extract_local_inputs(
 
 
 def assemble_results(
-    rank_results: Sequence[dict[Node, DenseArray]],
+    rank_results: Sequence[dict[Node, Any]],
     grid: ProcessorGrid,
     shape: Sequence[int],
 ) -> dict[Node, DenseArray]:
-    """Stitch each node's per-lead portions into global arrays."""
+    """Stitch each node's per-lead portions into global arrays.
+
+    Portions that were staged into a shared output arena travel as
+    :class:`~repro.exec.shm.StagedResult` markers and are skipped here --
+    the caller merges the arena's assembled arrays separately.
+    """
+    from repro.exec.shm import StagedResult
+
     shape = tuple(shape)
     partition = BlockPartition(shape, grid.parts)
     assembled: dict[Node, DenseArray] = {}
     for rank, written in enumerate(rank_results):
         label = grid.label(rank)
         for node, portion in written.items():
+            if isinstance(portion, StagedResult):
+                continue
             if node not in assembled:
                 global_shape = tuple(shape[d] for d in node)
                 assembled[node] = DenseArray.zeros(global_shape, node, dtype=portion.data.dtype)
@@ -804,11 +834,16 @@ def construct_cube_parallel(
         (default: derived from the backend's
         :class:`~repro.cluster.runtime.TimeoutPolicy`).
     backend:
-        Execution backend -- a registered name (``"sim"``, ``"process"``)
-        or a :class:`~repro.exec.base.Backend` instance.  ``"sim"`` (the
-        default) runs the deterministic simulator; ``"process"`` runs the
-        same program on real OS processes with shared-memory inputs and
-        reports wall-clock metrics.  Results are bit-identical either way.
+        Execution backend -- a registered name (``"sim"``, ``"process"``,
+        ``"thread"``) or a :class:`~repro.exec.base.Backend` instance.
+        ``"sim"`` (the default) runs the deterministic simulator;
+        ``"process"`` runs the same program on real OS processes with
+        shared-memory input/output arenas; ``"thread"`` runs it on
+        GIL-releasing threads in this process.  Results are bit-identical
+        across all of them.  A backend resolved from a name is closed
+        after the build; a passed-in instance is only released of its
+        per-run state (``end_run``), so a warmed worker pool
+        (``ThreadBackend().open(workers=p)``) is reused across builds.
     scheduler:
         Construction scheduler -- a registered spec (``"fig5"`` default,
         ``"shuffle"``, ``"marginals-<k>"``, ``"marginals-<k>-shuffle"``)
@@ -856,10 +891,13 @@ def construct_cube_parallel(
     # many consumers of this module that never construct.
     from repro.exec.base import Backend
     from repro.exec.registry import get_backend
+    from repro.exec.shm import StagedResult, output_layout_for_schedule
 
-    backend_obj = (
-        cfg.backend if isinstance(cfg.backend, Backend) else get_backend(cfg.backend)
-    )
+    # Ownership rule: a backend resolved from a name here is ours to shut
+    # down; a caller-passed instance keeps its lifecycle (warm worker
+    # pools survive the build -- we only release per-run state).
+    owns_backend = not isinstance(cfg.backend, Backend)
+    backend_obj = get_backend(cfg.backend) if owns_backend else cfg.backend
     # Resolve the construction scheduler (options validated by BuildConfig;
     # imported lazily for the same layering reason as repro.exec above).
     from repro.sched import resolve_scheduler
@@ -899,6 +937,8 @@ def construct_cube_parallel(
         schedule = fig5_schedule(n, tree=tree)
 
     tmpdir = None
+    out_arena = None
+    staged_results: dict[Node, DenseArray] = {}
     try:
         if checkpoint:
             # Imported here, not at module top: persist itself imports
@@ -921,9 +961,33 @@ def construct_cube_parallel(
             )
         elif fig5_path:
             assert schedule is not None  # set above on every fig5 path
+            if collect_results:
+                # Offer the backend a shared output arena: leads write
+                # finalized aggregates straight into global-shaped shared
+                # memory instead of pickling them back through result
+                # queues (sim returns None -- results are in-process).
+                # Sparse inputs accumulate into DEFAULT_DTYPE; dense
+                # reductions preserve the input dtype.
+                out_dtype = (
+                    np.dtype(DEFAULT_DTYPE)
+                    if isinstance(array, SparseArray)
+                    else array.data.dtype
+                )
+                out_arena = backend_obj.prepare_outputs(
+                    output_layout_for_schedule(
+                        shape,
+                        grid,
+                        [
+                            s.node
+                            for s in schedule
+                            if isinstance(s, PWriteBack) and not s.discard
+                        ],
+                        dtype=out_dtype,
+                    )
+                )
             program = make_fig5_program(
                 schedule, grid, local_inputs, n, reduction, measure,
-                max_message_elements,
+                max_message_elements, outputs=out_arena,
             )
         else:
             program = sched_obj.rank_program(
@@ -939,8 +1003,28 @@ def construct_cube_parallel(
             grid.size, program, machine=machine, record_trace=trace,
             machines=machines, faults=fault_plan,
         )
+        if out_arena is not None:
+            # Copy staged nodes out *before* the finally clause releases
+            # the arena; collect() returns owned arrays.
+            staged_nodes = sorted(
+                {
+                    node
+                    for written in metrics.rank_results
+                    if written
+                    for node, portion in written.items()
+                    if isinstance(portion, StagedResult)
+                }
+            )
+            if staged_nodes:
+                with host_tr.span("build.staged_collect", nodes=len(staged_nodes)):
+                    staged_results = out_arena.collect(staged_nodes)
     finally:
-        backend_obj.close()
+        # Release per-run state (arenas) always; shut the backend down
+        # fully only when we created it from a registry name.  A
+        # caller-owned instance keeps its warm pool for the next build.
+        backend_obj.end_run()
+        if owns_backend:
+            backend_obj.close()
         if tmpdir is not None:
             tmpdir.cleanup()
 
@@ -960,6 +1044,16 @@ def construct_cube_parallel(
     if collect_results:
         with host_tr.span("build.assemble", ranks=grid.size):
             results = assemble_results(rank_results, grid, shape)
+            for node, arr in staged_results.items():
+                if node in results:
+                    # A rank fell back to the in-band return for this
+                    # node: its portion sits in the assembled array, the
+                    # rest in the staged one.  Leads tile the node
+                    # disjointly over zero-filled arrays, so summing
+                    # merges exactly.
+                    results[node].data += arr.data
+                else:
+                    results[node] = arr
 
     if host_tr.spans:
         metrics.spans = list(metrics.spans) + host_tr.spans

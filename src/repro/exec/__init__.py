@@ -3,53 +3,87 @@
 The Fig 5 constructor emits *rank programs*: generator functions that yield
 the op vocabulary of :mod:`repro.cluster.runtime` (``SendOp``, ``RecvOp``,
 ``BarrierOp``, ...).  A :class:`Backend` is an interpreter for that
-vocabulary.  Two ship with the package:
+vocabulary.  Three ship with the package:
 
 - :class:`SimBackend` (``"sim"``) -- the deterministic discrete-event
   simulator; clocks are simulated seconds under a machine cost model.
 - :class:`ProcessBackend` (``"process"``) -- real OS processes via
   :mod:`multiprocessing`, with the per-rank input blocks placed in
-  :mod:`multiprocessing.shared_memory` so local partitions are zero-copy;
-  only cross-rank partial results are pickled.  Clocks are wall-clock
-  seconds.  Every run is overseen by a :class:`Supervisor` that detects
-  worker death, respawns crashed ranks from the checkpoint store, and
-  turns unrecoverable failures into an enriched :class:`WorkerError`;
-  the process-compatible subset of a fault plan is injected in-worker by
-  a :class:`ChaosAgent` (:data:`PROCESS_FAULT_KINDS`).
+  :mod:`multiprocessing.shared_memory` so local partitions are zero-copy
+  (:class:`SharedInputArena`), and finalized aggregates written back
+  through a :class:`SharedOutputArena` instead of pickled result queues.
+  Clocks are wall-clock seconds.  Every run is overseen by a
+  :class:`Supervisor` that detects worker death, respawns crashed ranks
+  from the checkpoint store, and turns unrecoverable failures into an
+  enriched :class:`WorkerError`; the process-compatible subset of a fault
+  plan is injected in-worker by a :class:`ChaosAgent`
+  (:data:`PROCESS_FAULT_KINDS`).
+- :class:`ThreadBackend` (``"thread"``) -- one GIL-releasing thread per
+  rank in the host process: no fork, no pickling, payloads move by
+  reference.  Supports the persistent-pool lifecycle
+  (``backend.open(workers=p)`` warms a :class:`WorkerPool` reused across
+  ``spawn_ranks`` calls); fault surface is
+  :data:`THREAD_FAULT_KINDS` (no ``crash_op``: threads share one fate).
 
-Because both backends drive the *same* generator program, the arithmetic
+Because all backends drive the *same* generator program, the arithmetic
 (including the order of floating-point accumulation in reductions) is
 identical, and results are bit-for-bit the same across backends.  Select
 one by name through :func:`get_backend` or
-``construct_cube_parallel(backend="process")``.
+``construct_cube_parallel(backend="thread")``; the registry is an
+instance of the generic :class:`repro.registry.Registry` and its entries
+carry capability metadata.
 
 What robustness options a backend accepts is capability-declared
-(:attr:`Backend.fault_capabilities`, :attr:`Backend.supports_machines`)
-and enforced by :func:`check_backend_options` -- the single check behind
-both ``BuildConfig`` validation and ``spawn_ranks``.
+(:attr:`Backend.fault_capabilities`, :attr:`Backend.supports_machines`,
+:attr:`Backend.supports_pooling`) and enforced by
+:func:`check_backend_options` -- the single check behind both
+``BuildConfig`` validation and ``spawn_ranks``.
 """
 
 from repro.exec.base import Backend, ProgramFactory, check_backend_options
-from repro.exec.chaos import PROCESS_FAULT_KINDS, ChaosAgent
+from repro.exec.chaos import PROCESS_FAULT_KINDS, THREAD_FAULT_KINDS, ChaosAgent
+from repro.exec.pool import PoolClosed, PoolTask, WorkerPool
 from repro.exec.process import ProcessBackend, WorkerError
-from repro.exec.registry import available_backends, get_backend, register_backend
-from repro.exec.shm import SharedInputArena
+from repro.exec.registry import (
+    BACKENDS,
+    available_backends,
+    backend_metadata,
+    get_backend,
+    register_backend,
+)
+from repro.exec.shm import (
+    OutputLayout,
+    SharedInputArena,
+    SharedOutputArena,
+    StagedResult,
+)
 from repro.exec.sim import SimBackend
 from repro.exec.supervisor import RankIncident, Supervisor
+from repro.exec.thread import ThreadBackend
 
 __all__ = [
     "Backend",
     "ProgramFactory",
     "SimBackend",
     "ProcessBackend",
+    "ThreadBackend",
     "WorkerError",
+    "WorkerPool",
+    "PoolTask",
+    "PoolClosed",
     "Supervisor",
     "RankIncident",
     "ChaosAgent",
     "PROCESS_FAULT_KINDS",
+    "THREAD_FAULT_KINDS",
     "SharedInputArena",
+    "SharedOutputArena",
+    "OutputLayout",
+    "StagedResult",
     "check_backend_options",
+    "BACKENDS",
     "get_backend",
+    "backend_metadata",
     "register_backend",
     "available_backends",
 ]

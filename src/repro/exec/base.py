@@ -16,14 +16,26 @@ has two halves:
 Hooks with sensible defaults: :attr:`Backend.timeouts` tells rank programs
 which :class:`~repro.cluster.runtime.TimeoutPolicy` to shape their receive
 windows with, :meth:`Backend.prepare_inputs` lets a backend stage per-rank
-input blocks (shared memory for real processes), and :meth:`Backend.close`
-releases per-run resources.
+input blocks (shared memory for real processes), and
+:meth:`Backend.prepare_outputs` lets it stage a writeback arena so results
+come back without a pickle round-trip.
+
+Backends also have a **lifecycle**: :meth:`Backend.open` acquires
+long-lived resources (a persistent worker pool, for backends with
+:attr:`Backend.supports_pooling`) so repeated :meth:`Backend.spawn_ranks`
+calls reuse live workers; :meth:`Backend.end_run` releases the resources
+of one run (input/output arenas) while keeping the pool warm; and
+:meth:`Backend.close` is full shutdown.  ``with backend:`` is
+``open()``/``close()``.  Callers that *create* a backend own its close;
+callers handed a backend instance call only ``end_run()`` --
+:func:`repro.core.parallel.construct_cube_parallel` follows exactly this
+rule, which is what lets a warm pool survive across builds.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Generator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
 
 from repro.cluster import collectives
 from repro.cluster.faults import FaultPlan
@@ -38,6 +50,9 @@ from repro.cluster.runtime import (
     SIMULATED_TIMEOUTS,
     TimeoutPolicy,
 )
+
+if TYPE_CHECKING:
+    from repro.exec.shm import OutputLayout, SharedOutputArena
 
 #: A rank program: called once per rank with its env, returns the generator
 #: the backend drives.
@@ -73,6 +88,11 @@ class Backend(abc.ABC):
     #: inject (subset of :data:`~repro.cluster.faults.ALL_FAULT_KINDS`).
     #: Empty by default: a backend must opt in to each fault kind.
     fault_capabilities: frozenset[str] = frozenset()
+
+    #: Whether :meth:`open` warms a persistent worker pool that
+    #: :meth:`spawn_ranks` reuses across runs.  Backends without pooling
+    #: still honor the ``open()``/``close()`` lifecycle (both no-ops).
+    supports_pooling: bool = False
 
     def unsupported_fault_kinds(self, plan: FaultPlan) -> tuple[str, ...]:
         """Fault kinds ``plan`` uses that this backend cannot honor."""
@@ -135,9 +155,24 @@ class Backend(abc.ABC):
         The default is a no-op; :class:`~repro.exec.process.ProcessBackend`
         copies the blocks into shared memory here so worker processes read
         them zero-copy.  Resources claimed by this hook are released by
-        :meth:`close`.
+        :meth:`end_run` (and therefore also by :meth:`close`).
         """
         return local_inputs
+
+    def prepare_outputs(self, layout: OutputLayout) -> SharedOutputArena | None:
+        """Stage a shared-memory arena for cube writeback, or ``None``.
+
+        ``layout`` describes the written nodes of one construction
+        (:class:`~repro.exec.shm.OutputLayout`).  A backend whose workers
+        live in *another address space* returns a
+        :class:`~repro.exec.shm.SharedOutputArena` here so rank programs
+        write finalized aggregates straight into shared memory instead of
+        pickling them back through result queues.  The default -- correct
+        for the simulator and for threads, which already share the host's
+        address space -- is ``None`` (no staging).  Resources claimed by
+        this hook are released by :meth:`end_run`.
+        """
+        return None
 
     @abc.abstractmethod
     def spawn_ranks(
@@ -158,8 +193,40 @@ class Backend(abc.ABC):
         must raise ``ValueError`` rather than silently ignore it.
         """
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> "Backend":
+        """Acquire long-lived resources; idempotent, returns ``self``.
+
+        On pooling backends (:attr:`supports_pooling`) this warms the
+        persistent worker pool so subsequent :meth:`spawn_ranks` calls
+        reuse live workers instead of paying spawn cost per run.  The
+        default is a no-op so every backend honors the same lifecycle.
+        """
+        return self
+
+    def end_run(self) -> None:
+        """Release the resources of one run (input/output arenas).
+
+        Keeps long-lived resources (worker pools) warm; called by
+        :func:`repro.core.parallel.construct_cube_parallel` after every
+        build regardless of who owns the backend.
+        """
+
     def close(self) -> None:
-        """Release per-run resources (shared memory, worker pools)."""
+        """Full shutdown: per-run resources *and* persistent pools.
+
+        Idempotent.  The default releases per-run resources via
+        :meth:`end_run`; pooling backends additionally tear down their
+        workers.
+        """
+        self.end_run()
+
+    def __enter__(self) -> "Backend":
+        return self.open()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"<{type(self).__name__} name={self.name!r}>"

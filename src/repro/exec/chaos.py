@@ -54,6 +54,11 @@ from repro.cluster.machine import MachineModel
 #: why time-based crashes and drops cannot be).
 PROCESS_FAULT_KINDS = frozenset({"crash_op", "dup", "straggler", "nic"})
 
+#: FaultPlan kinds the thread backend can honor: everything in-process
+#: except ``crash_op`` -- there is no way to SIGKILL one thread of a
+#: shared address space without taking the host down with it.
+THREAD_FAULT_KINDS = frozenset({"dup", "straggler", "nic"})
+
 
 class ChaosAgent:
     """Per-rank, per-incarnation interpreter of the process fault subset.

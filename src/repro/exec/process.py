@@ -58,11 +58,11 @@ from repro.cluster.runtime import (
     SleepOp,
     TimeoutPolicy,
     TraceEvent,
-    recovery_trace_events,
 )
 from repro.exec.base import Backend, ProgramFactory, check_backend_options
 from repro.exec.chaos import NULL_CHAOS, PROCESS_FAULT_KINDS, ChaosAgent
-from repro.exec.shm import SharedInputArena
+from repro.exec.shm import OutputLayout, SharedInputArena, SharedOutputArena
+from repro.exec.stats import empty_metrics, merge_rank_stats
 from repro.exec.supervisor import (
     BARRIER_TAG_BASE,
     DEFAULT_MAX_RESPAWNS,
@@ -70,8 +70,8 @@ from repro.exec.supervisor import (
     Supervisor,
     _FatalFailure,
 )
-from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
-from repro.obs.span import Sample, Span, Tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
 
 #: Minimum spacing of the heartbeats workers piggyback on the control
 #: queue at op boundaries (diagnostic context for post-mortems; liveness
@@ -402,6 +402,7 @@ class ProcessBackend(Backend):
         self.watchdog_s = watchdog_s
         self.max_respawns = max_respawns
         self._arena: SharedInputArena | None = None
+        self._out_arena: SharedOutputArena | None = None
 
     @property
     def timeouts(self) -> TimeoutPolicy:
@@ -412,6 +413,16 @@ class ProcessBackend(Backend):
         """Stage the blocks in one shared-memory segment (zero-copy reads)."""
         self._arena = SharedInputArena(local_inputs)
         return self._arena.blocks
+
+    def prepare_outputs(self, layout: OutputLayout) -> SharedOutputArena:
+        """Stage a writeback arena; forked workers inherit the mapping.
+
+        Rank programs write finalized aggregates into their slices of the
+        arena instead of pickling them back through the control queue --
+        the cube-sized half of the result channel becomes a memcpy.
+        """
+        self._out_arena = SharedOutputArena(layout)
+        return self._out_arena
 
     def spawn_ranks(
         self,
@@ -431,12 +442,7 @@ class ProcessBackend(Backend):
             )
         mach = machine or MachineModel.paper_cluster()
         if num_ranks == 0:
-            return RunMetrics(
-                makespan_s=0.0, rank_clocks=[], comm=CommStats(),
-                rank_peak_memory_elements=[], rank_compute_ops=[],
-                rank_disk_bytes_written=[], rank_disk_bytes_read=[],
-                rank_results=[], backend=self.name,
-            )
+            return empty_metrics(self.name)
 
         ctx = multiprocessing.get_context("fork")
         inboxes = [ctx.Queue() for _ in range(num_ranks)]
@@ -487,56 +493,19 @@ class ProcessBackend(Backend):
                 incidents=sup.incidents(),
             ) from None
 
-        comm = CommStats()
-        trace: list[TraceEvent] = []
-        spans: list[Span] = []
-        samples: list[Sample] = []
-        registry = MetricsRegistry() if record_trace else NULL_REGISTRY
-        fstats = FaultStats()
-        for s in stats:
-            if s is None:  # a declared-dead rank, recovered by its buddy
-                continue
-            comm.merge(s["comm"])
-            trace.extend(s["trace"])
-            spans.extend(s.get("spans", []))
-            samples.extend(s.get("samples", []))
-            if s.get("faults") is not None:
-                fstats.merge(s["faults"])
-            if s.get("registry") is not None:
-                registry.merge(s["registry"])
-        fstats.merge(sup.fstats)
-        trace.extend(sup.host_trace)
-        if record_trace and fstats.recoveries:
-            trace.extend(recovery_trace_events(fstats))
-        trace.sort(key=lambda ev: (ev.start, ev.end, ev.rank))
-        spans.sort(key=lambda sp: (sp.t_start, sp.t_end, sp.rank))
-        samples.sort(key=lambda sm: (sm.t, sm.rank))
-        clocks = [s["clock"] for s in stats if s is not None]
-        return RunMetrics(
-            makespan_s=max(clocks, default=0.0),
-            rank_clocks=clocks,
-            comm=comm,
-            rank_peak_memory_elements=[
-                s["peak_memory_elements"] for s in stats if s is not None
-            ],
-            rank_compute_ops=[s["compute_ops"] for s in stats if s is not None],
-            rank_disk_bytes_written=[
-                s["disk_bytes_written"] for s in stats if s is not None
-            ],
-            rank_disk_bytes_read=[
-                s["disk_bytes_read"] for s in stats if s is not None
-            ],
-            rank_results=[s["result"] for s in stats if s is not None],
-            trace=trace,
-            faults=fstats,
+        return merge_rank_stats(
+            stats,
             backend=self.name,
-            spans=spans,
-            samples=samples,
-            registry=registry,
+            record_trace=record_trace,
+            extra_faults=sup.fstats,
+            host_trace=sup.host_trace,
         )
 
-    def close(self) -> None:
-        """Release the shared-memory arena from :meth:`prepare_inputs`."""
+    def end_run(self) -> None:
+        """Release the shared-memory arenas of the finished run."""
         if self._arena is not None:
             self._arena.close()
             self._arena = None
+        if self._out_arena is not None:
+            self._out_arena.close()
+            self._out_arena = None

@@ -1,4 +1,4 @@
-"""Shared-memory staging of per-rank input blocks.
+"""Shared-memory staging of per-rank input blocks and cube outputs.
 
 :class:`SharedInputArena` copies every rank's block of the initial array
 (dense or chunk-offset sparse) into one
@@ -8,20 +8,33 @@ afterwards inherit the mapping, so first-level aggregation -- ~98 % of the
 paper's work -- reads its local partition zero-copy; only the (much
 smaller) cross-rank partial results are ever pickled.
 
-The arena owns the segment: the host must keep it alive for the duration
-of the run and call :meth:`SharedInputArena.close` afterwards (the
-:class:`~repro.exec.process.ProcessBackend` does both).
+:class:`SharedOutputArena` is the same idea pointed the other way: one
+segment holding a *global-shaped* slot per written cube node.  At
+writeback each lead writes its finalized portion directly into its slice
+of the node's slot (:meth:`SharedOutputArena.stage`) and returns a tiny
+:class:`StagedResult` marker instead of pickling the aggregate back
+through the control queue; the host reads the finished arrays out of the
+segment (:meth:`SharedOutputArena.collect`).  Because each lead's portion
+occupies disjoint slices of the node array, the writes need no locking.
+
+Either arena owns its segment: the host must keep it alive for the
+duration of the run and call ``close()`` afterwards (the
+:class:`~repro.exec.process.ProcessBackend` does both, in ``end_run``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Iterator, Union
+from typing import Iterator, Sequence, Union
 
 import numpy as np
 
-from repro.arrays.dense import DenseArray
+from repro.arrays.chunking import BlockPartition
+from repro.arrays.dense import DEFAULT_DTYPE, DenseArray
 from repro.arrays.sparse import SparseArray, SparseChunk
+from repro.cluster.topology import ProcessorGrid
+from repro.core.lattice import Node
 
 Block = Union[SparseArray, DenseArray]
 
@@ -114,3 +127,163 @@ class SharedInputArena:
         self.blocks = []
         self._shm.close()
         self._shm.unlink()
+
+
+# -- output staging ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OutputLayout:
+    """What one construction writes back: the geometry of the output arena.
+
+    ``nodes`` are the cube nodes the schedule actually writes (discarded
+    intermediates excluded); ``shape``/``grid`` fix each node's global
+    projected shape and each lead's slice of it -- the same geometry
+    :func:`repro.core.parallel.assemble_results` stitches by.
+    """
+
+    shape: tuple[int, ...]
+    grid: ProcessorGrid
+    nodes: tuple[Node, ...]
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(DEFAULT_DTYPE))
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes (pre-alignment) of all node slots."""
+        total = 0
+        for node in self.nodes:
+            n = 1
+            for d in node:
+                n *= self.shape[d]
+            total += n * np.dtype(self.dtype).itemsize
+        return total
+
+
+@dataclass(frozen=True)
+class StagedResult:
+    """Marker a rank program returns instead of an aggregate it staged.
+
+    The real array already sits in the :class:`SharedOutputArena`; only
+    this marker travels back through the backend's result channel.
+    ``nbytes`` preserves the portion size for metrics.
+    """
+
+    node: Node
+    nbytes: int = 0
+
+
+class SharedOutputArena:
+    """Global-shaped shared-memory slots for every written cube node.
+
+    Created host-side *before* workers fork, so they inherit the mapping.
+    Worker side: :meth:`stage` writes one rank's finalized portion into
+    its slice of the node slot and reports whether staging applied (a
+    ``False`` return tells the program to fall back to returning the
+    array through the normal channel -- staging is an optimization, never
+    a correctness requirement).  Host side: :meth:`collect` copies
+    finished nodes out of the segment as owned arrays, safe to use after
+    :meth:`close`.
+    """
+
+    def __init__(self, layout: OutputLayout):
+        self.layout = layout
+        self._dtype = np.dtype(layout.dtype)
+        self._partition = BlockPartition(layout.shape, layout.grid.parts)
+        self._slots: dict[Node, tuple[int, tuple[int, ...]]] = {}
+        total = 0
+        for node in layout.nodes:
+            if node in self._slots:
+                raise ValueError(f"duplicate output node {node}")
+            node_shape = tuple(layout.shape[d] for d in node)
+            total = _aligned(total)
+            self._slots[node] = (total, node_shape)
+            total += int(np.prod(node_shape, dtype=np.int64)) * self._dtype.itemsize
+        self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        self._closed = False
+        # Leads tile each node slot exactly, but zero the segment anyway so
+        # an unstaged region reads as the additive identity, matching
+        # ``assemble_results``'s zero-initialized global arrays.
+        zero = np.ndarray((self._shm.size,), dtype=np.uint8, buffer=self._shm.buf)
+        zero[:] = 0
+        del zero
+
+    def _view(self, node: Node) -> np.ndarray:
+        offset, node_shape = self._slots[node]
+        return np.ndarray(
+            node_shape, dtype=self._dtype, buffer=self._shm.buf, offset=offset
+        )
+
+    def stage(self, rank: int, node: Node, data: np.ndarray) -> bool:
+        """Write ``rank``'s finalized portion of ``node`` into the arena.
+
+        Returns ``False`` (stage nothing) when the node has no slot or the
+        portion does not match the slot's dtype/geometry; the caller then
+        returns the array through the normal result channel.
+        """
+        if self._closed or node not in self._slots:
+            return False
+        if data.dtype != self._dtype:
+            return False
+        view = self._view(node)
+        if node:
+            label = self.layout.grid.label(rank)
+            sub = self._partition.project(node)
+            sl = sub.slices(tuple(label[d] for d in node))
+            if view[sl].shape != data.shape:
+                return False
+            view[sl] = data
+        else:
+            if data.shape != ():
+                return False
+            view[()] = data
+        return True
+
+    def collect(self, nodes: Sequence[Node] | None = None) -> dict[Node, DenseArray]:
+        """Copy finished node arrays out of the segment (host side).
+
+        ``nodes`` restricts collection (default: every slot).  The copies
+        are owned, so the arena may be closed immediately afterwards.
+        """
+        wanted = self._slots.keys() if nodes is None else nodes
+        out: dict[Node, DenseArray] = {}
+        for node in wanted:
+            if node not in self._slots:
+                raise KeyError(f"node {node} has no output slot")
+            out[node] = DenseArray(np.array(self._view(node)), node)
+        return out
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._slots)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing segment in bytes."""
+        return int(self._shm.size)
+
+    def close(self) -> None:
+        """Release the segment (host side; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        self._shm.unlink()
+
+
+def output_layout_for_schedule(
+    shape: Sequence[int],
+    grid: ProcessorGrid,
+    written_nodes: Sequence[Node],
+    dtype: np.dtype | type = DEFAULT_DTYPE,
+) -> OutputLayout:
+    """Build the :class:`OutputLayout` for one construction's writebacks."""
+    return OutputLayout(
+        shape=tuple(shape),
+        grid=grid,
+        nodes=tuple(dict.fromkeys(written_nodes)),
+        dtype=np.dtype(dtype),
+    )
+
+
+#: Program-facing alias: what ``make_fig5_program`` receives as ``outputs=``.
+OutputStager = Union[SharedOutputArena, None]

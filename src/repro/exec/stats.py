@@ -1,0 +1,99 @@
+"""Host-side merging of per-rank driver stats into :class:`RunMetrics`.
+
+Both real backends (:class:`~repro.exec.process.ProcessBackend`,
+:class:`~repro.exec.thread.ThreadBackend`) drive one interpreter per rank
+and get back the same per-rank stats dict (result, clock, comm counters,
+trace, spans, per-rank metrics registry).  :func:`merge_rank_stats` is the
+single place those are folded into the backend-neutral
+:class:`~repro.cluster.metrics.RunMetrics`, so the two backends cannot
+drift in how they aggregate -- and the parity suite's "equal messages,
+equal peak memory" comparisons stay meaningful.
+
+A ``None`` entry in ``stats`` is a declared-dead rank whose portion was
+recovered by its buddy (process backend only); it contributes nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.cluster.faults import FaultStats
+from repro.cluster.metrics import CommStats, RunMetrics
+from repro.cluster.runtime import TraceEvent, recovery_trace_events
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.span import Sample, Span
+
+__all__ = ["empty_metrics", "merge_rank_stats"]
+
+
+def empty_metrics(backend: str) -> RunMetrics:
+    """The metrics of a zero-rank run."""
+    return RunMetrics(
+        makespan_s=0.0, rank_clocks=[], comm=CommStats(),
+        rank_peak_memory_elements=[], rank_compute_ops=[],
+        rank_disk_bytes_written=[], rank_disk_bytes_read=[],
+        rank_results=[], backend=backend,
+    )
+
+
+def merge_rank_stats(
+    stats: Sequence[dict[str, Any] | None],
+    *,
+    backend: str,
+    record_trace: bool,
+    extra_faults: FaultStats | None = None,
+    host_trace: Sequence[TraceEvent] = (),
+) -> RunMetrics:
+    """Fold per-rank driver stats into one :class:`RunMetrics`.
+
+    ``extra_faults`` / ``host_trace`` carry supervisor-side observations
+    (respawns, declared deaths) on backends that have a supervisor.
+    """
+    comm = CommStats()
+    trace: list[TraceEvent] = []
+    spans: list[Span] = []
+    samples: list[Sample] = []
+    registry = MetricsRegistry() if record_trace else NULL_REGISTRY
+    fstats = FaultStats()
+    for s in stats:
+        if s is None:  # a declared-dead rank, recovered by its buddy
+            continue
+        comm.merge(s["comm"])
+        trace.extend(s["trace"])
+        spans.extend(s.get("spans", []))
+        samples.extend(s.get("samples", []))
+        if s.get("faults") is not None:
+            fstats.merge(s["faults"])
+        if s.get("registry") is not None:
+            registry.merge(s["registry"])
+    if extra_faults is not None:
+        fstats.merge(extra_faults)
+    trace.extend(host_trace)
+    if record_trace and fstats.recoveries:
+        trace.extend(recovery_trace_events(fstats))
+    trace.sort(key=lambda ev: (ev.start, ev.end, ev.rank))
+    spans.sort(key=lambda sp: (sp.t_start, sp.t_end, sp.rank))
+    samples.sort(key=lambda sm: (sm.t, sm.rank))
+    clocks = [s["clock"] for s in stats if s is not None]
+    return RunMetrics(
+        makespan_s=max(clocks, default=0.0),
+        rank_clocks=clocks,
+        comm=comm,
+        rank_peak_memory_elements=[
+            s["peak_memory_elements"] for s in stats if s is not None
+        ],
+        rank_compute_ops=[s["compute_ops"] for s in stats if s is not None],
+        rank_disk_bytes_written=[
+            s["disk_bytes_written"] for s in stats if s is not None
+        ],
+        rank_disk_bytes_read=[
+            s["disk_bytes_read"] for s in stats if s is not None
+        ],
+        rank_results=[s["result"] for s in stats if s is not None],
+        trace=trace,
+        faults=fstats,
+        backend=backend,
+        spans=spans,
+        samples=samples,
+        registry=registry,
+    )

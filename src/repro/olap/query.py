@@ -25,13 +25,13 @@ returns a structured :class:`QueryResult`; the pre-1.1 ``answer`` /
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro._compat import deprecated
 from repro.arrays.aggregate import aggregate_sparse_to_dense
 from repro.arrays.dense import DenseArray
 from repro.arrays.sparse import SparseArray
@@ -278,9 +278,11 @@ class QueryResult:
     @property
     def served_from(self) -> tuple[str, ...]:
         """Deprecated alias of :attr:`served_by` (pre-1.1 field name)."""
-        warnings.warn(
-            "QueryResult.served_from is deprecated; use served_by",
-            DeprecationWarning,
+        deprecated(
+            "QueryResult.served_from",
+            instead="served_by",
+            since="1.1.0",
+            removal="2.0.0",
             stacklevel=2,
         )
         return self.served_by
@@ -288,10 +290,12 @@ class QueryResult:
 
 def __getattr__(name: str):
     if name == "QueryAnswer":
-        warnings.warn(
-            "QueryAnswer is deprecated; use QueryResult (field "
-            "served_from is now served_by)",
-            DeprecationWarning,
+        deprecated(
+            "QueryAnswer",
+            instead="QueryResult",
+            since="1.1.0",
+            removal="2.0.0",
+            extra="field served_from is now served_by",
             stacklevel=2,
         )
         return QueryResult
@@ -402,18 +406,22 @@ class QueryEngine:
 
     def answer(self, query: GroupByQuery) -> QueryResult:
         """Deprecated alias of :meth:`execute` (pre-1.1 name)."""
-        warnings.warn(
-            "QueryEngine.answer is deprecated; use execute()",
-            DeprecationWarning,
+        deprecated(
+            "QueryEngine.answer",
+            instead="execute()",
+            since="1.1.0",
+            removal="2.0.0",
             stacklevel=2,
         )
         return self.execute(query)
 
     def answer_many(self, queries: Sequence[GroupByQuery]) -> list[QueryResult]:
         """Deprecated alias of :meth:`execute_many` (pre-1.1 name)."""
-        warnings.warn(
-            "QueryEngine.answer_many is deprecated; use execute_many()",
-            DeprecationWarning,
+        deprecated(
+            "QueryEngine.answer_many",
+            instead="execute_many()",
+            since="1.1.0",
+            removal="2.0.0",
             stacklevel=2,
         )
         return self.execute_many(queries)

@@ -1,0 +1,202 @@
+"""One generic name registry behind every pluggable subsystem.
+
+``repro.exec`` (execution backends) and ``repro.sched`` (construction
+schedulers) each grew their own registry: a module-level dict, a
+``register_*`` function, an ``available_*`` listing, and a lookup that
+raises ``ValueError`` with the available names.  The scheduler registry
+additionally supports *families* -- parameterized specs like
+``marginals-2-shuffle`` resolved by a parser instead of an exact name.
+
+:class:`Registry` is the union of both feature sets, so each subsystem
+is a thin instantiation:
+
+- exact names map to a factory (``register`` / ``get`` / ``unregister``);
+- families map a human-readable template (``"marginals-<k>[-shuffle]"``)
+  to a parser tried against any spec that is not an exact name;
+- every entry carries **capability metadata** (an immutable mapping) that
+  callers use for validation errors ("backend 'process' supports fault
+  kinds ...") and for rendering ``repro-cube backends list`` /
+  ``repro-cube sched list`` from one code path (:meth:`render_list`);
+- unknown names raise ``ValueError`` listing the available specs and,
+  when a close match exists, a "did you mean ...?" suggestion.
+
+The registry is deliberately not thread-safe for mutation: registration
+happens at import time; lookups afterwards are read-only.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Generic, Iterator, Mapping, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Registry", "RegistryEntry"]
+
+
+def _freeze(metadata: Mapping[str, Any] | None) -> Mapping[str, Any]:
+    return MappingProxyType(dict(metadata or {}))
+
+
+@dataclass(frozen=True)
+class RegistryEntry(Generic[T]):
+    """One registered name (or family template) and its capability metadata."""
+
+    #: Exact name (``"process"``) or family template (``"marginals-<k>"``).
+    name: str
+    #: Zero-arg factory for exact entries; ``spec -> T | None`` parser for
+    #: families (``None`` means "spec is not mine, try the next family").
+    factory: Callable[..., T | None]
+    #: Immutable capability metadata (``description``, ``fault_kinds``, ...).
+    metadata: Mapping[str, Any] = field(default_factory=lambda: _freeze(None))
+    #: True when :attr:`factory` is a family parser rather than a factory.
+    is_family: bool = False
+
+    def describe(self) -> str:
+        """One-line description for listings (metadata ``description``)."""
+        return str(self.metadata.get("description", "")).strip()
+
+
+class Registry(Generic[T]):
+    """A name -> factory registry with families, metadata, and good errors.
+
+    ``kind`` is the human noun used in error messages (``"backend"``,
+    ``"scheduler"``), preserving each subsystem's established phrasing:
+    ``unknown backend 'mpi'; available: process, sim, thread``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        if not kind:
+            raise ValueError("registry kind must be non-empty")
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry[T]] = {}
+        self._families: dict[str, RegistryEntry[T]] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], T],
+        *,
+        metadata: Mapping[str, Any] | None = None,
+        replace: bool = False,
+    ) -> None:
+        """Register ``factory`` under the exact ``name``."""
+        if not name:
+            raise ValueError(f"{self.kind} name must be non-empty")
+        if not replace and name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = RegistryEntry(name, factory, _freeze(metadata))
+
+    def register_family(
+        self,
+        template: str,
+        parser: Callable[[str], T | None],
+        *,
+        metadata: Mapping[str, Any] | None = None,
+        replace: bool = False,
+    ) -> None:
+        """Register a parameterized family.
+
+        ``template`` is the human-readable spec shown in listings
+        (``"marginals-<k>[-shuffle]"``); ``parser`` receives any spec that
+        did not match an exact name and returns an instance or ``None``.
+        """
+        if not template:
+            raise ValueError(f"{self.kind} family template must be non-empty")
+        if not replace and template in self._families:
+            raise ValueError(f"{self.kind} family {template!r} is already registered")
+        self._families[template] = RegistryEntry(
+            template, parser, _freeze(metadata), is_family=True
+        )
+
+    def unregister(self, name: str) -> None:
+        """Remove an exact name or family template; unknown names raise."""
+        if name in self._entries:
+            del self._entries[name]
+        elif name in self._families:
+            del self._families[name]
+        else:
+            raise ValueError(
+                f"cannot unregister unknown {self.kind} {name!r}; "
+                f"registered: {', '.join(self.names()) or '(none)'}"
+            )
+
+    # -- lookup -------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Sorted exact names plus family templates (the listable surface)."""
+        return sorted([*self._entries, *self._families])
+
+    def entries(self) -> list[RegistryEntry[T]]:
+        """All entries (exact first, then families), sorted by name."""
+        return [
+            *(self._entries[n] for n in sorted(self._entries)),
+            *(self._families[t] for t in sorted(self._families)),
+        ]
+
+    def __contains__(self, spec: str) -> bool:
+        try:
+            self.get(spec)
+        except ValueError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def get(self, spec: str) -> T:
+        """Resolve ``spec`` to an instance: exact name first, then families."""
+        entry = self._entries.get(spec)
+        if entry is not None:
+            made = entry.factory()
+            assert made is not None
+            return made
+        for family in self._families.values():
+            made = family.factory(spec)
+            if made is not None:
+                return made
+        raise ValueError(self._unknown(spec))
+
+    def entry_for(self, spec: str) -> RegistryEntry[T]:
+        """The entry governing ``spec`` (the family entry for family specs)."""
+        entry = self._entries.get(spec)
+        if entry is not None:
+            return entry
+        for family in self._families.values():
+            if family.factory(spec) is not None:
+                return family
+        raise ValueError(self._unknown(spec))
+
+    def metadata_for(self, spec: str) -> Mapping[str, Any]:
+        """Capability metadata for ``spec`` (family metadata for family specs)."""
+        return self.entry_for(spec).metadata
+
+    def _unknown(self, spec: str) -> str:
+        available = ", ".join(self.names()) or "(none)"
+        msg = f"unknown {self.kind} {spec!r}; available: {available}"
+        close = difflib.get_close_matches(spec, list(self._entries), n=1)
+        if close:
+            msg += f" (did you mean {close[0]!r}?)"
+        return msg
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_list(self) -> list[str]:
+        """``"name: description"`` lines for CLI listings.
+
+        ``repro-cube backends list`` and ``repro-cube sched list`` both
+        render through here so the two subsystems cannot drift.
+        """
+        lines = []
+        width = max((len(e.name) for e in self.entries()), default=0)
+        for entry in self.entries():
+            desc = entry.describe()
+            lines.append(f"{entry.name:<{width}}  {desc}" if desc else entry.name)
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Registry kind={self.kind!r} names={self.names()}>"

@@ -190,12 +190,14 @@ class Scheduler(abc.ABC):
                 f"(its program emits the checkpoint/detection/recovery "
                 f"rounds); scheduler {self.spec!r} cannot honor "
                 f"checkpoint=True. Use scheduler='fig5' or drop checkpoint"
+                f"{self._supported_options_suffix()}"
             )
         if tree is not None or schedule is not None:
             raise ValueError(
                 f"explicit tree/schedule overrides apply to the 'fig5' "
                 f"scheduler only; scheduler {self.spec!r} plans its own "
                 f"schedule. Use scheduler='fig5' or drop the override"
+                f"{self._supported_options_suffix()}"
             )
         if max_message_elements is not None:
             raise ValueError(
@@ -203,9 +205,26 @@ class Scheduler(abc.ABC):
                 f"'fig5'-scheduler option; scheduler {self.spec!r} ships "
                 f"whole partials. Use scheduler='fig5' or drop "
                 f"max_message_elements"
+                f"{self._supported_options_suffix()}"
             )
         if reduction not in ("flat", "binomial"):
             raise ValueError(f"unknown reduction {reduction!r}")
+
+    def _supported_options_suffix(self) -> str:
+        """``" (scheduler 'x' supports options: ...)"`` from registry metadata.
+
+        Empty for unregistered schedulers (e.g. ad-hoc instances in tests);
+        imported lazily because :mod:`repro.sched.registry` imports this
+        module.
+        """
+        from repro.sched.registry import SCHEDULERS
+
+        try:
+            options = SCHEDULERS.metadata_for(self.spec).get("options", ())
+        except ValueError:
+            return ""
+        listed = ", ".join(options) if options else "none"
+        return f" (scheduler {self.spec!r} supports options: {listed})"
 
     def describe(self) -> str:
         """One-line human description (shown by ``repro-cube sched list``)."""

@@ -22,7 +22,10 @@ from __future__ import annotations
 import time
 import weakref
 from dataclasses import replace
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:
+    from repro.exec.base import Backend
 
 from repro.core.lattice import Node
 from repro.obs.metrics import MetricsRegistry
@@ -75,9 +78,15 @@ class CubeService:
         result_cache_size: int = 1024,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        backend: "Backend | None" = None,
     ):
         self.cube = cube
         self.engine = QueryEngine(cube)
+        # A service-owned execution backend for rebuilds: opened once here
+        # (warming a persistent worker pool on pooling backends such as
+        # ThreadBackend), reused by every refresh_with rebuild that builds
+        # through self.backend, and shut down by close().
+        self._backend = backend.open() if backend is not None else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cache = ResultCache(result_cache_size, metrics=self.metrics)
@@ -259,6 +268,31 @@ class CubeService:
                     attempts=max_retries + 1,
                 )
         return False
+
+    # -- rebuild backend -----------------------------------------------------------
+
+    @property
+    def backend(self) -> "Backend | None":
+        """The service-owned execution backend for rebuilds, if any.
+
+        Opened (pool warmed) at construction; pass it as the ``backend=``
+        of every rebuild's ``construct_cube_parallel`` so repeated
+        refreshes reuse the same live workers -- builds only release
+        per-run state on caller-owned instances, never the pool.
+        """
+        return self._backend
+
+    def close(self) -> None:
+        """Shut down the service-owned rebuild backend (idempotent)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "CubeService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- serving -------------------------------------------------------------------
 

@@ -21,6 +21,7 @@ MODULES = [
     "repro.analysis.model.lifetime",
     "repro.analysis.model.ops",
     "repro.analysis.model.programs",
+    "repro._compat",
     "repro.analysis.repo_gate",
     "repro.analysis.verify_plan",
     "repro.arrays",
@@ -40,6 +41,7 @@ MODULES = [
     "repro.cli",
     "repro.iceberg",
     "repro.iceberg.buc",
+    "repro.registry",
     "repro.obs",
     "repro.obs.export",
     "repro.obs.metrics",
@@ -72,11 +74,14 @@ MODULES = [
     "repro.exec",
     "repro.exec.base",
     "repro.exec.chaos",
+    "repro.exec.pool",
     "repro.exec.process",
     "repro.exec.registry",
     "repro.exec.shm",
     "repro.exec.sim",
+    "repro.exec.stats",
     "repro.exec.supervisor",
+    "repro.exec.thread",
     "repro.olap",
     "repro.olap.cube",
     "repro.olap.granularity",
@@ -221,7 +226,7 @@ def test_version():
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
     assert match is not None
-    assert repro.__version__ == match.group(1) == "1.7.0"
+    assert repro.__version__ == match.group(1) == "1.8.0"
 
 
 def test_deprecated_shims_warn_exactly_once_and_match_execute():

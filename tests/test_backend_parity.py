@@ -1,8 +1,8 @@
-"""Cross-backend parity: sim and process runs are bit-identical.
+"""Cross-backend parity: sim, process, and thread runs are bit-identical.
 
-Both backends interpret the *same* generator rank-programs with the same
+All backends interpret the *same* generator rank-programs with the same
 numpy kernels and the same flat combine order, so every group-by array
-must match byte-for-byte -- not just approximately -- and both must move
+must match byte-for-byte -- not just approximately -- and all must move
 exactly the Theorem 3 communication volume.  This is the property that
 makes the simulator's measurements transferable to real executions.
 """
@@ -21,30 +21,36 @@ def _build(data, bits, backend):
     return construct_cube_parallel(data, bits, backend=backend)
 
 
+REAL_BACKENDS = ("process", "thread")
+
+
 def _assert_parity(data, shape, bits):
     sim = _build(data, bits, "sim")
-    proc = _build(data, bits, "process")
-    assert sim.backend == "sim" and proc.backend == "process"
-
-    assert set(sim.results) == set(proc.results)
-    for node, arr in sim.results.items():
-        other = proc.results[node]
-        assert arr.data.dtype == other.data.dtype
-        assert arr.data.shape == other.data.shape
-        assert arr.data.tobytes() == other.data.tobytes(), (
-            f"group-by {node} differs between backends"
-        )
-
+    assert sim.backend == "sim"
     predicted = total_comm_volume(shape, bits)
     assert sim.metrics.comm.total_elements == predicted
-    assert proc.metrics.comm.total_elements == predicted
-    assert (
-        sim.metrics.comm.total_messages == proc.metrics.comm.total_messages
-    )
-    assert (
-        sim.metrics.rank_peak_memory_elements
-        == proc.metrics.rank_peak_memory_elements
-    )
+
+    for backend in REAL_BACKENDS:
+        run = _build(data, bits, backend)
+        assert run.backend == backend
+
+        assert set(sim.results) == set(run.results)
+        for node, arr in sim.results.items():
+            other = run.results[node]
+            assert arr.data.dtype == other.data.dtype, (backend, node)
+            assert arr.data.shape == other.data.shape, (backend, node)
+            assert arr.data.tobytes() == other.data.tobytes(), (
+                f"group-by {node} differs between sim and {backend}"
+            )
+
+        assert run.metrics.comm.total_elements == predicted, backend
+        assert (
+            sim.metrics.comm.total_messages == run.metrics.comm.total_messages
+        ), backend
+        assert (
+            sim.metrics.rank_peak_memory_elements
+            == run.metrics.rank_peak_memory_elements
+        ), backend
 
 
 CURATED = [

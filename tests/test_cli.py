@@ -325,3 +325,59 @@ class TestTrace:
         assert code == 0
         assert "trace written to" in text
         assert trace.exists()
+
+
+class TestThreadBackendAndPool:
+    def test_construct_on_thread_backend(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8,4", "--procs", "4",
+            "--backend", "thread", "--verify",
+        )
+        assert code == 0
+        assert "wall time" in text
+        assert "verified" in text
+
+    def test_pool_flag_on_thread_backend(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8", "--procs", "2",
+            "--backend", "thread", "--pool", "--verify",
+        )
+        assert code == 0
+        assert "verified" in text
+
+    def test_pool_flag_rejected_on_non_pooling_backend(self):
+        code, text = run_cli(
+            "construct", "--shape", "8,8", "--procs", "2",
+            "--backend", "sim", "--pool",
+        )
+        assert code == 2
+        assert "pooling backend" in text
+        assert "thread" in text
+
+    def test_pooled_sched_compare(self):
+        code, text = run_cli(
+            "sched", "compare", "--shape", "8,6,4", "--procs", "4",
+            "--schedulers", "fig5,shuffle",
+            "--backend", "thread", "--pool",
+        )
+        assert code == 0
+        assert "fig5" in text and "shuffle" in text
+
+
+class TestBackendsList:
+    def test_lists_every_backend_with_description(self):
+        code, text = run_cli("backends", "list")
+        assert code == 0
+        for name in ("sim", "process", "thread"):
+            assert name in text
+        assert "pool" in text  # the thread row advertises its fast path
+
+    def test_backends_and_sched_listings_share_layout(self):
+        code_b, text_b = run_cli("backends", "list")
+        code_s, text_s = run_cli("sched", "list")
+        assert code_b == 0 and code_s == 0
+        # Both render through Registry.render_list: name column, two
+        # spaces, description column.
+        for text in (text_b, text_s):
+            lines = [ln for ln in text.splitlines() if ln.strip()]
+            assert all("  " in ln for ln in lines)

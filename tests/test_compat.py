@@ -1,0 +1,121 @@
+"""Tests for the single deprecation seam (:mod:`repro._compat`).
+
+Every legacy shim in the package routes through ``_compat.deprecated``,
+so one suite can pin the whole surface: the uniform message format (each
+warning names its replacement and the deprecation/removal versions), the
+once-per-process latch and its test-facing reset, and -- shim by shim --
+that each legacy entry point actually warns with its replacement named.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import _compat
+
+
+def _catch():
+    return warnings.catch_warnings(record=True)
+
+
+class TestDeprecatedHelper:
+    def test_message_names_replacement_and_versions(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            emitted = _compat.deprecated(
+                "old_thing", instead="new_thing", since="1.0.0", removal="2.0.0"
+            )
+        assert emitted
+        msg = str(caught[0].message)
+        assert msg == (
+            "old_thing is deprecated; use new_thing "
+            "(deprecated since v1.0.0, removal planned for v2.0.0)"
+        )
+
+    def test_extra_clause_and_no_removal(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            _compat.deprecated(
+                "old", instead="new", since="1.2.0", extra="field was renamed"
+            )
+        assert str(caught[0].message) == (
+            "old is deprecated; use new "
+            "(field was renamed; deprecated since v1.2.0)"
+        )
+
+    def test_once_latch_and_reset(self):
+        key = "test-compat-latch"
+        _compat._WARNED.discard(key)
+        with _catch() as caught:
+            warnings.simplefilter("always")
+            assert _compat.deprecated(
+                "a", instead="b", since="1.0.0", once=True, key=key
+            )
+            assert not _compat.deprecated(
+                "a", instead="b", since="1.0.0", once=True, key=key
+            )
+        assert len(caught) == 1
+        assert key in _compat._WARNED
+        _compat.reset_warnings()
+        assert key not in _compat._WARNED
+
+
+class TestEveryShimNamesItsReplacement:
+    """One test per legacy entry point in the _compat shim inventory."""
+
+    def test_parallel_schedule(self):
+        from repro.core.parallel import parallel_schedule
+
+        _compat.reset_warnings()
+        with pytest.warns(DeprecationWarning, match="use repro.sched.fig5_schedule"):
+            parallel_schedule(2)
+
+    def test_pruned_parallel_schedule(self):
+        from repro.core.partial import pruned_parallel_schedule
+
+        _compat.reset_warnings()
+        with pytest.warns(
+            DeprecationWarning, match="use repro.sched.pruned_schedule"
+        ):
+            pruned_parallel_schedule(2, [(0,)])
+
+    def test_direct_run_spmd_cube_build(self):
+        from repro.cluster.runtime import run_spmd
+        from tests.test_exec_backend import _cube_program_factory
+
+        _compat.reset_warnings()
+        with pytest.warns(
+            DeprecationWarning, match="construct_cube_parallel"
+        ):
+            run_spmd(2, _cube_program_factory())
+
+    @pytest.fixture
+    def engine(self):
+        from repro.olap import DataCube, QueryEngine, Schema
+
+        schema = Schema.simple(a=3, b=2)
+        return QueryEngine(DataCube.build(schema, np.ones(schema.shape)))
+
+    def test_query_answer_alias(self):
+        from repro.olap import query
+
+        with pytest.warns(DeprecationWarning, match="use QueryResult"):
+            query.QueryAnswer
+
+    def test_engine_answer(self, engine):
+        from repro.olap import GroupByQuery
+
+        with pytest.warns(DeprecationWarning, match=r"use execute\(\)"):
+            engine.answer(GroupByQuery(group_by=("a",)))
+
+    def test_engine_answer_many(self, engine):
+        from repro.olap import GroupByQuery
+
+        with pytest.warns(DeprecationWarning, match=r"use execute_many\(\)"):
+            engine.answer_many([GroupByQuery(group_by=("a",))])
+
+    def test_served_from_field(self, engine):
+        from repro.olap import GroupByQuery
+
+        result = engine.execute(GroupByQuery(group_by=("a",)))
+        with pytest.warns(DeprecationWarning, match="use served_by"):
+            result.served_from

@@ -87,9 +87,10 @@ def _cube_program_factory():
 
 class TestRunSpmdDeprecation:
     def _reset_latch(self, monkeypatch):
-        import repro.cluster.runtime as rt
+        from repro import _compat
+        from repro.cluster.runtime import _DIRECT_CUBE_BUILD_KEY
 
-        monkeypatch.setattr(rt, "_warned_direct_cube_build", False)
+        _compat._WARNED.discard(_DIRECT_CUBE_BUILD_KEY)
 
     def test_direct_cube_build_warns_exactly_once(self, monkeypatch):
         self._reset_latch(monkeypatch)

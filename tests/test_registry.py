@@ -1,0 +1,126 @@
+"""Unit tests for the generic name registry (:mod:`repro.registry`).
+
+One :class:`Registry` instance sits behind both pluggable subsystems;
+these tests pin the shared contract (exact names, parameterized families,
+capability metadata, error phrasing with did-you-mean suggestions, and
+the one ``render_list`` code path behind both CLI listings), then check
+that ``repro.exec`` and ``repro.sched`` really are instantiations of it.
+"""
+
+import pytest
+
+from repro.registry import Registry, RegistryEntry
+
+
+@pytest.fixture
+def reg():
+    r = Registry("widget")
+    r.register("plain", lambda: "plain-widget", metadata={"description": "the default"})
+    r.register("fancy", lambda: "fancy-widget")
+    def parse_sized(spec):
+        _, _, n = spec.partition("sized-")
+        return f"widget({n})" if n.isdigit() else None
+
+    r.register_family(
+        "sized-<n>", parse_sized, metadata={"description": "parameterized by n"}
+    )
+    return r
+
+
+class TestRegistration:
+    def test_kind_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Registry("")
+
+    def test_names_are_sorted_and_include_families(self, reg):
+        assert reg.names() == ["fancy", "plain", "sized-<n>"]
+        assert list(reg) == reg.names()
+
+    def test_duplicate_registration_rejected_unless_replace(self, reg):
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("plain", lambda: "other")
+        reg.register("plain", lambda: "other", replace=True)
+        assert reg.get("plain") == "other"
+
+    def test_empty_name_rejected(self, reg):
+        with pytest.raises(ValueError, match="non-empty"):
+            reg.register("", lambda: None)
+        with pytest.raises(ValueError, match="non-empty"):
+            reg.register_family("", lambda spec: None)
+
+    def test_unregister_exact_and_family(self, reg):
+        reg.unregister("fancy")
+        reg.unregister("sized-<n>")
+        assert reg.names() == ["plain"]
+        with pytest.raises(ValueError, match="cannot unregister"):
+            reg.unregister("fancy")
+
+
+class TestLookup:
+    def test_exact_name_wins(self, reg):
+        assert reg.get("plain") == "plain-widget"
+
+    def test_family_parses_specs(self, reg):
+        assert reg.get("sized-8") == "widget(8)"
+        assert "sized-8" in reg
+        assert "sized-<n>" not in reg  # the template itself is not a spec
+
+    def test_unknown_spec_lists_available(self, reg):
+        with pytest.raises(
+            ValueError,
+            match=r"unknown widget 'nope'; available: fancy, plain, sized-<n>",
+        ):
+            reg.get("nope")
+
+    def test_did_you_mean_suggestion(self, reg):
+        with pytest.raises(ValueError, match=r"did you mean 'fancy'\?"):
+            reg.get("fancyy")
+
+    def test_entry_for_resolves_family_entry(self, reg):
+        entry = reg.entry_for("sized-3")
+        assert isinstance(entry, RegistryEntry)
+        assert entry.name == "sized-<n>"
+        assert entry.is_family
+
+    def test_metadata_is_immutable_and_reachable_per_spec(self, reg):
+        meta = reg.metadata_for("sized-12")
+        assert meta["description"] == "parameterized by n"
+        with pytest.raises(TypeError):
+            meta["description"] = "mutated"
+        assert reg.metadata_for("plain")["description"] == "the default"
+
+
+class TestRendering:
+    def test_render_list_aligns_names_and_descriptions(self, reg):
+        lines = reg.render_list()
+        # Undescribed entries render as the bare name; described entries
+        # start their description in one aligned column.
+        assert lines[0] == "fancy"
+        assert lines[1].startswith("plain")
+        assert lines[2].startswith("sized-<n>")
+        assert lines[1].index("the default") == lines[2].index(
+            "parameterized by n"
+        )
+
+
+class TestSubsystemsUseIt:
+    def test_exec_and_sched_registries_are_registry_instances(self):
+        from repro.exec.registry import BACKENDS
+        from repro.sched.registry import SCHEDULERS
+
+        assert isinstance(BACKENDS, Registry)
+        assert isinstance(SCHEDULERS, Registry)
+        assert BACKENDS.kind == "backend"
+        assert SCHEDULERS.kind == "scheduler"
+
+    def test_backend_metadata_drives_pooling_capability(self):
+        from repro.exec.registry import BACKENDS
+
+        assert BACKENDS.metadata_for("thread")["supports_pooling"]
+        assert not BACKENDS.metadata_for("sim")["supports_pooling"]
+
+    def test_scheduler_errors_keep_historical_phrasing(self):
+        from repro.sched import get_scheduler
+
+        with pytest.raises(ValueError, match="unknown scheduler 'zigzag'"):
+            get_scheduler("zigzag")

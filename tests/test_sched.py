@@ -108,9 +108,9 @@ class TestRegistry:
             run = construct_cube_parallel(data, (1, 0), scheduler="custom-fig5")
             assert run.scheduler == "custom-fig5"
         finally:
-            from repro.sched.registry import _REGISTRY
+            from repro.sched.registry import SCHEDULERS
 
-            _REGISTRY.pop("custom-fig5", None)
+            SCHEDULERS.unregister("custom-fig5")
 
     def test_describe_is_nonempty_for_all(self):
         for spec in ("fig5", "shuffle", "marginals-1", "marginals-1-shuffle"):

@@ -1,16 +1,17 @@
-"""Cross-scheduler parity: every scheduler, on both backends, agrees.
+"""Cross-scheduler parity: every scheduler, on every backend, agrees.
 
 Two layers of identity are claimed and tested here:
 
-- **sim vs process**: the same scheduler's rank program interpreted by the
-  simulator and by real OS processes produces byte-identical aggregates
-  (the PR-4 property, now quantified over schedulers);
+- **sim vs process vs thread**: the same scheduler's rank program
+  interpreted by the simulator, by real OS processes, and by real threads
+  produces byte-identical aggregates (the PR-4 property, now quantified
+  over schedulers x backends);
 - **parallel vs sequential**: with integer-valued data (every partial sum
   stays exact below 2**53), any scheduler's parallel result equals the
   sequential Fig 3 constructor bit-for-bit regardless of reduction order.
 
 Float summation order differs between schedulers, so the sequential
-comparison deliberately uses integer-valued float data; sim-vs-process
+comparison deliberately uses integer-valued float data; cross-backend
 parity needs no such restriction and runs on uniform floats too.
 """
 
@@ -77,17 +78,18 @@ def test_parallel_bit_identical_to_sequential(spec, shape, bits):
     _assert_bytes_equal(expected, run.results, f"{spec} vs sequential")
 
 
+@pytest.mark.parametrize("backend", ["process", "thread"])
 @pytest.mark.parametrize("spec", SCHEDULERS)
 @pytest.mark.parametrize("shape,bits", CURATED)
-def test_sim_process_parity_per_scheduler(spec, shape, bits):
+def test_sim_real_backend_parity_per_scheduler(spec, shape, bits, backend):
     data = random_sparse(shape, sparsity=0.3, seed=sum(shape))
     sim = construct_cube_parallel(data, bits, scheduler=spec, backend="sim")
-    proc = construct_cube_parallel(
-        data, bits, scheduler=spec, backend="process"
+    real = construct_cube_parallel(
+        data, bits, scheduler=spec, backend=backend
     )
-    _assert_bytes_equal(sim.results, proc.results, f"{spec} sim vs process")
-    assert sim.metrics.comm.total_elements == proc.metrics.comm.total_elements
-    assert sim.metrics.comm.total_messages == proc.metrics.comm.total_messages
+    _assert_bytes_equal(sim.results, real.results, f"{spec} sim vs {backend}")
+    assert sim.metrics.comm.total_elements == real.metrics.comm.total_elements
+    assert sim.metrics.comm.total_messages == real.metrics.comm.total_messages
     declared = get_scheduler(spec).declared_volume(shape, bits)
     assert sim.metrics.comm.total_elements == declared
 
@@ -150,3 +152,5 @@ def test_parity_random(dims, k, spec, sparsity, seed):
     )
     _assert_bytes_equal(expected, sim.results, f"{spec} sim vs sequential")
     _assert_bytes_equal(sim.results, proc.results, f"{spec} sim vs process")
+    thr = construct_cube_parallel(data, bits, scheduler=spec, backend="thread")
+    _assert_bytes_equal(sim.results, thr.results, f"{spec} sim vs thread")

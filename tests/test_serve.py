@@ -485,3 +485,50 @@ class TestDegradedServing:
         svc = CubeService(cube)
         with pytest.raises(ValueError, match="max_retries"):
             svc.refresh_with(lambda: None, max_retries=-1)
+
+
+class TestServiceBackendPool:
+    """A service-owned execution backend keeps one warm pool across refreshes."""
+
+    def test_refreshes_reuse_the_service_pool(self, schema):
+        from repro.core.parallel import construct_cube_parallel
+        from repro.exec import ThreadBackend
+
+        rng = np.random.default_rng(9)
+        data = rng.random(schema.shape)
+        cube = DataCube.build(schema, data)
+        svc = CubeService(cube, backend=ThreadBackend(workers=2))
+        pool = svc.backend.pool
+        assert pool is not None and not pool.closed, (
+            "the service must open (warm) its backend at construction"
+        )
+
+        def rebuild():
+            construct_cube_parallel(data, (1, 0, 0), backend=svc.backend)
+
+        assert svc.refresh_with(rebuild) is True
+        after_first = pool.total_tasks
+        assert after_first == 2
+        assert svc.refresh_with(rebuild) is True
+        # Same pool object, same live workers, twice the completed tasks:
+        # the second rebuild paid no thread-spawn cost.
+        assert svc.backend.pool is pool
+        assert pool.total_tasks == 2 * after_first
+
+        svc.close()
+        assert pool.closed
+        assert svc.backend is None
+        svc.close()  # idempotent
+
+    def test_context_manager_closes_backend(self, cube):
+        from repro.exec import ThreadBackend
+
+        with CubeService(cube, backend=ThreadBackend(workers=2)) as svc:
+            pool = svc.backend.pool
+            assert not pool.closed
+        assert pool.closed
+
+    def test_service_without_backend(self, cube):
+        svc = CubeService(cube)
+        assert svc.backend is None
+        svc.close()
