@@ -272,6 +272,20 @@ so the JSON records the honest slowdown trajectory: warm-pool thread
 `benchmarks/results/BENCH_speed.json`.""",
         "t_speed",
     ),
+    (
+        "T-live — live observability overhead (extension)",
+        """Live-operations extension beyond the paper: the snapshot bus
+(`LiveRunView`, sampled by the thread backend's probe thread) attached to
+a real Fig 7 build, plus the collapsed-stack profiler.  Asserted always:
+a build with the bus attached produces *bit-identical* aggregates to a
+plain build, every rank delivers a terminal ``done`` snapshot, and
+resampling a traced simulator build attributes >= 80 % of profile
+samples to named spans (the flamegraph is phases, not ``[idle]``).  The
+< 5 % median wall-clock overhead gate for the bus is enforced when the
+host is quiet enough to measure it; the machine-readable record
+(including any skip reason) is `benchmarks/results/BENCH_live.json`.""",
+        "t_live",
+    ),
 ]
 
 HEADER = """# EXPERIMENTS — paper vs measured

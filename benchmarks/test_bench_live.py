@@ -1,0 +1,178 @@
+"""BENCH-live: what does *live* observability cost?
+
+BENCH-obs pinned recording spans; this bench pins the live subsystem on
+top of it -- the snapshot bus sampling a real thread-backend build -- and
+the profiler's attribution quality.  Emits
+``benchmarks/results/BENCH_live.json``:
+
+- **correctness** (always asserted): a build with the snapshot bus
+  attached produces *bit-identical* aggregates to a plain build, every
+  rank reports a terminal ``done`` snapshot, and the view folds at least
+  one snapshot per rank;
+- **bus is cheap** (gated): the median host wall-clock of traced builds
+  with a live view attached stays within ``MAX_OVERHEAD`` (5%) of
+  untraced builds.  Like BENCH-obs, the gate records a skip reason
+  instead of fabricating a verdict when the untraced spread exceeds the
+  gate margin (loaded CI host);
+- **profiler attributes** (always asserted): resampling a traced
+  simulator build of the Figure-7 workload lands >= 80% of synthetic
+  samples inside named spans -- the flamegraph is made of phases, not
+  ``[idle]``.
+"""
+
+import json
+import statistics
+import time
+
+import numpy as np
+
+from repro.core.parallel import construct_cube_parallel
+from repro.core.partition import greedy_partition
+from repro.obs.live import LiveRunView
+from repro.obs.profile import ProfileResult
+
+from _harness import FIG7_SHAPE, RESULTS_DIR, SCALE, dataset, emit_table, fmt_row
+
+SPARSITY = 0.25
+PROCS = 8
+ROUNDS = 5
+MAX_OVERHEAD = 0.05
+MIN_ATTRIBUTION = 0.8
+BUS_INTERVAL_S = 0.05
+
+
+def _aggregates_identical(a, b) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(np.array_equal(a[k].data, b[k].data) for k in a)
+
+
+def test_live_overhead_and_attribution(benchmark):
+    data = dataset(FIG7_SHAPE, SPARSITY)
+    bits = greedy_partition(FIG7_SHAPE, PROCS.bit_length() - 1)
+
+    def plain(collect=False):
+        return construct_cube_parallel(
+            data, bits, collect_results=collect, backend="thread"
+        )
+
+    def live(collect=False):
+        view = LiveRunView(interval_s=BUS_INTERVAL_S)
+        run = construct_cube_parallel(
+            data, bits, trace=True, collect_results=collect,
+            backend="thread", live=view,
+        )
+        return run, view
+
+    # Warm both paths before measuring anything.
+    base_run = plain(collect=True)
+    live_run, view = live(collect=True)
+    benchmark.pedantic(lambda: plain(), rounds=1, iterations=1)
+
+    # Gate 1: the snapshot bus must observe, never perturb, the build.
+    assert _aggregates_identical(base_run.results, live_run.results), (
+        "aggregates differ between a plain build and one with the "
+        "snapshot bus attached"
+    )
+
+    # Gate 2: the bus saw the whole cohort through to completion.
+    assert view.finished
+    snaps = view.snapshots()
+    assert len(snaps) == PROCS, f"{len(snaps)}/{PROCS} ranks reported"
+    assert all(s.done for s in snaps), "missing terminal done snapshots"
+    assert view.snapshot_count >= PROCS
+
+    # Gate 3 (median wall-clock overhead), interleaved to share host noise.
+    walls = {"plain": [], "live": []}
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        plain()
+        walls["plain"].append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        live()
+        walls["live"].append(time.perf_counter() - t0)
+    med_plain = statistics.median(walls["plain"])
+    med_live = statistics.median(walls["live"])
+    overhead = med_live / med_plain - 1.0
+
+    spread = (max(walls["plain"]) - min(walls["plain"])) / med_plain
+    noisy = spread > MAX_OVERHEAD
+    reason = (
+        f"plain wall-clock spread {spread:.1%} exceeds the {MAX_OVERHEAD:.0%} "
+        f"gate margin; host too noisy to attribute overhead"
+        if noisy
+        else None
+    )
+
+    # Gate 4: profiler attribution on the deterministic simulator build.
+    sim_run = construct_cube_parallel(
+        data, bits, trace=True, collect_results=False
+    )
+    prof = ProfileResult.from_run(sim_run.metrics)
+    attribution = prof.attribution_fraction
+    assert prof.samples_total > 0
+    assert attribution >= MIN_ATTRIBUTION, (
+        f"only {attribution:.1%} of profile samples landed in named spans "
+        f"(gate {MIN_ATTRIBUTION:.0%})"
+    )
+    phases = {
+        name: round(frac, 4) for name, frac in prof.phase_fractions().items()
+    }
+
+    report = {
+        "bench": "live",
+        "scale": SCALE,
+        "shape": list(FIG7_SHAPE),
+        "sparsity": SPARSITY,
+        "procs": PROCS,
+        "rounds": ROUNDS,
+        "bus_interval_s": BUS_INTERVAL_S,
+        "aggregates_bit_identical": True,
+        "snapshots_folded": view.snapshot_count,
+        "ranks_reporting": len(snaps),
+        "plain_wall_s": [round(w, 4) for w in walls["plain"]],
+        "live_wall_s": [round(w, 4) for w in walls["live"]],
+        "median_plain_s": round(med_plain, 4),
+        "median_live_s": round(med_live, 4),
+        "overhead": round(overhead, 4),
+        "profiler": {
+            "samples_total": prof.samples_total,
+            "samples_attributed": prof.samples_attributed,
+            "attribution_fraction": round(attribution, 4),
+            "min_attribution": MIN_ATTRIBUTION,
+            "phase_fractions": phases,
+        },
+        "gate": {
+            "max_overhead": MAX_OVERHEAD,
+            "measured_overhead": round(overhead, 4),
+            "enforced": reason is None,
+            "skip_reason": reason,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_live.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    lines = [
+        "BENCH-live: snapshot-bus overhead on the Figure 7 build (thread backend)",
+        f"shape={FIG7_SHAPE} sparsity={SPARSITY:.0%} p={PROCS} rounds={ROUNDS}",
+        fmt_row("variant", "median wall(s)", widths=[10, 16]),
+        fmt_row("plain", f"{med_plain:.3f}", widths=[10, 16]),
+        fmt_row("live", f"{med_live:.3f}", widths=[10, 16]),
+        f"overhead {overhead:+.1%} (gate {MAX_OVERHEAD:.0%}), aggregates "
+        f"bit-identical, {view.snapshot_count} snapshots folded",
+        f"profiler attribution {attribution:.1%} of {prof.samples_total} "
+        f"samples (gate {MIN_ATTRIBUTION:.0%})",
+    ]
+    if reason is not None:
+        lines.append(f"overhead gate skipped: {reason}")
+    emit_table("t_live", lines)
+
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["attribution"] = attribution
+    if reason is None:
+        assert overhead < MAX_OVERHEAD, (
+            f"live builds are {overhead:.1%} slower than plain "
+            f"(gate {MAX_OVERHEAD:.0%})"
+        )

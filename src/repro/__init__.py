@@ -132,7 +132,7 @@ def _version() -> str:
 
         return version("repro")
     except Exception:
-        return "1.8.0"
+        return "1.9.0"
 
 
 __version__ = _version()

@@ -26,7 +26,13 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 __all__ = ["STRICT_PACKAGES", "check_file", "run_gate"]
 
 #: Packages held to mypy-strict annotation discipline (GATE202).
-STRICT_PACKAGES = ("repro/core", "repro/cluster", "repro/analysis", "repro/sched")
+STRICT_PACKAGES = (
+    "repro/core",
+    "repro/cluster",
+    "repro/analysis",
+    "repro/sched",
+    "repro/obs",
+)
 
 
 def _used_names(tree: ast.Module) -> set[str]:

@@ -25,9 +25,17 @@ Installed as ``repro-cube`` (see ``pyproject.toml``); also runnable as
 - ``trace``      run telemetry (``repro.obs``): ``trace export`` writes a
                  Perfetto-loadable Chrome trace of a construction,
                  ``trace summarize`` renders phase/idle/memory reports
-                 from an exported file, ``trace diff`` compares two runs.
+                 from an exported file, ``trace diff`` compares two runs,
+                 ``trace flame`` writes collapsed stacks (flamegraph
+                 input) from the continuous span profiler;
+- ``top``        run a construction with the live snapshot bus attached
+                 and render per-rank progress frames while it runs;
+- ``slo``        serving SLOs: ``slo check`` replays a workload and
+                 judges a latency objective with multi-window burn-rate
+                 alerting.
 
-All output is plain text; every command is deterministic given ``--seed``.
+All output is plain text; every command is deterministic given ``--seed``
+(``top`` frames depend on wall-clock sampling, the build result does not).
 """
 
 from __future__ import annotations
@@ -553,6 +561,143 @@ def cmd_serve_replay(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace, out) -> int:
+    """``top``: run a construction, rendering the live per-rank view."""
+    import threading
+
+    from repro.arrays.dataset import random_sparse
+    from repro.core.plan import plan_cube
+    from repro.obs.live import LiveRunView
+    from repro.obs.profile import ProfileResult
+
+    data = random_sparse(args.shape, args.sparsity, seed=args.seed)
+    try:
+        plan = plan_cube(args.shape, num_processors=args.procs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    view = LiveRunView(
+        interval_s=args.interval,
+        memory_bound_elements=plan.parallel_memory_bound_elements,
+    )
+    outcome: dict[str, object] = {}
+
+    def _build(backend) -> None:
+        try:
+            outcome["run"] = plan.run_parallel(
+                data,
+                trace=True,
+                collect_results=False,
+                backend=backend,
+                live=view,
+            )
+        except BaseException as exc:  # surfaced after the last frame
+            outcome["error"] = exc
+
+    try:
+        with _cli_backend(args) as backend:
+            worker = threading.Thread(
+                target=_build, args=(backend,), name="repro-top-build",
+                daemon=True,
+            )
+            worker.start()
+            while True:
+                worker.join(timeout=args.interval)
+                print(view.render(), file=out)
+                if args.once or not worker.is_alive():
+                    break
+                print("", file=out)
+            worker.join()
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if "error" in outcome:
+        print(f"build failed: {outcome['error']}", file=out)
+        return 1
+    run = outcome["run"]
+    prof = ProfileResult.from_view(view)
+    if prof.samples_total:
+        phases = ", ".join(
+            f"{name} {frac:.0%}"
+            for name, frac in sorted(
+                prof.phase_fractions().items(), key=lambda kv: -kv[1]
+            )
+        )
+        print(
+            f"live profile: {prof.samples_total} snapshot samples -- "
+            f"{phases or '(none attributed)'}",
+            file=out,
+        )
+    print(
+        f"build finished: {_time_label(run.backend)} {run.elapsed_s:.4f} s, "
+        f"{view.snapshot_count} snapshots folded",
+        file=out,
+    )
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace, out) -> int:
+    """``slo check``: judge a latency SLO over a replayed workload."""
+    import numpy as np
+
+    from repro.obs import SLO, BurnRateMonitor, MetricsRegistry
+    from repro.olap.schema import Schema
+    from repro.olap.cube import DataCube
+    from repro.olap.workload import WorkloadSpec, generate_workload
+    from repro.serve import replay
+
+    schema = Schema.simple(
+        **{f"d{i}": s for i, s in enumerate(args.shape)}
+    )
+    rng = np.random.default_rng(args.seed)
+    cube = DataCube.build(schema, rng.random(schema.shape))
+    spec = WorkloadSpec(
+        num_queries=args.queries,
+        zipf_exponent=args.zipf,
+        filter_probability=args.filter_probability,
+    )
+    queries = generate_workload(schema, spec, seed=args.seed)
+    registry = MetricsRegistry()
+    try:
+        slo = SLO(
+            name=args.name,
+            metric="serve.latency_ms",
+            threshold_ms=args.threshold_ms,
+            objective=args.objective,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    monitor = BurnRateMonitor(slo, registry)
+    monitor.check()  # baseline checkpoint: windowed rates cover the replay
+    stats = replay(
+        cube,
+        queries,
+        mode=args.mode,
+        batch_size=args.batch_size,
+        cache_size=args.cache_size,
+        metrics=registry,
+    )
+    status, fired = monitor.check()
+    print(
+        f"replayed {stats.queries} queries ({args.mode}) at "
+        f"{stats.throughput_qps:,.0f} queries/s; p99 "
+        f"{stats.latency_p99_ms:.3f} ms",
+        file=out,
+    )
+    print(status.format(), file=out)
+    if fired:
+        for w in fired:
+            print(
+                f"  ALERT {w.long_s:g}s/{w.short_s:g}s: burn rate exceeds "
+                f"{w.max_burn_rate:g}x in both windows",
+                file=out,
+            )
+    else:
+        print("  burn-rate alerts: none firing", file=out)
+    return 0 if status.ok and not fired else 1
+
+
 def cmd_check(args: argparse.Namespace, out) -> int:
     """``check``: static plan verification (and optional run lint / gate)."""
     from repro.analysis import lint_trace, run_gate, verify_plan
@@ -785,6 +930,28 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
             file=out,
         )
         return 0
+    if args.trace_cmd == "flame":
+        from repro.arrays.dataset import random_sparse
+        from repro.core.plan import plan_cube
+        from repro.obs.profile import ProfileResult, write_collapsed
+
+        data = random_sparse(args.shape, args.sparsity, seed=args.seed)
+        plan = plan_cube(args.shape, num_processors=args.procs)
+        with _cli_backend(args) as backend:
+            run = plan.run_parallel(
+                data, trace=True, collect_results=False, backend=backend
+            )
+        result = ProfileResult.from_run(run.metrics, interval_s=args.interval)
+        path = write_collapsed(result, args.out)
+        print(
+            f"profiled {args.procs}-rank {args.backend} build of "
+            f"{args.shape}: {result.samples_total} samples at "
+            f"{args.interval * 1e3:g} ms, "
+            f"{result.attribution_fraction:.1%} attributed to named spans "
+            f"-> {path}",
+            file=out,
+        )
+        return 0
     if args.trace_cmd == "summarize":
         print(summarize_run(load_run(args.trace_file)), file=out)
         return 0
@@ -997,6 +1164,75 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("a", help="baseline trace path")
     tp.add_argument("b", help="candidate trace path")
     tp.set_defaults(fn=cmd_trace)
+
+    tp = tsub.add_parser(
+        "flame",
+        help="run a traced construction and write collapsed stacks "
+             "(flamegraph.pl / speedscope input)",
+    )
+    tp.add_argument("--shape", type=_shape, required=True)
+    tp.add_argument("--procs", type=_power_of_two, default=8)
+    tp.add_argument("--sparsity", type=float, default=0.25)
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--interval", type=float, default=0.001,
+                    help="synthetic sampling interval in seconds "
+                         "(default 1 ms)")
+    tp.add_argument("--out", required=True,
+                    help="collapsed-stack output path")
+    _add_backend_arg(tp)
+    tp.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="run a construction and render the live per-rank view",
+    )
+    p.add_argument("--shape", type=_shape, required=True)
+    p.add_argument("--procs", type=_power_of_two, default=8)
+    p.add_argument("--sparsity", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--interval", type=float, default=0.25,
+                   help="frame and snapshot cadence in seconds "
+                        "(default 0.25)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single frame, then wait quietly for the "
+                        "build instead of refreshing until it finishes")
+    _add_backend_arg(p)
+    # The simulator runs in virtual time and publishes no snapshots, so
+    # top defaults to the real in-process backend.
+    p.set_defaults(fn=cmd_top, backend="thread")
+
+    p = sub.add_parser(
+        "slo",
+        help="serving SLOs: burn-rate evaluation over replayed workloads",
+    )
+    lsub = p.add_subparsers(dest="slo_cmd", required=True)
+
+    lp = lsub.add_parser(
+        "check",
+        help="replay a workload and judge a latency SLO with "
+             "multi-window burn-rate alerts",
+    )
+    lp.add_argument("--shape", type=_shape, default=(6, 6, 5, 5, 4, 4))
+    lp.add_argument("--queries", type=int, default=500)
+    lp.add_argument("--zipf", type=float, default=2.0,
+                    help="group-by popularity skew (must exceed 1.0)")
+    lp.add_argument("--filter-probability", type=float, default=0.2,
+                    help="chance each unmentioned dimension gets a filter")
+    lp.add_argument("--mode", choices=["per-query", "batched", "cached"],
+                    default="cached",
+                    help="serving mode to replay (default: cached)")
+    lp.add_argument("--batch-size", type=int, default=1024)
+    lp.add_argument("--cache-size", type=int, default=4096,
+                    help="LRU result-cache entries for cached mode")
+    lp.add_argument("--seed", type=int, default=0)
+    lp.add_argument("--name", default="query-latency",
+                    help="SLO name used in reports and slo.* metric labels")
+    lp.add_argument("--threshold-ms", type=float, default=50.0,
+                    help="an observation above this latency is a bad event")
+    lp.add_argument("--objective", type=float, default=0.99,
+                    help="required good fraction, e.g. 0.99 = p99 of "
+                         "queries under the threshold")
+    lp.set_defaults(fn=cmd_slo)
 
     p = sub.add_parser("query", help="answer a group-by from a saved cube")
     p.add_argument("--cube", required=True, help="cube path (.npz)")

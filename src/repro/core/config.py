@@ -84,6 +84,12 @@ class BuildConfig:
         scheduler owns cuboid ordering and the comm schedule; the backend
         owns how ranks exchange bytes, so any scheduler runs on any
         backend.
+    live:
+        Optional :class:`~repro.obs.live.LiveRunView` the backend feeds
+        with per-rank snapshots while the build runs (the snapshot bus
+        behind ``repro-cube top``).  Typed loosely to keep this module
+        below :mod:`repro.obs` in the import order; default ``None`` --
+        the bus costs nothing when off.
 
     Every cross-field constraint is validated here, at construction, so a
     bad combination fails before any work starts -- whether the config was
@@ -110,6 +116,7 @@ class BuildConfig:
     recv_timeout: float | None = None
     backend: Any = "sim"
     scheduler: Any = "fig5"
+    live: Any = None
 
     def __post_init__(self) -> None:
         if self.reduction not in ("flat", "binomial"):

@@ -267,7 +267,13 @@ def make_fig5_program(
         traced = tr.enabled
 
         # Read the local portion of the initial array from disk.
+        # `mark` announces the phase *now starting* so the live snapshot
+        # bus can attribute in-flight time; `end_span` still records the
+        # completed span.  Both are single attribute writes when traced,
+        # nothing when not.
         t0 = tr.clock() if traced else 0.0
+        if traced:
+            tr.mark("build.input_read")
         yield env.disk_read(block.nbytes)
         if traced:
             t0 = tr.end_span(
@@ -278,6 +284,11 @@ def make_fig5_program(
             if isinstance(step, PLocalAggregate):
                 if not grid.holds_node(rank, step.node):
                     continue
+                if traced:
+                    tr.mark(
+                        "build.first_level" if step.node == root
+                        else "build.local_aggregate"
+                    )
                 if step.node == root:
                     if isinstance(block, SparseArray):
                         outs = aggregate_sparse_multi(
@@ -319,6 +330,8 @@ def make_fig5_program(
                 group = grid.reduction_group(rank, step.dim)
                 if len(group) == 1:
                     continue  # dimension not partitioned: already final
+                if traced:
+                    tr.mark("build.reduce")
                 partial = local[step.child]
                 if max_message_elements is not None:
                     final = yield from reduce_to_lead_chunked(
@@ -360,6 +373,8 @@ def make_fig5_program(
                 out = local.pop(step.node)
                 env.free(step.node)
                 if not step.discard:
+                    if traced:
+                        tr.mark("build.writeback")
                     yield env.disk_write(out.nbytes)
                     staged = outputs is not None and outputs.stage(
                         rank, step.node, out.data
@@ -772,6 +787,7 @@ def construct_cube_parallel(
     recv_timeout: float | None = UNSET,
     backend: Any = UNSET,
     scheduler: Any = UNSET,
+    live: Any = UNSET,
     config: BuildConfig | None = None,
 ) -> ParallelResult:
     """Construct the data cube on an execution backend.
@@ -850,6 +866,12 @@ def construct_cube_parallel(
         or a :class:`~repro.sched.base.Scheduler` instance.  The scheduler
         owns cuboid ordering and the comm schedule; every scheduler runs
         on every backend.  See :mod:`repro.sched`.
+    live:
+        Optional :class:`~repro.obs.live.LiveRunView` fed with per-rank
+        snapshots while the build runs -- the snapshot bus behind
+        ``repro-cube top``.  Pair with ``trace=True`` for phase
+        attribution in the view; without tracing, snapshots still carry
+        op progress, rates, and memory high-water.
     config:
         A :class:`~repro.core.config.BuildConfig` carrying any/all of the
         above; individual keywords take precedence.
@@ -871,6 +893,7 @@ def construct_cube_parallel(
         recv_timeout=recv_timeout,
         backend=backend,
         scheduler=scheduler,
+        live=live,
     )
     machine = cfg.machine
     reduction = cfg.reduction
@@ -1001,7 +1024,7 @@ def construct_cube_parallel(
             )
         metrics = backend_obj.spawn_ranks(
             grid.size, program, machine=machine, record_trace=trace,
-            machines=machines, faults=fault_plan,
+            machines=machines, faults=fault_plan, live=cfg.live,
         )
         if out_arena is not None:
             # Copy staged nodes out *before* the finally clause releases

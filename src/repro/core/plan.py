@@ -183,6 +183,7 @@ class CubePlan:
         recv_timeout: float | None = UNSET,
         backend: object = UNSET,
         scheduler: object = UNSET,
+        live: object = UNSET,
         config: BuildConfig | None = None,
     ) -> ParallelResult:
         """Construct the cube on an execution backend; results re-keyed.
@@ -192,7 +193,8 @@ class CubePlan:
         :class:`~repro.core.config.BuildConfig` via ``config=`` or as the
         legacy keywords (which override the config's fields).  ``backend``
         selects the executor (``"sim"`` default, ``"process"`` for real
-        OS processes); ``scheduler`` defaults to the plan's own.
+        OS processes); ``scheduler`` defaults to the plan's own; ``live``
+        attaches a :class:`~repro.obs.live.LiveRunView` snapshot bus.
         """
         from repro.core.parallel import construct_cube_parallel
 
@@ -214,6 +216,7 @@ class CubePlan:
             recv_timeout=recv_timeout,
             backend=backend,
             scheduler=scheduler,
+            live=live,
             config=config,
         )
         if result.results is not None:

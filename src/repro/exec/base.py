@@ -50,6 +50,7 @@ from repro.cluster.runtime import (
     SIMULATED_TIMEOUTS,
     TimeoutPolicy,
 )
+from repro.obs.live import LiveRunView
 
 if TYPE_CHECKING:
     from repro.exec.shm import OutputLayout, SharedOutputArena
@@ -184,6 +185,7 @@ class Backend(abc.ABC):
         record_trace: bool = False,
         machines: Sequence[MachineModel] | None = None,
         faults: FaultPlan | None = None,
+        live: LiveRunView | None = None,
     ) -> RunMetrics:
         """Run ``program_factory`` on ``num_ranks`` ranks to completion.
 
@@ -191,6 +193,11 @@ class Backend(abc.ABC):
         ``metrics.backend`` set to this backend's name.  Backends that
         cannot honor an option (e.g. fault injection outside the simulator)
         must raise ``ValueError`` rather than silently ignore it.
+
+        ``live``, when given, is a :class:`~repro.obs.live.LiveRunView`
+        the backend feeds with periodic per-rank snapshots while the run
+        is in flight (the snapshot bus).  Best-effort: backends without a
+        wall clock (the simulator) accept it and publish nothing.
         """
 
     # -- lifecycle -----------------------------------------------------------

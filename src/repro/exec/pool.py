@@ -92,6 +92,17 @@ class WorkerPool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def warm(self) -> bool:
+        """Open with at least one live worker -- the ``/ready`` criterion.
+
+        A :class:`~repro.serve.service.CubeService` readiness probe
+        reports ready only when its rebuild backend's pool is warm, so a
+        load balancer never routes refresh traffic at a service that
+        would pay cold thread-spawn cost (or has been shut down).
+        """
+        return not self._closed and bool(self._threads)
+
     def ensure(self, workers: int) -> None:
         """Grow the pool until it has at least ``workers`` threads."""
         if workers < 1:

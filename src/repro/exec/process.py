@@ -70,6 +70,7 @@ from repro.exec.supervisor import (
     Supervisor,
     _FatalFailure,
 )
+from repro.obs.live import LiveRunView, RankProbe
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Tracer
 
@@ -124,6 +125,7 @@ def _drive(
     faults: FaultPlan | None,
     incarnation: int,
     epoch0: float | None,
+    live_enabled: bool,
 ) -> dict[str, Any]:
     """Interpret one rank's program in real time; returns its stats.
 
@@ -163,6 +165,12 @@ def _drive(
         # registry; the host merges both when the stats come back.
         env.tracer = Tracer(rank=rank, clock=now)
         env.obs = MetricsRegistry()
+
+    # The snapshot-bus probe: published on the heartbeat cadence, so a
+    # live view costs one extra small queue message per >= 250 ms tick.
+    probe = (
+        RankProbe(rank, env, env.tracer, comm, now) if live_enabled else None
+    )
 
     def await_message(src: int, tag: int, deadline: float | None) -> Any:
         """Next ``(src, tag)`` payload; :data:`RECV_TIMEOUT` past deadline."""
@@ -205,6 +213,10 @@ def _drive(
         if t - last_hb >= HEARTBEAT_INTERVAL_S:
             last_hb = t
             ctl_queue.put(("hb", rank, incarnation, op_index, op_kind, now()))
+            if probe is not None:
+                probe.op_index = op_index
+                probe.op_kind = op_kind
+                ctl_queue.put(("snap", rank, incarnation, probe.snapshot()))
 
     # Align every rank's timeline at the spawn barrier so span/op start
     # times are comparable across lanes (fork+import skew would otherwise
@@ -330,6 +342,13 @@ def _drive(
         t_prev = now()
 
     env.clock = now()
+    if probe is not None:
+        # Terminal snapshot: rates and peak memory reach their final
+        # values, and the view can render the rank as done.
+        probe.op_index = op_index
+        probe.op_kind = "done"
+        probe.done = True
+        ctl_queue.put(("snap", rank, incarnation, probe.snapshot()))
     return {
         "result": result,
         "clock": env.clock,
@@ -359,12 +378,14 @@ def _worker(
     faults: FaultPlan | None,
     incarnation: int,
     epoch0: float | None,
+    live_enabled: bool,
 ) -> None:
     """Process entry point: drive the program, ship stats (or the error)."""
     try:
         stats = _drive(
             rank, num_ranks, machine, program_factory, inboxes, ctl_queue,
             record_trace, epoch, watchdog_s, faults, incarnation, epoch0,
+            live_enabled,
         )
         ctl_queue.put(("ok", rank, incarnation, stats))
     except BaseException:
@@ -433,6 +454,7 @@ class ProcessBackend(Backend):
         record_trace: bool = False,
         machines: Sequence[MachineModel] | None = None,
         faults: FaultPlan | None = None,
+        live: LiveRunView | None = None,
     ) -> RunMetrics:
         """Fork one worker per rank; supervise the cohort to completion."""
         check_backend_options(self, faults, machines)
@@ -453,13 +475,16 @@ class ProcessBackend(Backend):
         # its peers already consumed, corrupting the protocol).
         restartable = bool(getattr(program_factory, "_restartable", False))
 
+        if live is not None:
+            live.attach(num_ranks, self.name)
+
         def spawn(r: int, incarnation: int, epoch0: float | None) -> Any:
             proc = ctx.Process(
                 target=_worker,
                 args=(
                     r, num_ranks, mach, program_factory, inboxes, ctl_queue,
                     record_trace, host_epoch, self.watchdog_s, faults,
-                    incarnation, epoch0,
+                    incarnation, epoch0, live is not None,
                 ),
             )
             proc.start()
@@ -474,6 +499,7 @@ class ProcessBackend(Backend):
             watchdog_s=self.watchdog_s,
             max_respawns=self.max_respawns,
             record_trace=record_trace,
+            on_snapshot=live.update if live is not None else None,
         )
         try:
             stats = sup.run()
@@ -492,6 +518,9 @@ class ProcessBackend(Backend):
                 post_mortem=sup.post_mortem(),
                 incidents=sup.incidents(),
             ) from None
+        finally:
+            if live is not None:
+                live.finish()
 
         return merge_rank_stats(
             stats,

@@ -9,6 +9,7 @@ from repro.cluster.machine import MachineModel
 from repro.cluster.metrics import RunMetrics
 from repro.cluster.runtime import SIMULATED_TIMEOUTS, TimeoutPolicy, run_spmd
 from repro.exec.base import Backend, ProgramFactory
+from repro.obs.live import LiveRunView
 
 
 class SimBackend(Backend):
@@ -42,8 +43,16 @@ class SimBackend(Backend):
         record_trace: bool = False,
         machines: Sequence[MachineModel] | None = None,
         faults: FaultPlan | None = None,
+        live: LiveRunView | None = None,
     ) -> RunMetrics:
-        """Run the program under :func:`run_spmd`; see the backend protocol."""
+        """Run the program under :func:`run_spmd`; see the backend protocol.
+
+        The simulator runs in virtual time inside one call, so there is no
+        in-flight state to sample: a ``live`` view is attached and marked
+        finished, but receives no snapshots.
+        """
+        if live is not None:
+            live.attach(num_ranks, self.name)
         metrics = run_spmd(
             num_ranks,
             program_factory,
@@ -55,4 +64,6 @@ class SimBackend(Backend):
             _via_backend=True,
         )
         metrics.backend = self.name
+        if live is not None:
+            live.finish()
         return metrics

@@ -159,6 +159,12 @@ class Supervisor:
         Per-rank respawn budget before the rank is declared dead.
     record_trace:
         Whether to synthesize host-side ``fault`` trace events.
+    on_snapshot:
+        Optional sink for ``("snap", rank, incarnation, snapshot)``
+        control messages -- the snapshot-bus leg of the process backend.
+        Workers piggyback :class:`~repro.obs.live.RankSnapshot` objects
+        on the heartbeat cadence; the supervisor forwards each one here
+        (typically :meth:`repro.obs.live.LiveRunView.update`).
     """
 
     def __init__(
@@ -171,6 +177,7 @@ class Supervisor:
         watchdog_s: float = 120.0,
         max_respawns: int = DEFAULT_MAX_RESPAWNS,
         record_trace: bool = False,
+        on_snapshot: Callable[[Any], Any] | None = None,
     ) -> None:
         self.num_ranks = num_ranks
         self._inboxes = inboxes
@@ -180,6 +187,7 @@ class Supervisor:
         self._watchdog_s = watchdog_s
         self._max_respawns = max_respawns
         self._record_trace = record_trace
+        self._on_snapshot = on_snapshot
         self.fstats = FaultStats()
         self.host_trace: list[TraceEvent] = []
         self.epoch: float | None = None
@@ -327,6 +335,14 @@ class Supervisor:
             st = self._ranks[rank]
             if incarnation == st.incarnation:
                 st.last_heartbeat = (op_index, op_kind, clock)
+        elif kind == "snap":
+            _, rank, incarnation, snap = msg
+            st = self._ranks[rank]
+            # Stale incarnations are dropped here too, but the view's own
+            # (incarnation, seq) monotonicity is the real guard -- a snap
+            # can race a respawn decision.
+            if incarnation == st.incarnation and self._on_snapshot is not None:
+                self._on_snapshot(snap)
         else:  # pragma: no cover - defensive
             raise _FatalFailure(f"unknown control message {msg!r}")
 

@@ -69,6 +69,7 @@ from repro.exec.pool import WorkerPool
 from repro.exec.process import WorkerError
 from repro.exec.shm import OutputLayout, SharedOutputArena
 from repro.exec.stats import empty_metrics, merge_rank_stats
+from repro.obs.live import LiveRunView, RankProbe
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Tracer
 
@@ -97,6 +98,7 @@ def _drive_thread(
     record_trace: bool,
     watchdog_s: float,
     faults: FaultPlan | None,
+    probe: RankProbe | None,
 ) -> dict[str, Any]:
     """Interpret one rank's program on this thread; returns its stats.
 
@@ -128,6 +130,15 @@ def _drive_thread(
     if record_trace:
         env.tracer = Tracer(rank=rank, clock=now)
         env.obs = MetricsRegistry()
+
+    if probe is not None:
+        # Hand the host's sampler thread this rank's real state: the
+        # sampler reads these references without locks (each is one
+        # atomic reference under the GIL; torn reads are diagnostic).
+        probe.env = env
+        probe.tracer = env.tracer
+        probe.comm = comm
+        probe.clock = now
 
     def await_message(src: int, tag: int, deadline: float | None) -> Any:
         """Next ``(src, tag)`` payload; :data:`RECV_TIMEOUT` past deadline."""
@@ -197,6 +208,9 @@ def _drive_thread(
         chaos.before_op(op_index)
         t_yield = now()
         env.clock = t_yield
+        if probe is not None:
+            probe.op_index = op_index
+            probe.op_kind = type(op).__name__
         resume = None
         if isinstance(op, ComputeOp):
             extra = chaos.compute_delay_s(t_yield - t_prev)
@@ -290,6 +304,10 @@ def _drive_thread(
         t_prev = now()
 
     env.clock = now()
+    if probe is not None:
+        probe.op_index = op_index
+        probe.op_kind = "done"
+        probe.done = True
     return {
         "result": result,
         "clock": env.clock,
@@ -304,6 +322,42 @@ def _drive_thread(
         "samples": env.tracer.samples if record_trace else [],
         "registry": env.obs if record_trace else None,
     }
+
+
+class _LiveSampler:
+    """Host-side snapshot-bus publisher for the thread backend.
+
+    One daemon thread ticks at the view's ``interval_s``, reads every
+    rank's :class:`~repro.obs.live.RankProbe` (lock-free shared-memory
+    reads -- the probes belong to this process), and folds the snapshots
+    into the :class:`~repro.obs.live.LiveRunView`.  :meth:`stop` does a
+    final sweep so terminal (``done``) state always lands in the view.
+    """
+
+    def __init__(self, view: LiveRunView, probes: Sequence[RankProbe]) -> None:
+        self._view = view
+        self._probes = probes
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-live-sampler", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._view.interval_s):
+            self._sweep()
+
+    def _sweep(self) -> None:
+        for probe in self._probes:
+            self._view.update(probe.snapshot())
+
+    def stop(self) -> None:
+        """Stop the sampler and publish one final snapshot per rank."""
+        self._stop.set()
+        self._thread.join()
+        self._sweep()
 
 
 class ThreadBackend(Backend):
@@ -391,6 +445,7 @@ class ThreadBackend(Backend):
         record_trace: bool = False,
         machines: Sequence[MachineModel] | None = None,
         faults: FaultPlan | None = None,
+        live: LiveRunView | None = None,
     ) -> RunMetrics:
         """Run one thread per rank (on the warm pool when open)."""
         check_backend_options(self, faults, machines)
@@ -405,13 +460,28 @@ class ThreadBackend(Backend):
         start_barrier = threading.Barrier(num_ranks, action=epoch.rebase)
         op_barrier = threading.Barrier(num_ranks)
 
+        probes: list[RankProbe] | None = None
+        sampler: _LiveSampler | None = None
+        if live is not None:
+            live.attach(num_ranks, self.name)
+            # Probes start with placeholder state; each driver thread
+            # swaps in its real env/tracer/comm/clock before the first op.
+            probes = [
+                RankProbe(r, None, None, None, lambda: 0.0)
+                for r in range(num_ranks)
+            ]
+            sampler = _LiveSampler(live, probes)
+            sampler.start()
+
         def make_task(rank: int) -> Any:
+            probe = probes[rank] if probes is not None else None
+
             def run() -> dict[str, Any]:
                 try:
                     return _drive_thread(
                         rank, num_ranks, mach, program_factory, inboxes,
                         start_barrier, op_barrier, epoch, record_trace,
-                        self.watchdog_s, faults,
+                        self.watchdog_s, faults, probe,
                     )
                 except BaseException:
                     # Break every peer out of its barrier wait so one
@@ -461,6 +531,10 @@ class ThreadBackend(Backend):
                     f"rank {rank} failed:\n{detail}", rank=rank
                 ) from exc
         finally:
+            if sampler is not None:
+                sampler.stop()
+            if live is not None:
+                live.finish()
             if ephemeral:
                 pool.close()
         metrics = merge_rank_stats(

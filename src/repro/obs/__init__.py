@@ -15,7 +15,18 @@ Zero-dependency instrumentation wired through the whole stack:
   trace linters run on exports unchanged;
 - :mod:`repro.obs.report` turns a run into per-phase makespan
   attribution, idle-skew, and memory timelines (``repro-cube trace
-  summarize`` / ``diff``).
+  summarize`` / ``diff``);
+- :mod:`repro.obs.live` is the snapshot bus: backends publish per-rank
+  :class:`RankSnapshot` streams merged into a monotonic
+  :class:`LiveRunView` readable *while the build runs* (``repro-cube
+  top``);
+- :mod:`repro.obs.expo` exposes a registry in Prometheus text format
+  over ``/metrics`` + ``/health`` + ``/ready`` (:class:`ObsEndpoint`);
+- :mod:`repro.obs.profile` collapses spans or live samples into
+  flamegraph collapsed-stack output (:class:`ProfileResult`);
+- :mod:`repro.obs.slo` evaluates declarative :class:`SLO` objects over
+  the latency histograms with multi-window burn-rate alerting
+  (:class:`BurnRateMonitor`, ``repro-cube slo check``).
 
 Quickstart::
 
@@ -39,13 +50,23 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.expo import ObsEndpoint, render_prometheus, sanitize_metric_name
+from repro.obs.live import LiveRunView, RankProbe, RankSnapshot
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import ProfileResult, merge_profiles, write_collapsed
 from repro.obs.report import (
     diff_runs,
     memory_timeline,
     phase_coverage,
     phase_totals,
     summarize_run,
+)
+from repro.obs.slo import (
+    SLO,
+    BurnRateMonitor,
+    BurnWindow,
+    SLOStatus,
+    evaluate_slo,
 )
 from repro.obs.span import (
     NULL_TRACER,
@@ -57,25 +78,39 @@ from repro.obs.span import (
 )
 
 __all__ = [
+    "BurnRateMonitor",
+    "BurnWindow",
     "Counter",
     "FORMAT_NAME",
     "Gauge",
     "Histogram",
     "Instant",
+    "LiveRunView",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ObsEndpoint",
+    "ProfileResult",
+    "RankProbe",
+    "RankSnapshot",
+    "SLO",
+    "SLOStatus",
     "Sample",
     "Span",
     "Tracer",
     "diff_runs",
+    "evaluate_slo",
     "load_run",
     "memory_timeline",
+    "merge_profiles",
     "phase_coverage",
     "phase_totals",
+    "render_prometheus",
+    "sanitize_metric_name",
     "summarize_run",
     "to_chrome_trace",
     "to_jsonl_records",
     "write_chrome_trace",
+    "write_collapsed",
     "write_jsonl",
 ]

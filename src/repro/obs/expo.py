@@ -1,0 +1,235 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+Two pieces, both pure stdlib:
+
+- :func:`render_prometheus` turns a registry into the Prometheus text
+  exposition format (``# TYPE`` lines, ``name{label="v"} value``
+  samples).  Counters and gauges render directly; a histogram renders
+  as a *summary* with exact ``quantile`` samples by default, or as a
+  real ``_bucket{le="..."}`` histogram when
+  :meth:`~repro.obs.metrics.Histogram.set_buckets` declared a layout --
+  observations are exact either way, the layout is presentation.
+- :class:`ObsEndpoint` serves ``/metrics``, ``/health``, and ``/ready``
+  from a background :class:`http.server.ThreadingHTTPServer` thread.
+  The three probes are callbacks, so any owner -- a
+  :class:`~repro.serve.service.CubeService` (health = not degraded,
+  ready = rebuild pool warmth), a live build, a test -- wires its own
+  meaning of healthy/ready.
+
+Metric names use the repo's dotted vocabulary (``serve.cache.hits``);
+Prometheus names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots (and
+any other illegal character) become underscores: ``serve_cache_hits``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["ObsEndpoint", "render_prometheus", "sanitize_metric_name"]
+
+#: Quantiles a layout-less histogram exposes as a Prometheus summary.
+SUMMARY_QUANTILES = (50.0, 95.0, 99.0)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted repro metric name onto the Prometheus grammar."""
+    out = [
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_"
+        for ch in name
+    ]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out) or "_"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(k)}="{_escape_label(v)}"' for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _render_histogram(h: Histogram, name: str, lines: list[str]) -> None:
+    if h.buckets is None:
+        # Exact summary: quantiles computed over the verbatim observations.
+        qs = h.percentiles(SUMMARY_QUANTILES)
+        for q, value in zip(SUMMARY_QUANTILES, qs):
+            lines.append(
+                f"{name}{_render_labels(h.labels, (('quantile', _fmt(q / 100.0)),))}"
+                f" {_fmt(value)}"
+            )
+    else:
+        # Real histogram lines: cumulative counts per declared bucket.
+        obs = sorted(h.observations)
+        idx = 0
+        for edge in h.buckets:
+            while idx < len(obs) and obs[idx] <= edge:
+                idx += 1
+            lines.append(
+                f"{name}_bucket{_render_labels(h.labels, (('le', _fmt(edge)),))}"
+                f" {idx}"
+            )
+        lines.append(
+            f"{name}_bucket{_render_labels(h.labels, (('le', '+Inf'),))}"
+            f" {len(obs)}"
+        )
+    lines.append(f"{name}_sum{_render_labels(h.labels)} {_fmt(h.sum)}")
+    lines.append(f"{name}_count{_render_labels(h.labels)} {h.count}")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    for c in registry.counters():
+        name = sanitize_metric_name(c.name)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{_render_labels(c.labels)} {c.value}")
+    for g in registry.gauges():
+        name = sanitize_metric_name(g.name)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_render_labels(g.labels)} {_fmt(g.value)}")
+    for h in registry.histograms():
+        name = sanitize_metric_name(h.name)
+        if name not in seen_types:
+            seen_types.add(name)
+            kind = "summary" if h.buckets is None else "histogram"
+            lines.append(f"# TYPE {name} {kind}")
+        _render_histogram(h, name, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three probe paths; everything else is 404."""
+
+    # Set by _ObsServer; typed here for the handler methods.
+    server: "_ObsServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.server.registry_fn())
+            self._reply(
+                200, body,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/health":
+            healthy, detail = self.server.health_fn()
+            self._reply(200 if healthy else 503, detail + "\n")
+        elif path == "/ready":
+            ready, detail = self.server.ready_fn()
+            self._reply(200 if ready else 503, detail + "\n")
+        else:
+            self._reply(404, f"no such path {path!r}\n")
+
+    def _reply(self, status: int, body: str,
+               content_type: str = "text/plain; charset=utf-8") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the per-request stderr lines of the stdlib server."""
+
+
+class _ObsServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the endpoint's probe callbacks."""
+
+    daemon_threads = True
+    registry_fn: Callable[[], MetricsRegistry]
+    health_fn: Callable[[], tuple[bool, str]]
+    ready_fn: Callable[[], tuple[bool, str]]
+
+
+def _always_ok() -> tuple[bool, str]:
+    return (True, "ok")
+
+
+class ObsEndpoint:
+    """A ``/metrics`` + ``/health`` + ``/ready`` HTTP endpoint.
+
+    ``registry_fn`` is called per scrape (the registry is live; no
+    snapshotting needed).  ``health_fn`` / ``ready_fn`` return
+    ``(ok, detail)``; a falsy ``ok`` answers 503 -- exactly what a load
+    balancer or Kubernetes probe expects.  Binds ``host:port`` at
+    construction (``port=0`` picks a free port, exposed as
+    :attr:`port`); :meth:`start` begins serving on a daemon thread.
+    """
+
+    def __init__(
+        self,
+        registry_fn: Callable[[], MetricsRegistry],
+        health_fn: Callable[[], tuple[bool, str]] | None = None,
+        ready_fn: Callable[[], tuple[bool, str]] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _ObsServer((host, port), _Handler)
+        self._server.registry_fn = registry_fn
+        self._server.health_fn = health_fn if health_fn is not None else _always_ok
+        self._server.ready_fn = ready_fn if ready_fn is not None else _always_ok
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint, e.g. ``http://127.0.0.1:8429``."""
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObsEndpoint":
+        """Serve on a background daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-obs-endpoint",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
+            self._server.shutdown()
+            thread.join()
+        self._server.server_close()
+
+    def __enter__(self) -> "ObsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -20,7 +20,7 @@ them together with :meth:`MetricsRegistry.merge`.
 from __future__ import annotations
 
 import threading
-from typing import Iterator, Mapping, Union
+from typing import Iterator, Mapping, Sequence, Union
 
 from repro.util import percentile
 
@@ -76,16 +76,22 @@ class Counter:
 class Gauge:
     """A point-in-time value that can go up or down (queue depth, memory)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "touched")
 
     def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        #: False until the first :meth:`set`.  A merely-created gauge holds
+        #: the placeholder 0.0, which must not win a merge against a side
+        #: that really set a value (0.0 would clobber any negative gauge
+        #: through the max() fold).
+        self.touched: bool = False
 
     def set(self, value: float) -> None:
         """Replace the current value."""
         self.value = value
+        self.touched = True
 
     @property
     def full_name(self) -> str:
@@ -106,16 +112,31 @@ class Histogram:
     queries) that exact retention costs less than bucketing would obscure.
     """
 
-    __slots__ = ("name", "labels", "observations")
+    __slots__ = ("name", "labels", "observations", "buckets")
 
     def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
         self.name = name
         self.labels = labels
         self.observations: list[float] = []
+        #: Optional exposition-layer bucket layout (ascending upper bounds,
+        #: exclusive of +Inf).  Purely presentational: observations are
+        #: always kept exact, the layout only shapes Prometheus
+        #: ``_bucket{le=...}`` lines.  ``None`` renders as a summary.
+        self.buckets: tuple[float, ...] | None = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         self.observations.append(value)
+
+    def set_buckets(self, edges: Sequence[float]) -> None:
+        """Declare the Prometheus bucket layout (ascending upper bounds)."""
+        layout = tuple(float(e) for e in edges)
+        if not layout or any(b <= a for a, b in zip(layout, layout[1:])):
+            raise ValueError(
+                f"bucket layout must be non-empty and strictly ascending, "
+                f"got {layout}"
+            )
+        self.buckets = layout
 
     @property
     def count(self) -> int:
@@ -239,7 +260,13 @@ class MetricsRegistry:
         (per-rank peaks stay peaks), histograms concatenate observations.
 
         This is how the process backend folds per-rank registries into the
-        run-level registry on the host.
+        run-level registry on the host.  Edge cases are pinned by
+        ``tests/test_metrics.py``: merging an empty registry is a no-op, a
+        gauge that was *created but never set* on one side contributes
+        nothing (its placeholder 0.0 must not beat a real negative value
+        through the max), and histograms with mismatched bucket layouts
+        keep the receiving side's layout -- observations are exact, so no
+        data is lost, only the exposition shape is decided.
         """
         for key, c in other._counters.items():
             mine = self._counters.get(key)
@@ -252,14 +279,20 @@ class MetricsRegistry:
             if mine_g is None:
                 with self._lock:
                     mine_g = self._gauges.setdefault(key, Gauge(g.name, key[1]))
-                    mine_g.value = g.value
-            else:
+            if not g.touched:
+                continue
+            if mine_g.touched:
                 mine_g.value = max(mine_g.value, g.value)
+            else:
+                mine_g.value = g.value
+                mine_g.touched = True
         for key, h in other._histograms.items():
             mine_h = self._histograms.get(key)
             if mine_h is None:
                 with self._lock:
                     mine_h = self._histograms.setdefault(key, Histogram(h.name, key[1]))
+            if mine_h.buckets is None and h.buckets is not None:
+                mine_h.buckets = h.buckets
             mine_h.observations.extend(h.observations)
 
 

@@ -1,0 +1,240 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` is a statement about a latency histogram in the
+``repro.obs`` vocabulary: *"at least ``objective`` of observations of
+``metric`` must be <= ``threshold_ms``"*.  The error budget is the
+complement (``1 - objective``); the **burn rate** is how fast a workload
+is spending that budget -- a burn rate of 1.0 spends exactly the budget,
+14.4 exhausts a 30-day budget in 2 days (the classic SRE paging
+threshold).
+
+:func:`evaluate_slo` judges a whole registry's history at once (exact,
+over the verbatim observations -- the histograms keep them).
+:class:`BurnRateMonitor` adds the time axis: it checkpoints cumulative
+(total, bad) counts per call and computes *windowed* burn rates from
+checkpoint deltas, firing an alert only when every window of a
+:class:`BurnWindow` pair agrees -- the multi-window rule that keeps a
+single slow query from paging while still catching sustained burns
+fast.  Everything the monitor sees is surfaced back as ``slo.*``
+counters and gauges, so the ``/metrics`` endpoint exports alerting
+state like any other instrument.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "BurnRateMonitor",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "SLO",
+    "SLOStatus",
+    "evaluate_slo",
+]
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multi-window alert rule: both windows must exceed the rate.
+
+    ``long_s`` is the window that defines sustained burn; ``short_s``
+    (conventionally 1/12 of the long window) must agree, so an alert
+    stops firing promptly once the burn stops.
+    """
+
+    long_s: float
+    short_s: float
+    max_burn_rate: float
+
+    def __post_init__(self) -> None:
+        if self.long_s <= 0 or self.short_s <= 0:
+            raise ValueError("burn windows must be positive")
+        if self.short_s > self.long_s:
+            raise ValueError("short window must not exceed the long window")
+        if self.max_burn_rate <= 0:
+            raise ValueError("max_burn_rate must be positive")
+
+
+#: The SRE-handbook pair, scaled to the minutes-long runs this repo
+#: drives: page on 14.4x burn sustained over 60 s (confirmed by 5 s),
+#: ticket on 6x over 300 s (confirmed by 25 s).
+DEFAULT_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow(long_s=60.0, short_s=5.0, max_burn_rate=14.4),
+    BurnWindow(long_s=300.0, short_s=25.0, max_burn_rate=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A latency objective over one ``repro.obs`` histogram.
+
+    ``metric`` names the histogram (label sets are folded together);
+    an observation above ``threshold_ms`` is a bad event.  ``objective``
+    is the required good fraction, e.g. ``0.99`` for "p99 of queries
+    under the threshold".
+    """
+
+    name: str
+    metric: str
+    threshold_ms: float
+    objective: float = 0.99
+    windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.threshold_ms <= 0:
+            raise ValueError("threshold_ms must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated bad fraction: ``1 - objective``."""
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One evaluation of an SLO against cumulative observations."""
+
+    slo: SLO
+    total: int
+    bad: int
+
+    @property
+    def bad_fraction(self) -> float:
+        """Bad events / total events (0.0 with no events)."""
+        return self.bad / self.total if self.total else 0.0
+
+    @property
+    def attained(self) -> float:
+        """Good fraction actually delivered (1.0 with no events)."""
+        return 1.0 - self.bad_fraction
+
+    @property
+    def burn_rate(self) -> float:
+        """How fast the budget is being spent (1.0 = exactly on budget)."""
+        return self.bad_fraction / self.slo.error_budget
+
+    @property
+    def ok(self) -> bool:
+        """Whether the objective holds over everything observed so far."""
+        return self.bad_fraction <= self.slo.error_budget
+
+    def format(self) -> str:
+        """One table row: objective vs attained, budget burn, verdict."""
+        return (
+            f"{self.slo.name}: {self.attained:.4%} of {self.total} events "
+            f"<= {self.slo.threshold_ms:g} ms (objective "
+            f"{self.slo.objective:.2%}, burn {self.burn_rate:.2f}x) "
+            f"{'OK' if self.ok else 'VIOLATED'}"
+        )
+
+
+def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> SLOStatus:
+    """Judge ``slo`` against every observation recorded in ``registry``.
+
+    Exact -- histograms keep observations verbatim, so this is a count
+    over the real values, not an interpolation over buckets.  Histogram
+    label sets sharing the metric name are folded together.
+    """
+    total = 0
+    bad = 0
+    for h in registry.histograms():
+        if h.name != slo.metric:
+            continue
+        total += len(h.observations)
+        threshold = slo.threshold_ms
+        bad += sum(1 for v in h.observations if v > threshold)
+    return SLOStatus(slo=slo, total=total, bad=bad)
+
+
+class BurnRateMonitor:
+    """Windowed burn-rate alerting over a live registry.
+
+    Call :meth:`check` periodically (a scrape loop, a test, ``repro-cube
+    slo check``).  Each call checkpoints the cumulative (total, bad)
+    counts, computes the burn rate over every window of the SLO from
+    checkpoint deltas, and surfaces the state as metrics in ``out``
+    (default: the watched registry itself):
+
+    - ``slo.evaluations{slo=...}`` counter -- checks performed;
+    - ``slo.alerts{slo=..., window=...}`` counter -- windows fired;
+    - ``slo.burn_rate{slo=..., window=...}`` gauge -- latest rate;
+    - ``slo.attained{slo=...}`` gauge -- cumulative good fraction.
+
+    ``clock`` is injectable so tests can replay a timeline.
+    """
+
+    def __init__(
+        self,
+        slo: SLO,
+        registry: MetricsRegistry,
+        out: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.slo = slo
+        self.registry = registry
+        self.out = out if out is not None else registry
+        self.clock = clock
+        #: Checkpoints of ``(t, total, bad)``, appended per :meth:`check`.
+        self._checkpoints: list[tuple[float, int, int]] = []
+
+    def burn_rate(self, window_s: float, now: float | None = None) -> float:
+        """Burn rate over the trailing ``window_s`` seconds of checkpoints.
+
+        Uses the oldest checkpoint inside the window as the baseline (the
+        first checkpoint ever, when the window reaches past history); 0.0
+        until two checkpoints exist or when the window saw no events.
+        """
+        if len(self._checkpoints) < 2:
+            return 0.0
+        t_now, total_now, bad_now = self._checkpoints[-1]
+        if now is not None:
+            t_now = now
+        cutoff = t_now - window_s
+        baseline = self._checkpoints[0]
+        for cp in self._checkpoints[:-1]:
+            if cp[0] >= cutoff:
+                baseline = cp
+                break
+        _, total_then, bad_then = baseline
+        d_total = total_now - total_then
+        d_bad = bad_now - bad_then
+        if d_total <= 0:
+            return 0.0
+        return (d_bad / d_total) / self.slo.error_budget
+
+    def check(self) -> tuple[SLOStatus, list[BurnWindow]]:
+        """Checkpoint, evaluate, surface metrics; returns fired windows.
+
+        A window fires only when **both** its long and short burn rates
+        exceed its ``max_burn_rate`` -- the multi-window rule.
+        """
+        status = evaluate_slo(self.slo, self.registry)
+        t = self.clock()
+        self._checkpoints.append((t, status.total, status.bad))
+        name = self.slo.name
+        self.out.counter("slo.evaluations", slo=name).inc()
+        self.out.gauge("slo.attained", slo=name).set(status.attained)
+        fired: list[BurnWindow] = []
+        for window in self.slo.windows:
+            long_rate = self.burn_rate(window.long_s, now=t)
+            short_rate = self.burn_rate(window.short_s, now=t)
+            label = f"{window.long_s:g}s"
+            self.out.gauge("slo.burn_rate", slo=name, window=label).set(
+                long_rate
+            )
+            if (
+                long_rate > window.max_burn_rate
+                and short_rate > window.max_burn_rate
+            ):
+                fired.append(window)
+                self.out.counter("slo.alerts", slo=name, window=label).inc()
+        return status, fired

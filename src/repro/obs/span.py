@@ -161,6 +161,37 @@ class Tracer:
         self.instants: list[Instant] = []
         self.samples: list[Sample] = []
         self._stack: list[str] = []
+        #: The phase the rank program last announced via :meth:`mark`.
+        #: Rank programs record spans with the chained ``end_span`` style,
+        #: where the phase name only becomes known as the span *closes* --
+        #: useless for a live sampler that wants to know what a rank is
+        #: doing right now.  ``mark`` is the forward announcement: one
+        #: attribute write at the start of each phase.
+        self.current_phase: str | None = None
+
+    def mark(self, name: str) -> None:
+        """Announce the phase now starting (live-visibility hint).
+
+        Does not record anything on the timeline; it only updates
+        :attr:`current_phase` so the live snapshot bus and the sampling
+        profiler can attribute in-flight work to a named phase before the
+        closing ``end_span`` exists.
+        """
+        self.current_phase = name
+
+    def open_stack(self) -> tuple[str, ...]:
+        """The currently open span stack, outermost first.
+
+        Context-manager spans contribute their nesting; the innermost
+        entry is the phase last announced with :meth:`mark` (when one is
+        active and differs from the innermost open span).  This is what a
+        live snapshot publishes as "what is this rank doing".
+        """
+        stack = tuple(self._stack)
+        phase = self.current_phase
+        if phase is not None and (not stack or stack[-1] != phase):
+            return stack + (phase,)
+        return stack
 
     def span(self, name: str, cat: str = "phase", **attrs: AttrValue) -> _SpanContext:
         """Open a nested span as a context manager (host/service style)."""
@@ -257,6 +288,13 @@ class NullTracer(Tracer):
 
     def sample(self, name: str, value: float) -> None:
         """No-op."""
+
+    def mark(self, name: str) -> None:
+        """No-op: a disabled tracer never changes state."""
+
+    def open_stack(self) -> tuple[str, ...]:
+        """Always empty, and allocation-free (one shared tuple)."""
+        return ()
 
 
 #: Shared disabled tracer; the default for every ``tracer`` field/argument.

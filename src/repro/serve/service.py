@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:
     from repro.exec.base import Backend
+    from repro.obs.expo import ObsEndpoint
 
 from repro.core.lattice import Node
 from repro.obs.metrics import MetricsRegistry
@@ -111,6 +112,7 @@ class CubeService:
         self._rebuild_retries = self.metrics.counter(
             "serve.degraded.rebuild_retries"
         )
+        self._endpoint: "ObsEndpoint | None" = None
         self.last_batch_report: BatchReport | None = None
         self_ref = weakref.ref(self)
 
@@ -282,8 +284,62 @@ class CubeService:
         """
         return self._backend
 
+    # -- HTTP exposition -----------------------------------------------------------
+
+    def serve_http(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "ObsEndpoint":
+        """Expose ``/metrics``, ``/health``, and ``/ready`` over HTTP.
+
+        Starts (and returns) an :class:`~repro.obs.expo.ObsEndpoint` on a
+        background daemon thread -- ``port=0`` binds a free port, read it
+        from ``endpoint.port``.  The probes carry this service's meaning:
+
+        - ``/metrics`` renders :attr:`metrics` in Prometheus text format
+          (the ``serve.*`` families, plus whatever else the caller
+          registered in a shared registry);
+        - ``/health`` answers 503 while the service is in degraded
+          (stale-serving) mode, 200 otherwise;
+        - ``/ready`` answers 200 only when the rebuild backend's worker
+          pool is warm (no backend also counts as ready: the service can
+          answer queries, it just rebuilds cold).
+
+        Idempotent: repeated calls return the same endpoint.  The
+        endpoint is shut down by :meth:`close`.
+        """
+        if self._endpoint is None:
+            from repro.obs.expo import ObsEndpoint
+
+            def health() -> tuple[bool, str]:
+                if self._stale:
+                    return (False, "degraded: serving stale results")
+                return (True, "ok")
+
+            def ready() -> tuple[bool, str]:
+                backend = self._backend
+                if backend is None:
+                    return (True, "ready (no rebuild backend)")
+                pool = getattr(backend, "pool", None)
+                if pool is None:
+                    return (True, "ready (backend has no pool)")
+                if pool.warm:
+                    return (True, f"ready ({pool.size} warm workers)")
+                return (False, "not ready: worker pool is cold")
+
+            self._endpoint = ObsEndpoint(
+                lambda: self.metrics,
+                health_fn=health,
+                ready_fn=ready,
+                host=host,
+                port=port,
+            ).start()
+        return self._endpoint
+
     def close(self) -> None:
-        """Shut down the service-owned rebuild backend (idempotent)."""
+        """Shut down the rebuild backend and HTTP endpoint (idempotent)."""
+        if self._endpoint is not None:
+            self._endpoint.close()
+            self._endpoint = None
         if self._backend is not None:
             self._backend.close()
             self._backend = None

@@ -16,9 +16,20 @@ def percentile(values: Sequence[float], q: Sequence[float]) -> tuple[float, ...]
     default ``"linear"`` interpolation bit-for-bit; an empty input yields
     ``0.0`` for every requested percentile rather than NaN.
     """
-    qs = tuple(q)
+    qs = tuple(float(p) for p in q)
+    if any(not 0.0 <= p <= 100.0 for p in qs):
+        raise ValueError(f"percentiles must be in 0..100, got {qs}")
     if not values:
         return tuple(0.0 for _ in qs)
+    first = float(values[0])
+    if len(values) == 1:
+        # One sample: every percentile is that sample (numpy agrees --
+        # linear interpolation over a single point is the point).
+        return tuple(first for _ in qs)
+    if first == first and all(v == first for v in values):
+        # All samples equal (and not NaN): interpolation between equal
+        # endpoints is exact, no float arithmetic to drift.
+        return tuple(first for _ in qs)
     import numpy as np
 
     out = np.percentile(np.asarray(values, dtype=float), list(qs))

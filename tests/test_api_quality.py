@@ -43,9 +43,13 @@ MODULES = [
     "repro.iceberg.buc",
     "repro.registry",
     "repro.obs",
+    "repro.obs.expo",
     "repro.obs.export",
+    "repro.obs.live",
     "repro.obs.metrics",
+    "repro.obs.profile",
     "repro.obs.report",
+    "repro.obs.slo",
     "repro.obs.span",
     "repro.cluster",
     "repro.cluster.collectives",
@@ -226,7 +230,7 @@ def test_version():
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
     assert match is not None
-    assert repro.__version__ == match.group(1) == "1.8.0"
+    assert repro.__version__ == match.group(1) == "1.9.0"
 
 
 def test_deprecated_shims_warn_exactly_once_and_match_execute():

@@ -381,3 +381,76 @@ class TestBackendsList:
         for text in (text_b, text_s):
             lines = [ln for ln in text.splitlines() if ln.strip()]
             assert all("  " in ln for ln in lines)
+
+
+class TestTopCommand:
+    def test_once_renders_frame_and_summary(self):
+        code, text = run_cli(
+            "top", "--shape", "16,8,8", "--procs", "4", "--once",
+        )
+        assert code == 0
+        assert "live view" in text
+        assert "build finished" in text
+        assert "snapshots folded" in text
+
+    def test_refresh_loop_terminates_when_build_finishes(self):
+        code, text = run_cli(
+            "top", "--shape", "32,16,8", "--procs", "4",
+            "--interval", "0.05",
+        )
+        assert code == 0
+        assert "live view" in text
+        assert "build finished" in text
+
+    def test_defaults_to_thread_backend(self):
+        # The simulator publishes no snapshots, so top must not pick it.
+        args = build_parser().parse_args(
+            ["top", "--shape", "8,8", "--procs", "2", "--once"]
+        )
+        assert args.backend == "thread"
+
+    def test_non_power_of_two_procs_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as err:
+            run_cli("top", "--shape", "8,8", "--procs", "3", "--once")
+        assert err.value.code == 2
+
+
+class TestSloCommand:
+    def test_check_passes_on_fast_cached_workload(self):
+        code, text = run_cli(
+            "slo", "check", "--shape", "6,6,5,4", "--queries", "300",
+        )
+        assert code == 0
+        assert "OK" in text
+        assert "burn-rate alerts" in text
+
+    def test_check_fails_on_impossible_threshold(self):
+        code, text = run_cli(
+            "slo", "check", "--shape", "6,6,5,4", "--queries", "100",
+            "--threshold-ms", "0.000001",
+        )
+        assert code == 1
+        assert "VIOLATED" in text
+
+    def test_bad_objective_is_a_usage_error(self):
+        code, text = run_cli(
+            "slo", "check", "--shape", "6,6,5,4",
+            "--objective", "1.5",
+        )
+        assert code == 2
+
+
+class TestTraceFlameCommand:
+    def test_writes_collapsed_stacks_and_reports_attribution(self, tmp_path):
+        out_file = tmp_path / "flame.txt"
+        code, text = run_cli(
+            "trace", "flame", "--shape", "16,8,8", "--procs", "4",
+            "--backend", "sim", "--out", str(out_file),
+        )
+        assert code == 0
+        assert "attributed" in text
+        content = out_file.read_text()
+        assert content  # at least one collapsed stack line
+        for line in content.splitlines():
+            assert line.startswith("rank ")
+            assert line.rsplit(" ", 1)[1].isdigit()

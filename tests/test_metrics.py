@@ -86,3 +86,96 @@ class TestRuntimeFailures:
         metrics = run_spmd(0, program)
         assert metrics.num_ranks == 0
         assert metrics.makespan_s == 0.0
+
+
+class TestRegistryMergeEdgeCases:
+    """Regression pins for ``MetricsRegistry.merge`` -- the fold the
+    process backend applies to every rank's shipped-home registry."""
+
+    def _reg(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_merging_empty_registry_is_a_noop(self):
+        a, empty = self._reg(), self._reg()
+        a.counter("c").inc(3)
+        a.gauge("g").set(-5.0)
+        a.histogram("h").observe(1.0)
+        before = a.snapshot()
+        a.merge(empty)
+        assert a.snapshot() == before
+
+    def test_merge_into_empty_copies_everything(self):
+        a, b = self._reg(), self._reg()
+        b.counter("c", rank="1").inc(4)
+        b.gauge("g").set(7.0)
+        b.histogram("h").observe(2.0)
+        a.merge(b)
+        assert a.counter("c", rank="1").value == 4
+        assert a.gauge("g").value == 7.0
+        assert a.histogram("h").observations == [2.0]
+
+    def test_counters_add_per_label_set(self):
+        a, b = self._reg(), self._reg()
+        a.counter("ops", kind="send").inc(2)
+        b.counter("ops", kind="send").inc(3)
+        b.counter("ops", kind="recv").inc(5)
+        a.merge(b)
+        assert a.counter("ops", kind="send").value == 5
+        assert a.counter("ops", kind="recv").value == 5
+
+    def test_untouched_gauge_never_beats_a_real_negative(self):
+        # Getting a gauge creates it at 0.0 untouched; merging that
+        # placeholder must not clobber a real negative peak via max().
+        a, b = self._reg(), self._reg()
+        a.gauge("drift").set(-5.0)
+        b.gauge("drift")  # created, never set
+        a.merge(b)
+        assert a.gauge("drift").value == -5.0
+
+    def test_touched_gauges_take_the_max_even_when_negative(self):
+        a, b = self._reg(), self._reg()
+        a.gauge("drift").set(-5.0)
+        b.gauge("drift").set(-2.0)
+        a.merge(b)
+        assert a.gauge("drift").value == -2.0
+
+    def test_both_untouched_gauges_stay_untouched_zero(self):
+        a, b = self._reg(), self._reg()
+        a.gauge("g")
+        b.gauge("g")
+        a.merge(b)
+        assert a.gauge("g").value == 0.0
+        assert not a.gauge("g").touched
+
+    def test_incoming_touched_zero_beats_untouched_negative_free(self):
+        # An explicitly-set 0.0 is real data and participates in max().
+        a, b = self._reg(), self._reg()
+        a.gauge("g").set(-1.0)
+        b.gauge("g").set(0.0)
+        a.merge(b)
+        assert a.gauge("g").value == 0.0
+
+    def test_histograms_concatenate_observations(self):
+        a, b = self._reg(), self._reg()
+        a.histogram("lat").observe(1.0)
+        b.histogram("lat").observe(2.0)
+        b.histogram("lat").observe(3.0)
+        a.merge(b)
+        assert a.histogram("lat").observations == [1.0, 2.0, 3.0]
+        assert a.histogram("lat").count == 3
+
+    def test_receiving_bucket_layout_wins(self):
+        a, b = self._reg(), self._reg()
+        a.histogram("lat").set_buckets([1.0, 10.0])
+        b.histogram("lat").set_buckets([5.0, 50.0])
+        a.merge(b)
+        assert a.histogram("lat").buckets == (1.0, 10.0)
+
+    def test_receiver_adopts_layout_when_it_has_none(self):
+        a, b = self._reg(), self._reg()
+        a.histogram("lat").observe(1.0)
+        b.histogram("lat").set_buckets([5.0, 50.0])
+        a.merge(b)
+        assert a.histogram("lat").buckets == (5.0, 50.0)

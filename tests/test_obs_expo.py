@@ -1,0 +1,237 @@
+"""Tests for Prometheus exposition and the HTTP probe endpoint.
+
+Covers :func:`render_prometheus` (name sanitization, label escaping,
+summary vs real-bucket histograms), :class:`ObsEndpoint` routing and
+status codes, and the :meth:`CubeService.serve_http` integration --
+including the acceptance-criterion path where a service that exhausted
+its rebuild retries answers ``/health`` with 503.
+"""
+
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs.expo import ObsEndpoint, render_prometheus, sanitize_metric_name
+from repro.obs.metrics import MetricsRegistry
+from repro.util import percentile
+
+
+def scrape(url):
+    """GET ``url``; returns (status, body, content_type) even on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url) as resp:
+            return resp.status, resp.read().decode(), resp.headers["Content-Type"]
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode(), err.headers["Content-Type"]
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.cache.hits") == "serve_cache_hits"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("7zip.ratio") == "_7zip_ratio"
+
+    def test_colons_and_underscores_survive(self):
+        assert sanitize_metric_name("a:b_c") == "a:b_c"
+
+    def test_illegal_characters_replaced(self):
+        assert sanitize_metric_name("latency (ms)") == "latency__ms_"
+
+    def test_empty_name(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_nothing(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_counter_with_type_line_once(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.queries", mode="cached").inc(3)
+        reg.counter("serve.queries", mode="batched").inc(5)
+        text = render_prometheus(reg)
+        assert text.count("# TYPE serve_queries counter") == 1
+        assert 'serve_queries{mode="batched"} 5' in text
+        assert 'serve_queries{mode="cached"} 3' in text
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("pool.warm_workers").set(4.0)
+        text = render_prometheus(reg)
+        assert "# TYPE pool_warm_workers gauge" in text
+        assert "pool_warm_workers 4" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert 'c{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_layoutless_histogram_renders_exact_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.latency_ms")
+        values = [1.0, 2.0, 4.0, 8.0, 16.0]
+        for v in values:
+            h.observe(v)
+        text = render_prometheus(reg)
+        assert "# TYPE serve_latency_ms summary" in text
+        def fmt(v):
+            return str(int(v)) if float(v).is_integer() else repr(float(v))
+
+        p50, p95, p99 = percentile(values, (50.0, 95.0, 99.0))
+        assert f'serve_latency_ms{{quantile="0.5"}} {fmt(p50)}' in text
+        assert f'serve_latency_ms{{quantile="0.95"}} {fmt(p95)}' in text
+        assert f'serve_latency_ms{{quantile="0.99"}} {fmt(p99)}' in text
+        assert "serve_latency_ms_sum 31" in text
+        assert "serve_latency_ms_count 5" in text
+
+    def test_declared_buckets_render_cumulative_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.latency_ms")
+        h.set_buckets([1.0, 5.0, 25.0])
+        for v in (0.5, 1.0, 3.0, 30.0):
+            h.observe(v)
+        text = render_prometheus(reg)
+        assert "# TYPE serve_latency_ms histogram" in text
+        # Cumulative: <=1 holds {0.5, 1.0}; <=5 adds 3.0; +Inf sees all.
+        assert 'serve_latency_ms_bucket{le="1"} 2' in text
+        assert 'serve_latency_ms_bucket{le="5"} 3' in text
+        assert 'serve_latency_ms_bucket{le="25"} 3' in text
+        assert 'serve_latency_ms_bucket{le="+Inf"} 4' in text
+        assert "serve_latency_ms_sum 34.5" in text
+        assert "serve_latency_ms_count 4" in text
+
+    def test_ends_with_newline_when_nonempty(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        assert render_prometheus(reg).endswith("\n")
+
+
+class TestObsEndpoint:
+    def test_serves_metrics_with_prometheus_content_type(self):
+        reg = MetricsRegistry()
+        reg.counter("build.ops").inc(7)
+        with ObsEndpoint(lambda: reg) as ep:
+            status, body, ctype = scrape(f"{ep.url}/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert "build_ops 7" in body
+
+    def test_health_and_ready_follow_callbacks(self):
+        state = {"healthy": True}
+        ep = ObsEndpoint(
+            MetricsRegistry,
+            health_fn=lambda: (state["healthy"], "fine"),
+            ready_fn=lambda: (False, "pool cold"),
+        ).start()
+        try:
+            assert scrape(f"{ep.url}/health")[:2] == (200, "fine\n")
+            state["healthy"] = False
+            assert scrape(f"{ep.url}/health")[:2] == (503, "fine\n")
+            assert scrape(f"{ep.url}/ready")[:2] == (503, "pool cold\n")
+        finally:
+            ep.close()
+
+    def test_default_probes_answer_ok(self):
+        with ObsEndpoint(MetricsRegistry) as ep:
+            assert scrape(f"{ep.url}/health")[:2] == (200, "ok\n")
+            assert scrape(f"{ep.url}/ready")[:2] == (200, "ok\n")
+
+    def test_unknown_path_404(self):
+        with ObsEndpoint(MetricsRegistry) as ep:
+            status, body, _ = scrape(f"{ep.url}/nope")
+        assert status == 404
+        assert "/nope" in body
+
+    def test_port_allocated_and_close_idempotent(self):
+        ep = ObsEndpoint(MetricsRegistry)
+        assert ep.port > 0
+        ep.start()
+        ep.start()  # idempotent
+        ep.close()
+        ep.close()  # idempotent
+
+
+def _tiny_cube():
+    from repro.olap.cube import DataCube
+    from repro.olap.schema import Schema
+
+    schema = Schema.simple(a=4, b=3)
+    return DataCube.build(
+        schema, np.arange(12, dtype=float).reshape(4, 3)
+    )
+
+
+class TestCubeServiceHTTP:
+    def test_metrics_scrape_reflects_served_queries(self):
+        from repro.olap.query import GroupByQuery
+        from repro.serve.service import CubeService
+
+        service = CubeService(_tiny_cube())
+        try:
+            service.execute(GroupByQuery(group_by=("a",)))
+            ep = service.serve_http()
+            assert service.serve_http() is ep  # idempotent
+            status, body, _ = scrape(f"{ep.url}/metrics")
+            assert status == 200
+            assert "serve_queries" in body
+        finally:
+            service.close()
+
+    def test_health_flips_to_503_when_rebuilds_exhaust_retries(self):
+        from repro.serve.service import CubeService
+
+        service = CubeService(_tiny_cube())
+        try:
+            ep = service.serve_http()
+            assert scrape(f"{ep.url}/health")[0] == 200
+
+            def failing_rebuild():
+                raise RuntimeError("upstream data source down")
+
+            ok = service.refresh_with(
+                failing_rebuild, max_retries=0, backoff_s=0.0
+            )
+            assert not ok
+            assert service.degraded
+            status, body, _ = scrape(f"{ep.url}/health")
+            assert status == 503
+            assert "degraded" in body
+        finally:
+            service.close()
+
+    def test_ready_reports_backend_pool_warmth(self):
+        from repro.exec.thread import ThreadBackend
+        from repro.serve.service import CubeService
+
+        backend = ThreadBackend(workers=2)
+        service = CubeService(_tiny_cube(), backend=backend)
+        try:
+            ep = service.serve_http()
+            assert scrape(f"{ep.url}/ready")[0] == 200
+        finally:
+            service.close()
+
+    def test_ready_ok_without_backend(self):
+        from repro.serve.service import CubeService
+
+        service = CubeService(_tiny_cube())
+        try:
+            ep = service.serve_http()
+            assert scrape(f"{ep.url}/ready")[0] == 200
+        finally:
+            service.close()
+
+    def test_close_is_idempotent_and_stops_endpoint(self):
+        from repro.serve.service import CubeService
+
+        service = CubeService(_tiny_cube())
+        ep = service.serve_http()
+        url = f"{ep.url}/metrics"
+        service.close()
+        service.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=0.5)

@@ -1,0 +1,207 @@
+"""Tests for SLO definitions and multi-window burn-rate alerting.
+
+The :class:`BurnRateMonitor` scenarios script the clock (``clock=`` is
+injectable) so windowed baselines are exercised deterministically:
+baseline selection inside/outside the window, the fallback to the first
+checkpoint ever, and the multi-window rule where a stopped burn lets
+the short window veto an alert the long window would still fire.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnRateMonitor,
+    BurnWindow,
+    SLO,
+    evaluate_slo,
+)
+
+
+def make_slo(**overrides):
+    fields = dict(
+        name="query-latency",
+        metric="serve.latency_ms",
+        threshold_ms=50.0,
+        objective=0.9,
+    )
+    fields.update(overrides)
+    return SLO(**fields)
+
+
+class TestValidation:
+    def test_objective_must_be_strictly_between_zero_and_one(self):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                make_slo(objective=bad)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_slo(threshold_ms=0.0)
+
+    def test_burn_window_rejects_short_longer_than_long(self):
+        with pytest.raises(ValueError):
+            BurnWindow(long_s=5.0, short_s=60.0, max_burn_rate=1.0)
+
+    def test_burn_window_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            BurnWindow(long_s=0.0, short_s=0.0, max_burn_rate=1.0)
+        with pytest.raises(ValueError):
+            BurnWindow(long_s=60.0, short_s=5.0, max_burn_rate=0.0)
+
+    def test_error_budget_is_objective_complement(self):
+        assert make_slo(objective=0.99).error_budget == pytest.approx(0.01)
+
+    def test_default_windows_are_the_sre_pair(self):
+        assert make_slo().windows == DEFAULT_WINDOWS
+        assert DEFAULT_WINDOWS[0].max_burn_rate == 14.4
+
+
+class TestEvaluateSLO:
+    def test_counts_bad_events_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.histogram("serve.latency_ms", mode="cached").observe(10.0)
+        reg.histogram("serve.latency_ms", mode="cached").observe(80.0)
+        reg.histogram("serve.latency_ms", mode="batched").observe(120.0)
+        reg.histogram("other.metric").observe(9999.0)  # ignored
+        status = evaluate_slo(make_slo(), reg)
+        assert (status.total, status.bad) == (3, 2)
+        assert status.bad_fraction == pytest.approx(2 / 3)
+        assert status.attained == pytest.approx(1 / 3)
+        assert not status.ok
+
+    def test_threshold_is_exclusive(self):
+        reg = MetricsRegistry()
+        reg.histogram("serve.latency_ms").observe(50.0)  # exactly at: good
+        status = evaluate_slo(make_slo(), reg)
+        assert (status.total, status.bad) == (1, 0)
+        assert status.ok
+
+    def test_zero_events_attains_trivially(self):
+        status = evaluate_slo(make_slo(), MetricsRegistry())
+        assert status.total == 0
+        assert status.attained == 1.0
+        assert status.burn_rate == 0.0
+        assert status.ok
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        reg = MetricsRegistry()
+        for v in [10.0] * 95 + [99.0] * 5:
+            reg.histogram("serve.latency_ms").observe(v)
+        status = evaluate_slo(make_slo(objective=0.99), reg)
+        assert status.burn_rate == pytest.approx(5.0)
+
+    def test_format_verdicts(self):
+        reg = MetricsRegistry()
+        reg.histogram("serve.latency_ms").observe(1.0)
+        assert "OK" in evaluate_slo(make_slo(), reg).format()
+        reg.histogram("serve.latency_ms").observe(500.0)
+        assert "VIOLATED" in evaluate_slo(make_slo(), reg).format()
+
+
+def scripted_monitor(times, slo=None, out=None):
+    """Monitor whose clock replays ``times``, one value per check()."""
+    reg = MetricsRegistry()
+    it = iter(times)
+    monitor = BurnRateMonitor(
+        slo if slo is not None else make_slo(
+            windows=(BurnWindow(long_s=100.0, short_s=10.0, max_burn_rate=2.0),)
+        ),
+        reg,
+        out=out,
+        clock=lambda: next(it),
+    )
+    return monitor, reg
+
+
+class TestBurnRateMonitor:
+    def test_zero_before_two_checkpoints(self):
+        monitor, reg = scripted_monitor([0.0])
+        reg.histogram("serve.latency_ms").observe(999.0)
+        monitor.check()
+        assert monitor.burn_rate(100.0) == 0.0
+
+    def test_rate_from_window_baseline(self):
+        # objective 0.9 -> budget 0.1.  The t=0 baseline absorbs the 10
+        # good events; everything between checkpoints is bad, so the
+        # windowed bad fraction is 1.0 -> burn rate 10.0.
+        monitor, reg = scripted_monitor([0.0, 60.0])
+        h = reg.histogram("serve.latency_ms")
+        for _ in range(10):
+            h.observe(1.0)
+        monitor.check()
+        for _ in range(10):
+            h.observe(999.0)
+        status, fired = monitor.check()
+        assert monitor.burn_rate(100.0, now=60.0) == pytest.approx(10.0)
+        assert status.bad == 10
+        assert len(fired) == 1
+
+    def test_baseline_falls_back_to_first_checkpoint(self):
+        # Both prior checkpoints predate the 10 s window; the rate is
+        # still computed against the oldest history rather than 0.
+        monitor, reg = scripted_monitor([0.0, 50.0, 1000.0])
+        h = reg.histogram("serve.latency_ms")
+        h.observe(1.0)
+        monitor.check()
+        monitor.check()
+        h.observe(999.0)
+        monitor.check()
+        # Delta vs the t=0 checkpoint: 1 new event, bad -> rate 10.0.
+        assert monitor.burn_rate(10.0, now=1000.0) == pytest.approx(10.0)
+
+    def test_no_new_events_in_window_rates_zero(self):
+        monitor, reg = scripted_monitor([0.0, 50.0, 95.0])
+        h = reg.histogram("serve.latency_ms")
+        h.observe(999.0)
+        monitor.check()
+        monitor.check()  # t=50, no new events since t=0... still counts
+        monitor.check()  # t=95
+        # Window of 40 s at t=95 reaches to 55: baseline is the t=50
+        # checkpoint (same totals as now) -> d_total 0 -> rate 0.
+        assert monitor.burn_rate(40.0, now=95.0) == 0.0
+
+    def test_multiwindow_rule_suppresses_stopped_burn(self):
+        # Burn hard before t=50, then stop.  At t=95 the long (100 s)
+        # window still sees the burn, but the short (10 s) window's
+        # baseline is the t=90 checkpoint with identical totals, so the
+        # alert stops firing -- the point of the multi-window rule.
+        monitor, reg = scripted_monitor([0.0, 50.0, 90.0, 95.0])
+        h = reg.histogram("serve.latency_ms")
+        monitor.check()  # t=0 baseline
+        for _ in range(10):
+            h.observe(999.0)
+        status, fired = monitor.check()  # t=50: burning
+        assert len(fired) == 1
+        monitor.check()  # t=90: burn stopped, totals frozen
+        status, fired = monitor.check()  # t=95
+        assert monitor.burn_rate(100.0, now=95.0) > 2.0  # long still high
+        assert monitor.burn_rate(10.0, now=95.0) == 0.0  # short recovered
+        assert fired == []
+
+    def test_surfaced_metrics_in_out_registry(self):
+        out = MetricsRegistry()
+        slo = make_slo(
+            windows=(BurnWindow(long_s=100.0, short_s=10.0, max_burn_rate=2.0),)
+        )
+        monitor, reg = scripted_monitor([0.0, 5.0], slo=slo, out=out)
+        h = reg.histogram("serve.latency_ms")
+        monitor.check()
+        for _ in range(4):
+            h.observe(999.0)
+        monitor.check()
+        name = "query-latency"
+        assert out.counter("slo.evaluations", slo=name).value == 2
+        assert out.gauge("slo.attained", slo=name).value == 0.0
+        assert out.gauge("slo.burn_rate", slo=name, window="100s").value == (
+            pytest.approx(10.0)
+        )
+        assert out.counter("slo.alerts", slo=name, window="100s").value == 1
+        # The watched registry stays clean when out= is separate.
+        assert all(c.name.startswith("serve") for c in reg.counters())
+
+    def test_out_defaults_to_watched_registry(self):
+        monitor, reg = scripted_monitor([0.0])
+        monitor.check()
+        assert reg.counter("slo.evaluations", slo="query-latency").value == 1

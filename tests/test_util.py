@@ -45,3 +45,54 @@ class TestHumanFormat:
         assert human_count(1500) == "1.50K"
         assert human_count(2_500_000) == "2.50M"
         assert human_count(3_000_000_000) == "3.00G"
+
+
+class TestPercentileProperties:
+    """Property pins for :func:`repro.util.percentile`: every fast path
+    (empty, single, all-equal) must agree exactly with numpy's linear
+    interpolation on the general path."""
+
+    def test_matches_numpy_on_random_inputs(self):
+        import numpy as np
+
+        from repro.util import percentile
+
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 50))
+            values = list(rng.normal(0.0, 100.0, size=n))
+            qs = tuple(float(q) for q in rng.uniform(0.0, 100.0, size=4))
+            got = percentile(values, qs)
+            want = tuple(float(np.percentile(values, q)) for q in qs)
+            assert got == want, (seed, values, qs)
+
+    def test_single_sample_answers_itself_for_every_q(self):
+        from repro.util import percentile
+
+        assert percentile([42.5], (0.0, 37.0, 100.0)) == (42.5, 42.5, 42.5)
+
+    def test_all_equal_fast_path_including_negatives(self):
+        from repro.util import percentile
+
+        assert percentile([-3.0] * 7, (1.0, 50.0, 99.0)) == (-3.0, -3.0, -3.0)
+
+    def test_empty_returns_zeros(self):
+        from repro.util import percentile
+
+        assert percentile([], (50.0, 99.0)) == (0.0, 0.0)
+
+    def test_out_of_range_q_rejected(self):
+        import pytest
+
+        from repro.util import percentile
+
+        with pytest.raises(ValueError):
+            percentile([1.0], (101.0,))
+        with pytest.raises(ValueError):
+            percentile([1.0], (-0.1,))
+
+    def test_extremes_are_min_and_max(self):
+        from repro.util import percentile
+
+        values = [5.0, -1.0, 3.0, 2.0]
+        assert percentile(values, (0.0, 100.0)) == (-1.0, 5.0)
